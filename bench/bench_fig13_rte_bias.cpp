@@ -1,0 +1,67 @@
+// Fig. 13 — BER bias of real-time channel estimation (RTE) vs standard
+// preamble-only estimation, per symbol index, for QAM64 and QAM16.
+//
+// Paper: 4 KB frames in a 2 MHz channel (airtime of a 40 KB frame at
+// 20 MHz); RTE keeps the tail BER low — QAM64 BER at symbol 100 is
+// < 5e-3 with RTE vs > 1.5e-2 standard; overall BER reduced 65% (QAM64)
+// and 27% (QAM16). We reproduce the airtime ratio by shrinking the
+// coherence time by 10x instead of the sample rate.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace carpool;
+
+namespace {
+
+void run_modulation(Modulation mod, std::size_t bytes) {
+  Rng rng(21);
+  const std::size_t mcs_idx = bench::mcs_for_modulation(mod);
+  std::vector<SubframeSpec> subframes{SubframeSpec{
+      MacAddress::for_station(1),
+      append_fcs(bench::random_psdu(bytes, rng)), mcs_idx}};
+
+  CarpoolFrameConfig txcfg;
+  FadingConfig channel;
+  channel.snr_db = 33.0;          // office LOS link, as Fig. 3
+  channel.rician_los = true;
+  channel.rician_k_db = 10.0;
+  // 4 KB at 2 MHz has the airtime of 40 KB at 20 MHz: equivalently, the
+  // channel varies 10x faster relative to the symbol clock than the
+  // quasi-static 45 ms coherence used for Fig. 3.
+  channel.coherence_time = 4.5e-3;
+  channel.cfo_hz = 6e3;
+
+  bench::LinkRun runs[2];
+  for (const bool rte : {false, true}) {
+    CarpoolRxConfig rxcfg;
+    rxcfg.use_rte = rte;
+    runs[rte ? 1 : 0] =
+        bench::run_link(subframes, txcfg, rxcfg, channel, 40, 31);
+  }
+
+  std::printf("\n--- %s ---\n", modulation_name(mod).data());
+  std::printf("%12s %14s %14s\n", "symbol idx", "standard", "RTE");
+  const std::size_t n = runs[0].raw.errors_per_symbol.size();
+  for (std::size_t s = 0; s < n; s += n / 10 + 1) {
+    std::printf("%12zu %14.6f %14.6f\n", s + 1, runs[0].raw.ber_at(s),
+                runs[1].raw.ber_at(s));
+  }
+  const double std_ber = runs[0].raw.ber();
+  const double rte_ber = runs[1].raw.ber();
+  std::printf("overall: standard %.2e, RTE %.2e -> reduction %.0f%%\n",
+              std_ber, rte_ber,
+              std_ber > 0 ? (1.0 - rte_ber / std_ber) * 100.0 : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 13", "BER bias: RTE vs standard channel estimation",
+                "RTE flattens the BER-vs-symbol-index curve; overall BER "
+                "reduced 65%% (QAM64) and 27%% (QAM16)");
+  run_modulation(Modulation::kQam64, 4000);
+  run_modulation(Modulation::kQam16, 4000);
+  return 0;
+}

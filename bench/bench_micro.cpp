@@ -1,0 +1,155 @@
+// Microbenchmarks (google-benchmark) for the processing-latency discussion
+// in Sec. 8: A-HDR generation/check is O(h) and takes microseconds; the
+// side-channel encode is negligible next to data encoding; plus throughput
+// numbers for the heavy PHY blocks.
+
+#include <benchmark/benchmark.h>
+
+#include "carpool/bloom.hpp"
+#include "carpool/side_channel.hpp"
+#include "carpool/transceiver.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "fec/interleaver.hpp"
+#include "fec/scrambler.hpp"
+#include "fec/viterbi.hpp"
+#include "phy/frame.hpp"
+
+namespace carpool {
+namespace {
+
+Bytes random_psdu(std::size_t n, Rng& rng) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  return out;
+}
+
+void BM_Fft64(benchmark::State& state) {
+  Rng rng(1);
+  CxVec data(64);
+  for (Cx& x : data) x = Cx{rng.gaussian(), rng.gaussian()};
+  for (auto _ : state) {
+    CxVec copy = data;
+    fft_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_BloomInsert8(benchmark::State& state) {
+  // Sec. 8: A-HDR generation is O(h) per receiver, "a few microseconds".
+  for (auto _ : state) {
+    AggregationBloomFilter filter(4);
+    for (std::size_t i = 0; i < 8; ++i) {
+      filter.insert(MacAddress::for_station(static_cast<std::uint32_t>(i)),
+                    i);
+    }
+    benchmark::DoNotOptimize(&filter);
+  }
+}
+BENCHMARK(BM_BloomInsert8);
+
+void BM_BloomCheck(benchmark::State& state) {
+  AggregationBloomFilter filter(4);
+  for (std::size_t i = 0; i < 8; ++i) {
+    filter.insert(MacAddress::for_station(static_cast<std::uint32_t>(i)), i);
+  }
+  const MacAddress probe = MacAddress::for_station(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.matched_subframes(probe));
+  }
+}
+BENCHMARK(BM_BloomCheck);
+
+void BM_SideChannelEncode(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<Bits> blocks(64, Bits(288));
+  for (auto& block : blocks) {
+    for (auto& bit : block) {
+      bit = static_cast<std::uint8_t>(rng.uniform_int(2));
+    }
+  }
+  const SymbolCrcScheme scheme{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_side_channel(blocks, scheme));
+  }
+}
+BENCHMARK(BM_SideChannelEncode);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  Rng rng(3);
+  Bits data(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+  const Bits coded = ConvolutionalCode::encode_terminated(data,
+                                                          CodeRate::kHalf);
+  const SoftBits soft = bits_to_soft(coded);
+  const ViterbiDecoder decoder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        decoder.decode_punctured(soft, CodeRate::kHalf, data.size()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ViterbiDecode)->Arg(216)->Arg(1728);
+
+void BM_Interleave(benchmark::State& state) {
+  Rng rng(4);
+  const Interleaver il(288, 6);
+  Bits block(288);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(il.interleave(block));
+  }
+}
+BENCHMARK(BM_Interleave);
+
+void BM_CarpoolTxBuild(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<SubframeSpec> subframes;
+  for (std::size_t i = 0; i < 4; ++i) {
+    subframes.push_back(SubframeSpec{
+        MacAddress::for_station(static_cast<std::uint32_t>(i + 1)),
+        append_fcs(random_psdu(500, rng)), 7});
+  }
+  const CarpoolTransmitter tx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tx.build(subframes));
+  }
+}
+BENCHMARK(BM_CarpoolTxBuild);
+
+void BM_CarpoolRxDecode(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<SubframeSpec> subframes;
+  for (std::size_t i = 0; i < 4; ++i) {
+    subframes.push_back(SubframeSpec{
+        MacAddress::for_station(static_cast<std::uint32_t>(i + 1)),
+        append_fcs(random_psdu(500, rng)), 7});
+  }
+  const CarpoolTransmitter tx;
+  const CxVec wave = tx.build(subframes);
+  CarpoolRxConfig cfg;
+  cfg.self = subframes[2].receiver;
+  const CarpoolReceiver rx(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rx.receive(wave));
+  }
+}
+BENCHMARK(BM_CarpoolRxDecode);
+
+void BM_Scrambler(benchmark::State& state) {
+  Rng rng(7);
+  Bits data(12000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+  for (auto _ : state) {
+    Scrambler s(0x5D);
+    benchmark::DoNotOptimize(s.process(data));
+  }
+}
+BENCHMARK(BM_Scrambler);
+
+}  // namespace
+}  // namespace carpool
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Sec. 8 — Energy consumption analysis with the LinkSys WPC55AG power
+// model (TX 1.71 W, RX 1.66 W, idle 1.22 W).
+//
+// Paper: Bloom false positives cost at most 5.59% extra RX power; for
+// >92% of clients 90% of energy is idle listening, so a Carpool node
+// spends at most ~0.28% more energy than a standard node — while the
+// 3.2x goodput gain shortens communication time.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "mac/simulator.hpp"
+#include "traffic/generators.hpp"
+
+using namespace carpool;
+using namespace carpool::mac;
+
+namespace {
+
+SimResult run_scheme(Scheme scheme, std::size_t stas) {
+  SimConfig cfg;
+  cfg.scheme = scheme;
+  cfg.num_stas = stas;
+  cfg.duration = 12.0;
+  cfg.seed = 4242;
+  cfg.default_snr_db = 26.0;
+  Simulator sim(cfg);
+  for (NodeId sta = 1; sta <= stas; ++sta) {
+    for (auto& flow :
+         traffic::make_voip_call(sta, traffic::VoipParams::near_peak())) {
+      sim.add_flow(std::move(flow));
+    }
+  }
+  return sim.run();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sec. 8 — per-STA energy, Carpool vs 802.11 (VoIP, 24 STAs)\n");
+  constexpr std::size_t kStas = 24;
+  const SimResult carpool = run_scheme(Scheme::kCarpool, kStas);
+  const SimResult dcf = run_scheme(Scheme::kDcf80211, kStas);
+
+  RunningStats carpool_j, dcf_j, carpool_rx, dcf_rx, carpool_idle, dcf_idle;
+  for (std::size_t sta = 1; sta <= kStas; ++sta) {
+    carpool_j.add(carpool.node_energy[sta].joules);
+    dcf_j.add(dcf.node_energy[sta].joules);
+    carpool_rx.add(carpool.node_energy[sta].rx_seconds);
+    dcf_rx.add(dcf.node_energy[sta].rx_seconds);
+    carpool_idle.add(carpool.node_energy[sta].idle_seconds);
+    dcf_idle.add(dcf.node_energy[sta].idle_seconds);
+  }
+
+  std::printf("%22s %12s %12s\n", "", "Carpool", "802.11");
+  std::printf("%22s %12.3f %12.3f\n", "mean STA energy (J)",
+              carpool_j.mean(), dcf_j.mean());
+  std::printf("%22s %12.3f %12.3f\n", "mean STA RX time (s)",
+              carpool_rx.mean(), dcf_rx.mean());
+  std::printf("%22s %12.3f %12.3f\n", "mean STA idle time (s)",
+              carpool_idle.mean(), dcf_idle.mean());
+  std::printf("%22s %12.2f %12.2f\n", "goodput (Mb/s)",
+              carpool.downlink_goodput_bps / 1e6,
+              dcf.downlink_goodput_bps / 1e6);
+  std::printf("%22s %12zu %12s\n", "false-positive decodes",
+              static_cast<std::size_t>(carpool.false_positive_decodes),
+              "n/a");
+
+  const double extra =
+      (carpool_j.mean() - dcf_j.mean()) / dcf_j.mean() * 100.0;
+  std::printf("\nCarpool STA energy overhead vs 802.11: %+.2f%% "
+              "(paper bound: +0.28%% from false positives; Carpool often "
+              "nets a saving because idle time dominates and it delivers "
+              "the same traffic in less airtime)\n", extra);
+
+  // Idle-dominance check used by the paper's argument.
+  std::printf("idle share of STA energy budget (Carpool): %.0f%%\n",
+              100.0 * carpool_idle.mean() * 1.22 / carpool_j.mean());
+  return 0;
+}

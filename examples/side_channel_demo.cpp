@@ -1,0 +1,99 @@
+// Side-channel walkthrough: watch the phase offset side channel and the
+// real-time channel estimator at work on one long 64-QAM frame.
+//
+// The demo transmits a 4 KB subframe over a time-varying channel, then
+// decodes it twice from the very same samples — once with standard
+// preamble-only channel estimation, once with RTE — and prints the
+// per-symbol story: measured phase deltas, decoded CRC bits, verification
+// verdicts and the BER each decoder saw.
+
+#include <cstdio>
+
+#include "carpool/transceiver.hpp"
+#include "channel/fading.hpp"
+#include "common/rng.hpp"
+
+using namespace carpool;
+
+int main() {
+  Rng rng(99);
+  Bytes payload(4000);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  const std::vector<SubframeSpec> subframes{SubframeSpec{
+      MacAddress::for_station(1), append_fcs(payload), 7}};  // QAM64
+
+  const CarpoolTransmitter tx;
+  const CxVec wave = tx.build(subframes);
+  const std::vector<unsigned> injected =
+      expected_side_bits(subframes[0], SymbolCrcScheme{});
+
+  FadingConfig cfg;
+  cfg.snr_db = 33.0;
+  cfg.rician_los = true;
+  cfg.rician_k_db = 10.0;
+  cfg.coherence_time = 4.5e-3;
+  cfg.cfo_hz = 6e3;
+  cfg.seed = 5;
+  FadingChannel channel(cfg);
+  const CxVec rx_wave = channel.transmit(wave);
+
+  const Mcs& m = mcs(7);
+  const Bits reference =
+      code_data_bits(build_data_bits(subframes[0].psdu, m), m);
+
+  DecodedSubframe results[2];
+  for (const bool rte : {false, true}) {
+    CarpoolRxConfig rx_cfg;
+    rx_cfg.self = subframes[0].receiver;
+    rx_cfg.use_rte = rte;
+    const CarpoolReceiver rx(rx_cfg);
+    const CarpoolRxResult result = rx.receive(rx_wave);
+    if (result.subframes.empty()) {
+      std::printf("decode failed entirely\n");
+      return 1;
+    }
+    results[rte ? 1 : 0] = result.subframes.front();
+  }
+  const DecodedSubframe& rte_sub = results[1];
+
+  std::printf("Side channel, first 16 payload symbols (2-bit CRC each):\n");
+  std::printf("%8s %10s %10s %10s\n", "symbol", "injected", "decoded",
+              "verified");
+  for (std::size_t s = 0; s < 16 && s < rte_sub.side_bits.size(); ++s) {
+    std::printf("%8zu %10u %10u %10s\n", s, injected[s],
+                rte_sub.side_bits[s],
+                s < rte_sub.group_verified.size()
+                    ? (rte_sub.group_verified[s] ? "yes" : "NO")
+                    : "-");
+  }
+  std::size_t side_errors = 0;
+  for (std::size_t s = 0;
+       s < rte_sub.side_bits.size() && s < injected.size(); ++s) {
+    if (rte_sub.side_bits[s] != injected[s]) ++side_errors;
+  }
+  std::printf("side-channel symbol errors: %zu / %zu\n", side_errors,
+              rte_sub.side_bits.size());
+  std::printf("data pilots accepted (RTE updates): %zu\n",
+              rte_sub.rte_updates);
+
+  std::printf("\nPer-symbol raw BER, standard vs RTE (same received "
+              "samples):\n%8s %12s %12s\n", "symbol", "standard", "RTE");
+  const std::size_t n = results[0].raw_symbol_bits.size();
+  for (std::size_t s = 0; s < n; s += n / 12 + 1) {
+    const std::span<const std::uint8_t> want(reference.data() + s * m.n_cbps,
+                                             m.n_cbps);
+    const double std_ber =
+        static_cast<double>(
+            hamming_distance(results[0].raw_symbol_bits[s], want)) /
+        static_cast<double>(m.n_cbps);
+    const double rte_ber =
+        static_cast<double>(
+            hamming_distance(results[1].raw_symbol_bits[s], want)) /
+        static_cast<double>(m.n_cbps);
+    std::printf("%8zu %12.4f %12.4f\n", s, std_ber, rte_ber);
+  }
+  std::printf("\nFCS check: standard %s, RTE %s\n",
+              results[0].fcs_ok ? "PASS" : "fail",
+              results[1].fcs_ok ? "PASS" : "fail");
+  return 0;
+}

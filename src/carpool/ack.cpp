@@ -1,0 +1,66 @@
+#include "carpool/ack.hpp"
+
+#include <cmath>
+
+namespace carpool {
+
+CxVec build_ack(const AckInfo& info) {
+  Bytes body;
+  const auto octets = info.receiver.octets();
+  body.insert(body.end(), octets.begin(), octets.end());
+  body.push_back(info.subframe_index);
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(
+        static_cast<std::uint8_t>((info.nav_us >> (8 * i)) & 0xFFu));
+  }
+  body.push_back(0);  // pad to a stable 12-byte body
+  const LegacyTransmitter tx;
+  return tx.build(append_fcs(body), basic_mcs());
+}
+
+AckRxResult receive_ack(std::span<const Cx> waveform) {
+  AckRxResult result;
+  const LegacyReceiver rx;
+  const LegacyRxResult r = rx.receive(waveform);
+  if (!r.fcs_ok || r.psdu.size() < 12 + 4) return result;
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i) {
+    octets[static_cast<std::size_t>(i)] = r.psdu[static_cast<std::size_t>(i)];
+  }
+  result.info.receiver = MacAddress(octets);
+  result.info.subframe_index = r.psdu[6];
+  result.info.nav_us = 0;
+  for (int i = 0; i < 4; ++i) {
+    result.info.nav_us |= static_cast<std::uint32_t>(r.psdu[7 + i])
+                          << (8 * i);
+  }
+  result.valid = true;
+  return result;
+}
+
+std::uint32_t sequential_ack_nav_us(const mac::MacParams& params,
+                                    std::size_t j, std::size_t total) {
+  if (j == 0 || j > total) {
+    throw std::invalid_argument("sequential_ack_nav_us: j out of range");
+  }
+  // NAV_{N-j+1} = (N - j)(t_ACK + t_SIFS); the last ACK carries 0.
+  const double nav = static_cast<double>(total - j) *
+                     (params.ack_duration() + params.sifs);
+  return static_cast<std::uint32_t>(std::llround(nav * 1e6));
+}
+
+std::vector<AckInfo> plan_ack_sequence(
+    std::span<const SubframeSpec> subframes, const mac::MacParams& params) {
+  std::vector<AckInfo> sequence;
+  sequence.reserve(subframes.size());
+  for (std::size_t i = 0; i < subframes.size(); ++i) {
+    AckInfo info;
+    info.receiver = subframes[i].receiver;
+    info.subframe_index = static_cast<std::uint8_t>(i);
+    info.nav_us = sequential_ack_nav_us(params, i + 1, subframes.size());
+    sequence.push_back(info);
+  }
+  return sequence;
+}
+
+}  // namespace carpool

@@ -1,0 +1,49 @@
+#pragma once
+
+// PHY-level ACK frames for the sequential-ACK exchange (paper Sec. 4.2,
+// Fig. 6). An ACK is a legacy BPSK-1/2 frame carrying the ACKing
+// station's address, the subframe index it acknowledges, and a NAV that
+// counts down the remainder of the ACK sequence (the j-th ACK of N sets
+// NAV_{N-j+1}; the last sets NAV_1 = 0, matching the legacy ACK).
+//
+// The MAC simulator accounts ACKs by airtime; this module provides the
+// bit-exact frames so the full Fig. 2 flow — data, then ACKs one SIFS
+// apart — can be exercised end to end on waveforms (see the quickstart
+// and tests).
+
+#include <optional>
+
+#include "carpool/transceiver.hpp"
+#include "dsp/complex_vec.hpp"
+#include "mac/params.hpp"
+
+namespace carpool {
+
+struct AckInfo {
+  MacAddress receiver;            ///< who is ACKing
+  std::uint8_t subframe_index = 0;///< which subframe it acknowledges
+  std::uint32_t nav_us = 0;       ///< remaining ACK-sequence reservation
+};
+
+/// Build an ACK waveform (legacy PPDU at the basic rate).
+CxVec build_ack(const AckInfo& info);
+
+struct AckRxResult {
+  bool valid = false;
+  AckInfo info;
+};
+
+/// Decode an ACK waveform.
+AckRxResult receive_ack(std::span<const Cx> waveform);
+
+/// The NAV (microseconds) the j-th of `total` sequential ACKs must carry:
+/// the airtime of the ACKs still to come (Sec. 4.2). j is 1-based.
+std::uint32_t sequential_ack_nav_us(const mac::MacParams& params,
+                                    std::size_t j, std::size_t total);
+
+/// Plan the full ACK sequence for a decoded Carpool frame: one AckInfo per
+/// subframe, in transmission order, with correct NAVs.
+std::vector<AckInfo> plan_ack_sequence(
+    std::span<const SubframeSpec> subframes, const mac::MacParams& params);
+
+}  // namespace carpool

@@ -1,0 +1,61 @@
+#include "carpool/ahdr.hpp"
+
+#include <stdexcept>
+
+#include "fec/convolutional.hpp"
+#include "fec/interleaver.hpp"
+#include "fec/viterbi.hpp"
+#include "phy/constellation.hpp"
+
+namespace carpool {
+namespace {
+
+const Interleaver& ahdr_interleaver() {
+  static const Interleaver il{48, 1};
+  return il;
+}
+
+}  // namespace
+
+std::array<CxVec, kAhdrSymbols> encode_ahdr(
+    const AggregationBloomFilter& filter) {
+  const Bits bits = filter.to_bits();
+  const Bits coded = ConvolutionalCode::encode(bits);  // 96 bits
+  const Constellation& bpsk = constellation(Modulation::kBpsk);
+  std::array<CxVec, kAhdrSymbols> symbols;
+  for (std::size_t s = 0; s < kAhdrSymbols; ++s) {
+    const Bits block = ahdr_interleaver().interleave(
+        std::span<const std::uint8_t>(coded).subspan(48 * s, 48));
+    symbols[s] = bpsk.map_all(block);
+  }
+  return symbols;
+}
+
+Bits decode_ahdr(std::span<const Cx> symbol0, std::span<const double> gains0,
+                 std::span<const Cx> symbol1,
+                 std::span<const double> gains1) {
+  if (symbol0.size() != 48 || symbol1.size() != 48) {
+    throw std::invalid_argument("decode_ahdr: need 48-point symbols");
+  }
+  const Constellation& bpsk = constellation(Modulation::kBpsk);
+  SoftBits soft;
+  soft.reserve(96);
+  SoftBits interleaved;
+  interleaved.reserve(48);
+  for (std::size_t i = 0; i < 48; ++i) {
+    bpsk.demap_soft(symbol0[i], gains0[i], interleaved);
+  }
+  SoftBits block = ahdr_interleaver().deinterleave(interleaved);
+  soft.insert(soft.end(), block.begin(), block.end());
+  interleaved.clear();
+  for (std::size_t i = 0; i < 48; ++i) {
+    bpsk.demap_soft(symbol1[i], gains1[i], interleaved);
+  }
+  block = ahdr_interleaver().deinterleave(interleaved);
+  soft.insert(soft.end(), block.begin(), block.end());
+
+  static const ViterbiDecoder viterbi;
+  return viterbi.decode(soft, /*terminated=*/false);
+}
+
+}  // namespace carpool

@@ -1,0 +1,28 @@
+#pragma once
+
+// A-HDR on the air: the 48 Bloom-filter bits are convolutionally encoded
+// at rate 1/2 (the most robust setting, like SIG) into 96 coded bits and
+// sent as two BPSK OFDM symbols placed right after the preamble — before
+// any subframe — so irrelevant STAs can drop the frame without decoding
+// payload (paper Sec. 4.1, Fig. 4).
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "carpool/bloom.hpp"
+#include "dsp/complex_vec.hpp"
+
+namespace carpool {
+
+inline constexpr std::size_t kAhdrSymbols = 2;
+
+/// Encode the filter into two 48-point BPSK symbol payloads.
+std::array<CxVec, kAhdrSymbols> encode_ahdr(
+    const AggregationBloomFilter& filter);
+
+/// Decode the 48 filter bits from the two equalized A-HDR symbols.
+Bits decode_ahdr(std::span<const Cx> symbol0, std::span<const double> gains0,
+                 std::span<const Cx> symbol1, std::span<const double> gains1);
+
+}  // namespace carpool

@@ -1,0 +1,47 @@
+#pragma once
+
+// Backward compatibility (paper Sec. 4.3): Carpool nodes must recognise
+// both Carpool frames and legacy 802.11 frames on the same channel.
+//
+// The discriminator exploits the frame layouts:
+//   legacy:  [preamble][SIG][data...]         SIG at the 1st symbol
+//   carpool: [preamble][A-HDR x2][SIG0]...    SIG at the 3rd symbol
+// A legacy SIG carries a parity bit and a closed set of RATE codes, so a
+// random A-HDR symbol decodes as a valid SIG only rarely; we check both
+// hypotheses and prefer legacy on a tie (a legacy frame must never be
+// mistaken, or legacy interop breaks).
+
+#include <optional>
+
+#include "carpool/transceiver.hpp"
+#include "phy/frame.hpp"
+
+namespace carpool {
+
+enum class FrameKind { kLegacy, kCarpool, kUndecodable };
+
+/// Classify a received waveform starting at sample 0.
+FrameKind classify_waveform(std::span<const Cx> waveform);
+
+/// A receiver that handles both frame formats: classifies, then decodes
+/// with the right chain. Legacy frames addressed to anyone are returned
+/// whole (MAC filtering is the caller's job, as on real NICs).
+struct UniversalRxResult {
+  FrameKind kind = FrameKind::kUndecodable;
+  std::optional<LegacyRxResult> legacy;
+  std::optional<CarpoolRxResult> carpool;
+};
+
+class UniversalReceiver {
+ public:
+  explicit UniversalReceiver(CarpoolRxConfig config)
+      : carpool_rx_(std::move(config)) {}
+
+  [[nodiscard]] UniversalRxResult receive(std::span<const Cx> waveform) const;
+
+ private:
+  CarpoolReceiver carpool_rx_;
+  LegacyReceiver legacy_rx_;
+};
+
+}  // namespace carpool

@@ -1,0 +1,52 @@
+#pragma once
+
+// Carpool over MU-MIMO (paper Sec. 8, Fig. 18): multiple beamformed
+// stream-groups share a single legacy preamble and A-HDR. A two-antenna AP
+// with four single-antenna users sends {A,B} as spatial streams of
+// subframe group 1 and {C,D} as group 2 — one Carpool transmission where
+// 802.11ac MU-MIMO needs at least two.
+//
+// This extension is simulated at the frequency-domain level: per-subcarrier
+// zero-forcing precoding against Rayleigh user channels, AWGN at the
+// receivers, and airtime accounting for the shared-preamble structure.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/complex_vec.hpp"
+#include "phy/constellation.hpp"
+#include "phy/ofdm.hpp"
+
+namespace carpool {
+
+struct MuMimoConfig {
+  std::size_t num_tx_antennas = 2;  ///< AP antennas = streams per group
+  std::size_t num_groups = 2;       ///< subframe groups (Fig. 18: {A,B},{C,D})
+  std::size_t symbols_per_group = 20;
+  Modulation modulation = Modulation::kQam16;
+  double snr_db = 25.0;
+  /// Channel estimation error at the AP (relative), which degrades the
+  /// zero-forcing precoder — 0 is ideal CSI.
+  double csi_error = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct MuMimoResult {
+  std::vector<double> user_ber;       ///< one per user (groups x antennas)
+  double mean_ber = 0.0;
+  std::size_t carpool_symbols = 0;    ///< aggregated frame length (symbols,
+                                      ///< incl. shared preamble + A-HDR)
+  std::size_t legacy_symbols = 0;     ///< total for per-group transmissions
+  [[nodiscard]] double airtime_saving() const {
+    return legacy_symbols == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(carpool_symbols) /
+                           static_cast<double>(legacy_symbols);
+  }
+};
+
+/// Simulate one MU-MIMO Carpool aggregate transmission.
+MuMimoResult simulate_mumimo(const MuMimoConfig& config);
+
+}  // namespace carpool

@@ -1,0 +1,54 @@
+#pragma once
+
+// Multicast RTS/CTS for hidden-terminal mitigation (paper Sec. 4.2,
+// Fig. 7): the AP sends one RTS that carries the same A-HDR as the
+// upcoming data frame; the named receivers answer with a sequence of
+// legacy CTS frames whose NAVs cover the rest of the exchange. Receivers
+// derive their CTS slot from their subframe position, exactly like
+// sequential ACKs.
+
+#include <optional>
+
+#include "carpool/bloom.hpp"
+#include "carpool/transceiver.hpp"
+#include "dsp/complex_vec.hpp"
+
+namespace carpool {
+
+/// RTS body carried after the A-HDR: transmitter address + the duration
+/// (microseconds, rounded) the whole exchange will occupy, + FCS.
+struct RtsInfo {
+  MacAddress transmitter;
+  std::uint32_t duration_us = 0;
+};
+
+/// Build a Carpool RTS waveform: preamble + A-HDR (same filter as the data
+/// frame would carry) + one BPSK-1/2 subframe holding the RTS body.
+CxVec build_carpool_rts(std::span<const SubframeSpec> data_subframes,
+                        const RtsInfo& info, std::size_t bloom_hashes = 4);
+
+struct CarpoolRtsResult {
+  bool valid = false;              ///< body decoded and FCS passed
+  RtsInfo info;
+  std::vector<std::size_t> my_slots;  ///< CTS/ACK order positions for self
+};
+
+/// Decode an RTS at a station; `self` determines the matched CTS slots.
+CarpoolRtsResult receive_carpool_rts(std::span<const Cx> waveform,
+                                     const MacAddress& self,
+                                     std::size_t bloom_hashes = 4);
+
+/// Build a legacy CTS (14-byte body at the basic rate). `nav_us` indicates
+/// the end of the whole sequential-ACK sequence per Sec. 4.2.
+CxVec build_cts(const MacAddress& receiver, std::uint32_t nav_us);
+
+struct CtsResult {
+  bool valid = false;
+  MacAddress receiver;
+  std::uint32_t nav_us = 0;
+};
+
+/// Decode a legacy CTS waveform.
+CtsResult receive_cts(std::span<const Cx> waveform);
+
+}  // namespace carpool

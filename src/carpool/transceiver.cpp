@@ -1,0 +1,353 @@
+#include "carpool/transceiver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fec/interleaver.hpp"
+#include "phy/equalizer.hpp"
+
+namespace carpool {
+namespace {
+
+const Interleaver& bpsk_interleaver() {
+  static const Interleaver il{48, 1};
+  return il;
+}
+
+const Interleaver& interleaver_for(const Mcs& m) {
+  static const Interleaver il_bpsk{48, 1};
+  static const Interleaver il_qpsk{96, 2};
+  static const Interleaver il_qam16{192, 4};
+  static const Interleaver il_qam64{288, 6};
+  switch (m.modulation) {
+    case Modulation::kBpsk:
+      return il_bpsk;
+    case Modulation::kQpsk:
+      return il_qpsk;
+    case Modulation::kQam16:
+      return il_qam16;
+    case Modulation::kQam64:
+      return il_qam64;
+  }
+  throw std::logic_error("unknown modulation");
+}
+
+/// Re-modulate hard (deinterleaved) coded bits back into the transmitted
+/// constellation points — the "known pilot" reconstruction of Sec. 5.1.
+CxVec remap_symbol(const Bits& deinterleaved, const Mcs& m) {
+  const Bits interleaved = interleaver_for(m).interleave(deinterleaved);
+  return constellation(m.modulation).map_all(interleaved);
+}
+
+CxVec remap_bpsk48(const Bits& deinterleaved) {
+  const Bits interleaved = bpsk_interleaver().interleave(deinterleaved);
+  return constellation(Modulation::kBpsk).map_all(interleaved);
+}
+
+/// Hard demap a 48-point BPSK symbol and deinterleave (SIG / A-HDR path).
+Bits demap_bpsk48_hard(std::span<const Cx> points) {
+  const Constellation& bpsk = constellation(Modulation::kBpsk);
+  Bits interleaved;
+  interleaved.reserve(48);
+  for (const Cx& p : points) {
+    interleaved.push_back(bpsk.demap_hard(p)[0]);
+  }
+  return bpsk_interleaver().deinterleave(
+      std::span<const std::uint8_t>(interleaved));
+}
+
+void validate_subframes(std::span<const SubframeSpec> subframes) {
+  if (subframes.empty()) {
+    throw std::invalid_argument("Carpool frame needs at least one subframe");
+  }
+  if (subframes.size() > kMaxReceivers) {
+    throw std::invalid_argument("Carpool frame exceeds kMaxReceivers");
+  }
+  for (const SubframeSpec& s : subframes) {
+    if (s.psdu.empty() || s.psdu.size() > kMaxSigLength) {
+      throw std::invalid_argument("subframe PSDU size out of range");
+    }
+    (void)mcs(s.mcs_index);  // throws on bad index
+  }
+}
+
+/// A verified symbol buffered until its CRC group completes.
+struct PendingPilot {
+  CxVec bins;       // raw 64 frequency bins
+  CxVec points;     // reconstructed transmitted points (48)
+  double phase;     // measured common phase
+  std::size_t symbol_index;
+  double evm;       // equalized points vs re-modulated reference
+};
+
+/// Eq. (3): fold a data-pilot estimate into the running channel estimate
+/// (alpha = 0.5 reproduces the paper's 50/50 average).
+void rte_update(CxVec& h, const PendingPilot& pilot, double alpha) {
+  const CxVec ref = reference_bins(pilot.points, pilot.symbol_index, 0.0);
+  const Cx derotate = cx_exp(-pilot.phase);
+  auto update_bin = [&](std::size_t bin) {
+    if (ref[bin] == Cx{}) return;
+    const Cx estimate = pilot.bins[bin] * derotate / ref[bin];
+    h[bin] = (1.0 - alpha) * h[bin] + alpha * estimate;
+  };
+  for (const std::size_t bin : data_bins()) update_bin(bin);
+  for (const std::size_t bin : pilot_bins()) update_bin(bin);
+}
+
+}  // namespace
+
+CarpoolTransmitter::CarpoolTransmitter(CarpoolFrameConfig config)
+    : config_(config) {}
+
+std::size_t CarpoolTransmitter::frame_symbols(
+    std::span<const SubframeSpec> subframes) {
+  std::size_t symbols = kAhdrSymbols;
+  for (const SubframeSpec& s : subframes) {
+    symbols += 1 + num_data_symbols(mcs(s.mcs_index), s.psdu.size());
+  }
+  return symbols;
+}
+
+double CarpoolTransmitter::frame_airtime(
+    std::span<const SubframeSpec> subframes) {
+  const double preamble =
+      static_cast<double>(kPreambleLen) / kSampleRate;
+  return preamble +
+         static_cast<double>(frame_symbols(subframes)) * kSymbolDuration;
+}
+
+CxVec CarpoolTransmitter::build(std::span<const SubframeSpec> subframes) const {
+  validate_subframes(subframes);
+
+  AggregationBloomFilter bloom(config_.bloom_hashes);
+  for (std::size_t i = 0; i < subframes.size(); ++i) {
+    bloom.insert(subframes[i].receiver, i);
+  }
+
+  CxVec wave = preamble_waveform();
+  std::size_t sym_idx = 0;
+  for (const CxVec& points : encode_ahdr(bloom)) {
+    const CxVec sym = assemble_symbol(points, sym_idx++);
+    wave.insert(wave.end(), sym.begin(), sym.end());
+  }
+
+  double cumulative = 0.0;
+  for (const SubframeSpec& spec : subframes) {
+    const Mcs& m = mcs(spec.mcs_index);
+    const SigInfo sig{spec.mcs_index, spec.psdu.size()};
+
+    const Bits data_bits = build_data_bits(spec.psdu, m);
+    const Bits coded = code_data_bits(data_bits, m);
+
+    // Per-symbol coded-bit blocks for the side channel: the SIG's block
+    // followed by each data symbol's n_cbps slice.
+    std::vector<Bits> blocks;
+    blocks.push_back(sig_coded_bits(sig));
+    for (std::size_t off = 0; off < coded.size(); off += m.n_cbps) {
+      blocks.emplace_back(coded.begin() + static_cast<long>(off),
+                          coded.begin() + static_cast<long>(off + m.n_cbps));
+    }
+
+    std::vector<double> offsets(blocks.size(), 0.0);
+    if (config_.inject_side_channel) {
+      offsets = encode_side_channel(blocks, config_.crc_scheme, cumulative);
+      cumulative = offsets.back();
+    }
+
+    const CxVec sig_sym =
+        assemble_symbol(encode_sig(sig), sym_idx, offsets[0]);
+    wave.insert(wave.end(), sig_sym.begin(), sig_sym.end());
+    ++sym_idx;
+
+    const std::vector<CxVec> symbols = modulate_coded(coded, m);
+    for (std::size_t j = 0; j < symbols.size(); ++j) {
+      const CxVec sym =
+          assemble_symbol(symbols[j], sym_idx, offsets[j + 1]);
+      wave.insert(wave.end(), sym.begin(), sym.end());
+      ++sym_idx;
+    }
+  }
+  return wave;
+}
+
+CarpoolReceiver::CarpoolReceiver(CarpoolRxConfig config)
+    : config_(config) {
+  if (config.crc_scheme.group_symbols == 0) {
+    throw std::invalid_argument("CarpoolReceiver: empty CRC group");
+  }
+}
+
+CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
+  CarpoolRxResult result;
+  if (waveform.size() < kPreambleLen + kAhdrSymbols * kSymbolLen) {
+    return result;
+  }
+  const Frontend fe = receive_frontend(waveform);
+  const std::span<const Cx> wave(fe.corrected);
+  CxVec h = fe.h;  // running channel estimate H~
+
+  std::size_t pos = fe.data_start;
+  std::size_t sym_idx = 0;
+
+  // A-HDR (two BPSK symbols, never phase-injected).
+  const CxVec bins0 = extract_symbol(wave.subspan(pos, kSymbolLen));
+  const SymbolEqualization eq0 = equalize_symbol(bins0, h, sym_idx++);
+  pos += kSymbolLen;
+  const CxVec bins1 = extract_symbol(wave.subspan(pos, kSymbolLen));
+  const SymbolEqualization eq1 = equalize_symbol(bins1, h, sym_idx++);
+  pos += kSymbolLen;
+
+  const Bits ahdr_bits =
+      decode_ahdr(eq0.data, eq0.gains, eq1.data, eq1.gains);
+  result.ahdr_decoded = true;
+  const auto bloom =
+      AggregationBloomFilter::from_bits(ahdr_bits, config_.bloom_hashes);
+  result.matched = bloom.matched_subframes(config_.self);
+  if (result.matched.empty()) return result;  // drop without decoding
+  const std::size_t last_wanted = result.matched.back();
+
+  double prev_phase = eq1.phase_offset;
+  std::size_t k = 0;  // subframe index while walking
+
+  while (pos + kSymbolLen <= wave.size() && k <= last_wanted) {
+    const CxVec sig_bins = extract_symbol(wave.subspan(pos, kSymbolLen));
+    const SymbolEqualization sig_eq = equalize_symbol(sig_bins, h, sym_idx);
+    const auto sig = decode_sig(sig_eq.data, sig_eq.gains);
+    if (!sig) break;  // cannot locate further subframes
+    ++result.subframes_walked;
+
+    const Mcs& m = mcs(sig->mcs_index);
+    const std::size_t n_sym = num_data_symbols(m, sig->length_bytes);
+    if (pos + (1 + n_sym) * kSymbolLen > wave.size()) break;  // truncated
+
+    const bool mine = std::find(result.matched.begin(), result.matched.end(),
+                                k) != result.matched.end();
+    if (!mine) {
+      // Skip: track the common phase only (cheap, keeps the side-channel
+      // reference chain alive and mirrors the paper's sampling-without-
+      // decoding energy optimisation).
+      double phase = sig_eq.phase_offset;
+      for (std::size_t j = 0; j < n_sym; ++j) {
+        const std::size_t off = pos + (1 + j) * kSymbolLen;
+        const CxVec bins = extract_symbol(wave.subspan(off, kSymbolLen));
+        phase = equalize_symbol(bins, h, sym_idx + 1 + j).phase_offset;
+      }
+      prev_phase = phase;
+      result.symbols_pilot_only += 1 + n_sym;
+      pos += (1 + n_sym) * kSymbolLen;
+      sym_idx += 1 + n_sym;
+      ++k;
+      continue;
+    }
+
+    // Decode this subframe.
+    DecodedSubframe sub;
+    sub.index = k;
+    sub.sig = *sig;
+
+    SideChannelDecoder side(config_.crc_scheme);
+    side.set_reference_phase(prev_phase);
+    std::vector<PendingPilot> pending;
+
+    auto handle_side = [&](const SideChannelDecoder::SymbolOutcome& outcome) {
+      if (!outcome.group_verified.has_value()) return;
+      sub.group_verified.push_back(*outcome.group_verified);
+      if (*outcome.group_verified && config_.use_rte) {
+        for (const PendingPilot& pilot : pending) {
+          if (config_.pilot_evm_gate > 0.0 &&
+              pilot.evm > config_.pilot_evm_gate) {
+            continue;  // likely a CRC false accept; do not touch H~
+          }
+          rte_update(h, pilot, config_.rte_alpha);
+          ++sub.rte_updates;
+        }
+      }
+      pending.clear();
+    };
+
+    if (config_.side_channel_present) {
+      const Bits sig_hard = demap_bpsk48_hard(sig_eq.data);
+      const auto outcome = side.next_symbol(sig_eq.phase_offset, sig_hard);
+      sub.side_bits.push_back(outcome.side_bits);
+      CxVec sig_ref = remap_bpsk48(sig_hard);
+      const double sig_evm = evm(sig_eq.data, sig_ref);
+      pending.push_back(PendingPilot{sig_bins, std::move(sig_ref),
+                                     sig_eq.phase_offset, sym_idx, sig_evm});
+      handle_side(outcome);
+    }
+    prev_phase = sig_eq.phase_offset;
+
+    SoftBits soft;
+    soft.reserve(n_sym * m.n_cbps);
+    for (std::size_t j = 0; j < n_sym; ++j) {
+      const std::size_t off = pos + (1 + j) * kSymbolLen;
+      const CxVec bins = extract_symbol(wave.subspan(off, kSymbolLen));
+      const SymbolEqualization eq = equalize_symbol(bins, h, sym_idx + 1 + j);
+      const Bits hard = demap_symbol_hard(eq.data, m);
+      sub.raw_symbol_bits.push_back(hard);
+      demap_symbol_soft(eq.data, eq.gains, m, soft);
+
+      if (config_.side_channel_present) {
+        const auto outcome = side.next_symbol(eq.phase_offset, hard);
+        sub.side_bits.push_back(outcome.side_bits);
+        CxVec ref = remap_symbol(hard, m);
+        const double sym_evm = evm(eq.data, ref);
+        pending.push_back(PendingPilot{bins, std::move(ref),
+                                       eq.phase_offset, sym_idx + 1 + j,
+                                       sym_evm});
+        handle_side(outcome);
+      }
+      prev_phase = eq.phase_offset;
+    }
+
+    auto psdu = decode_data_bits(soft, m, sig->length_bytes);
+    if (psdu) {
+      sub.decoded = true;
+      sub.psdu = std::move(*psdu);
+      sub.fcs_ok = check_fcs(sub.psdu);
+    }
+    result.symbols_full_decoded += 1 + n_sym;
+    result.subframes.push_back(std::move(sub));
+
+    pos += (1 + n_sym) * kSymbolLen;
+    sym_idx += 1 + n_sym;
+    ++k;
+  }
+  return result;
+}
+
+std::vector<unsigned> expected_side_bits(const SubframeSpec& spec,
+                                         const SymbolCrcScheme& scheme) {
+  const Mcs& m = mcs(spec.mcs_index);
+  const SigInfo sig{spec.mcs_index, spec.psdu.size()};
+  const Bits coded = code_data_bits(build_data_bits(spec.psdu, m), m);
+
+  std::vector<Bits> blocks;
+  blocks.push_back(sig_coded_bits(sig));
+  for (std::size_t off = 0; off < coded.size(); off += m.n_cbps) {
+    blocks.emplace_back(coded.begin() + static_cast<long>(off),
+                        coded.begin() + static_cast<long>(off + m.n_cbps));
+  }
+
+  const std::size_t bits_per_sym = side_bits_per_symbol(scheme.mod);
+  const BitCrc& crc = crc_for_width(scheme.crc_width());
+  std::vector<unsigned> out;
+  out.reserve(blocks.size());
+  for (std::size_t g = 0; g < blocks.size(); g += scheme.group_symbols) {
+    Bits group;
+    const std::size_t end =
+        std::min(g + scheme.group_symbols, blocks.size());
+    for (std::size_t s = g; s < end; ++s) {
+      group.insert(group.end(), blocks[s].begin(), blocks[s].end());
+    }
+    const std::uint16_t checksum = crc.compute(group);
+    for (std::size_t s = g; s < end; ++s) {
+      const std::size_t pos = (s - g) * bits_per_sym;
+      out.push_back(static_cast<unsigned>(checksum >> pos) &
+                    ((1u << bits_per_sym) - 1u));
+    }
+  }
+  return out;
+}
+
+}  // namespace carpool

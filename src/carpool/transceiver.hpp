@@ -1,0 +1,125 @@
+#pragma once
+
+// The Carpool PHY transceiver (paper Sections 3-6).
+//
+// Frame on the air (Fig. 4):
+//   [preamble][A-HDR: 2 sym][SIG_0][data_0 ...][SIG_1][data_1 ...] ...
+//
+// Each subframe has its own SIG (MCS + length, so receivers can skip
+// subframes they do not own) and its own scrambled/coded payload. The
+// phase offset side channel runs over every post-A-HDR symbol, carrying a
+// symbol-level CRC; receivers use verified symbols as data pilots for
+// real-time channel estimation (RTE, Sec. 5.1):
+//     H~_n = (H~_{n-1} + H^_n)/2   if symbol n verified.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "carpool/ahdr.hpp"
+#include "carpool/side_channel.hpp"
+#include "common/mac_address.hpp"
+#include "phy/frame.hpp"
+
+namespace carpool {
+
+/// One receiver's share of a Carpool frame.
+struct SubframeSpec {
+  MacAddress receiver;
+  Bytes psdu;              ///< MAC data unit incl. FCS (1..4095 bytes)
+  std::size_t mcs_index = 0;
+};
+
+struct CarpoolFrameConfig {
+  SymbolCrcScheme crc_scheme{};        ///< side-channel scheme
+  bool inject_side_channel = true;     ///< false = plain PHY (baselines)
+  std::size_t bloom_hashes = 4;        ///< h (paper fixes 4 for N <= 8)
+};
+
+class CarpoolTransmitter {
+ public:
+  explicit CarpoolTransmitter(CarpoolFrameConfig config = {});
+
+  /// Build the aggregate waveform. Throws std::invalid_argument if there
+  /// are no subframes, more than kMaxReceivers, or any PSDU is oversized.
+  [[nodiscard]] CxVec build(std::span<const SubframeSpec> subframes) const;
+
+  /// OFDM symbol count after the preamble (A-HDR + per-subframe SIG+data).
+  static std::size_t frame_symbols(std::span<const SubframeSpec> subframes);
+
+  /// Airtime of the whole frame in seconds.
+  static double frame_airtime(std::span<const SubframeSpec> subframes);
+
+  [[nodiscard]] const CarpoolFrameConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  CarpoolFrameConfig config_;
+};
+
+struct CarpoolRxConfig {
+  MacAddress self;
+  bool use_rte = true;             ///< update H from verified data pilots
+  bool side_channel_present = true;///< frame carries injected offsets
+  SymbolCrcScheme crc_scheme{};
+  std::size_t bloom_hashes = 4;
+  /// Data-pilot sanity gate: a CRC-verified symbol is only used as a data
+  /// pilot when its error vector magnitude against the re-modulated points
+  /// is below this threshold. Precaution against CRC-2 false accepts
+  /// (~25% of corrupted symbols) contaminating the channel estimate;
+  /// measured effect in operational regimes is neutral (see
+  /// bench_ablation). 0 disables the gate.
+  double pilot_evm_gate = 0.35;
+  /// Weight of the new data-pilot estimate in the Eq. (3) update
+  /// H~ = (1-a) H~ + a H^. The paper uses a = 0.5; the ablation bench
+  /// sweeps it.
+  double rte_alpha = 0.5;
+};
+
+/// Decode outcome of one matched subframe.
+struct DecodedSubframe {
+  std::size_t index = 0;
+  SigInfo sig;
+  bool decoded = false;  ///< PSDU extracted
+  bool fcs_ok = false;
+  Bytes psdu;
+  std::vector<Bits> raw_symbol_bits;   ///< hard coded bits per data symbol
+  std::vector<bool> group_verified;    ///< side-channel verdicts (per group)
+  std::vector<unsigned> side_bits;     ///< decoded side-channel bits per
+                                       ///< symbol (SIG first, then data)
+  std::size_t rte_updates = 0;         ///< symbols that served as data pilots
+};
+
+struct CarpoolRxResult {
+  bool ahdr_decoded = false;
+  std::vector<std::size_t> matched;      ///< Bloom-matched subframe indices
+  std::vector<DecodedSubframe> subframes;///< decodes of reachable matches
+  std::size_t subframes_walked = 0;      ///< SIGs read while scanning
+  std::size_t symbols_full_decoded = 0;  ///< payload symbols demodulated
+  std::size_t symbols_pilot_only = 0;    ///< skipped (pilot tracking only)
+};
+
+class CarpoolReceiver {
+ public:
+  explicit CarpoolReceiver(CarpoolRxConfig config);
+
+  /// Decode a received Carpool waveform starting at sample 0.
+  [[nodiscard]] CarpoolRxResult receive(std::span<const Cx> waveform) const;
+
+  [[nodiscard]] const CarpoolRxConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  CarpoolRxConfig config_;
+};
+
+/// The side-channel bits a transmitter injects for one subframe (SIG
+/// symbol first, then each data symbol), given the scheme. Used by tests
+/// and benches to measure side-channel BER against the decoded bits.
+std::vector<unsigned> expected_side_bits(const SubframeSpec& spec,
+                                         const SymbolCrcScheme& scheme);
+
+}  // namespace carpool

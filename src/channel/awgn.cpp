@@ -1,0 +1,23 @@
+#include "channel/awgn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace carpool {
+
+void add_awgn(std::span<Cx> samples, double noise_power, Rng& rng) {
+  if (noise_power < 0.0) throw std::invalid_argument("negative noise power");
+  if (noise_power == 0.0) return;
+  const double sigma = std::sqrt(noise_power / 2.0);
+  for (Cx& s : samples) {
+    s += Cx{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+  }
+}
+
+double noise_power_for_snr(double signal_power, double snr_db) {
+  return signal_power / db_to_linear(snr_db);
+}
+
+}  // namespace carpool

@@ -1,0 +1,19 @@
+#pragma once
+
+// Additive white Gaussian noise.
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "dsp/complex_vec.hpp"
+
+namespace carpool {
+
+/// Add circularly-symmetric complex Gaussian noise of total power
+/// `noise_power` (variance split evenly between I and Q) to `samples`.
+void add_awgn(std::span<Cx> samples, double noise_power, Rng& rng);
+
+/// Noise power that yields `snr_db` for a signal of power `signal_power`.
+double noise_power_for_snr(double signal_power, double snr_db);
+
+}  // namespace carpool

@@ -1,0 +1,137 @@
+#include "channel/fading.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+
+namespace carpool {
+
+FadingChannel::FadingChannel(const FadingConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config.num_taps == 0) {
+    throw std::invalid_argument("FadingChannel: num_taps must be >= 1");
+  }
+  if (config.coherence_time <= 0.0 || config.sample_rate <= 0.0 ||
+      config.update_interval == 0) {
+    throw std::invalid_argument("FadingChannel: invalid timing config");
+  }
+  if (config.tap_decay <= 0.0 || config.tap_decay > 1.0) {
+    throw std::invalid_argument("FadingChannel: tap_decay in (0,1]");
+  }
+  const double dt =
+      static_cast<double>(config.update_interval) / config.sample_rate;
+  rho_ = std::exp(-dt / config.coherence_time);
+  cfo_step_ = kTwoPi * config.cfo_hz / config.sample_rate;
+  init_taps();
+}
+
+void FadingChannel::init_taps() {
+  const std::size_t L = config_.num_taps;
+  // Exponential power-delay profile, normalised to unit total power.
+  std::vector<double> power(L);
+  double total = 0.0;
+  for (std::size_t l = 0; l < L; ++l) {
+    power[l] = std::pow(config_.tap_decay, static_cast<double>(l));
+    total += power[l];
+  }
+  for (double& p : power) p /= total;
+
+  double los_fraction = 0.0;
+  if (config_.rician_los) {
+    const double k = db_to_linear(config_.rician_k_db);
+    los_fraction = k / (k + 1.0);
+  }
+  scatter_scale_ = 1.0 - los_fraction;
+
+  taps_.assign(L, Cx{});
+  los_taps_.assign(L, Cx{});
+  // The LOS ray arrives on the first tap with a random but fixed phase.
+  if (config_.rician_los) {
+    los_taps_[0] = cx_exp(rng_.uniform(0.0, kTwoPi)) *
+                   std::sqrt(power[0] * los_fraction);
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    const double sigma = std::sqrt(power[l] * scatter_scale_ / 2.0);
+    taps_[l] = los_taps_[l] +
+               Cx{rng_.gaussian(0.0, sigma), rng_.gaussian(0.0, sigma)};
+  }
+}
+
+void FadingChannel::evolve(std::size_t samples) {
+  samples_since_update_ += samples;
+  while (samples_since_update_ >= config_.update_interval) {
+    samples_since_update_ -= config_.update_interval;
+    const std::size_t L = config_.num_taps;
+    std::vector<double> power(L);
+    double total = 0.0;
+    for (std::size_t l = 0; l < L; ++l) {
+      power[l] = std::pow(config_.tap_decay, static_cast<double>(l));
+      total += power[l];
+    }
+    const double innovation = std::sqrt(1.0 - rho_ * rho_);
+    for (std::size_t l = 0; l < L; ++l) {
+      const double p = power[l] / total * scatter_scale_;
+      const double sigma = std::sqrt(p / 2.0);
+      const Cx diffuse = taps_[l] - los_taps_[l];
+      taps_[l] = los_taps_[l] + rho_ * diffuse +
+                 innovation * Cx{rng_.gaussian(0.0, sigma),
+                                 rng_.gaussian(0.0, sigma)};
+    }
+  }
+}
+
+CxVec FadingChannel::transmit(std::span<const Cx> tx) {
+  // Receiver timing offset: prepend zeros so every sample appears `k`
+  // positions late from the receiver's point of view.
+  CxVec delayed;
+  if (config_.timing_offset_samples > 0) {
+    delayed.assign(config_.timing_offset_samples, Cx{});
+    delayed.insert(delayed.end(), tx.begin(), tx.end());
+    delayed.resize(tx.size());  // receiver window stays the same length
+    tx = delayed;
+  }
+  CxVec rx(tx.size());
+  const std::size_t L = config_.num_taps;
+  std::size_t processed = 0;
+  while (processed < tx.size()) {
+    const std::size_t chunk =
+        std::min(tx.size() - processed,
+                 config_.update_interval - samples_since_update_);
+    for (std::size_t n = processed; n < processed + chunk; ++n) {
+      Cx acc{};
+      for (std::size_t l = 0; l < L && l <= n; ++l) {
+        acc += taps_[l] * tx[n - l];
+      }
+      acc *= cx_exp(cfo_phase_);
+      cfo_phase_ = wrap_angle(cfo_phase_ + cfo_step_);
+      rx[n] = acc;
+    }
+    evolve(chunk);
+    processed += chunk;
+  }
+
+  const double signal_power = mean_power(tx);
+  if (signal_power > 0.0) {
+    add_awgn(rx, noise_power_for_snr(signal_power, config_.snr_db), rng_);
+  }
+  return rx;
+}
+
+void FadingChannel::idle(double seconds) {
+  if (seconds < 0.0) throw std::invalid_argument("idle: negative duration");
+  const auto samples = static_cast<std::size_t>(seconds * config_.sample_rate);
+  evolve(samples);
+  cfo_phase_ = wrap_angle(cfo_phase_ +
+                          cfo_step_ * static_cast<double>(samples));
+}
+
+CxVec FadingChannel::frequency_response(std::size_t n) const {
+  CxVec padded(n, Cx{});
+  for (std::size_t l = 0; l < taps_.size() && l < n; ++l) padded[l] = taps_[l];
+  fft_inplace(padded);
+  return padded;
+}
+
+}  // namespace carpool

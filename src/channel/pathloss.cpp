@@ -1,0 +1,28 @@
+#include "channel/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace carpool {
+
+double PathLossModel::loss_db(double meters) const {
+  const double d = std::max(meters, 0.1);
+  return config_.reference_loss_db +
+         10.0 * config_.exponent * std::log10(d);
+}
+
+double PathLossModel::snr_db(double tx_power_dbm, double meters) const {
+  return tx_power_dbm - loss_db(meters) - config_.noise_floor_dbm;
+}
+
+double usrp_power_magnitude_to_dbm(double magnitude) {
+  if (magnitude <= 0.0 || magnitude > 1.0) {
+    throw std::invalid_argument("power magnitude must be in (0, 1]");
+  }
+  return 20.0 + amplitude_to_db(magnitude);
+}
+
+}  // namespace carpool

@@ -1,0 +1,44 @@
+#pragma once
+
+// Log-distance path loss for the simulated 10 m x 10 m office testbed
+// (paper Fig. 10), plus the mapping from the paper's USRP "power magnitude"
+// knob (0.0125 - 0.2 of full scale) to transmit power in dBm.
+
+#include <cstdint>
+
+namespace carpool {
+
+struct PathLossConfig {
+  double reference_loss_db = 40.0;  ///< loss at 1 m, ~2.4 GHz indoor
+  double exponent = 3.0;            ///< indoor office path-loss exponent
+  /// Effective noise floor: thermal (-101 dBm over 20 MHz) + receiver
+  /// noise figure + co-channel interference margin, chosen so the paper's
+  /// USRP power sweep (0.0125-0.2) spans the same BER range as Fig. 11.
+  double noise_floor_dbm = -86.0;
+};
+
+class PathLossModel {
+ public:
+  explicit PathLossModel(const PathLossConfig& config = {})
+      : config_(config) {}
+
+  /// Path loss in dB at distance `meters` (>= 0.1 m enforced).
+  [[nodiscard]] double loss_db(double meters) const;
+
+  /// SNR in dB at the receiver for a given transmit power.
+  [[nodiscard]] double snr_db(double tx_power_dbm, double meters) const;
+
+  [[nodiscard]] const PathLossConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  PathLossConfig config_;
+};
+
+/// The paper sets TX power as a fraction of the XCVR2450's 20 dBm full
+/// scale ("power magnitude" 0.0125-0.2). The fraction scales amplitude, so
+/// power in dBm is 20 + 20*log10(magnitude).
+double usrp_power_magnitude_to_dbm(double magnitude);
+
+}  // namespace carpool

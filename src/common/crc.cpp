@@ -1,0 +1,44 @@
+#include "common/crc.hpp"
+
+#include <array>
+
+namespace carpool {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc32_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint16_t BitCrc::compute(std::span<const std::uint8_t> bits) const {
+  const std::uint16_t mask =
+      static_cast<std::uint16_t>((1u << width_) - 1u);
+  const std::uint16_t top = static_cast<std::uint16_t>(1u << (width_ - 1));
+  std::uint16_t reg = mask;  // all-ones init
+  for (const std::uint8_t bit : bits) {
+    const bool feedback = ((reg & top) != 0) != ((bit & 1u) != 0);
+    reg = static_cast<std::uint16_t>((reg << 1) & mask);
+    if (feedback) reg ^= poly_;
+  }
+  return static_cast<std::uint16_t>(reg & mask);
+}
+
+}  // namespace carpool

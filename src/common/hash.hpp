@@ -1,0 +1,39 @@
+#pragma once
+
+// Hashing primitives for the coded Bloom filter (A-HDR).
+//
+// The paper assigns hash *sets* to subframe positions: the receiver of the
+// i-th subframe is hashed with the i-th hash set (Sec. 4.1). We realise a
+// hash set as a keyed family: member j of set i is `keyed_hash(data, key)`
+// where the key mixes (i, j). Each hash is assumed to select bit positions
+// uniformly, which the tests verify statistically.
+
+#include <cstdint>
+#include <span>
+
+namespace carpool {
+
+/// FNV-1a 64-bit over bytes.
+constexpr std::uint64_t fnv1a64(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit finalizer (Stafford's Mix13, as used in SplitMix64).
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Keyed hash: independent-looking hashes of `data` for distinct keys.
+constexpr std::uint64_t keyed_hash(std::span<const std::uint8_t> data,
+                                   std::uint64_t key) noexcept {
+  return mix64(fnv1a64(data) ^ mix64(key ^ 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace carpool

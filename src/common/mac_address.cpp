@@ -1,0 +1,15 @@
+#include "common/mac_address.hpp"
+
+#include <cstdio>
+
+namespace carpool {
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                octets_[0], octets_[1], octets_[2], octets_[3], octets_[4],
+                octets_[5]);
+  return std::string(buf);
+}
+
+}  // namespace carpool

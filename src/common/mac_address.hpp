@@ -1,0 +1,57 @@
+#pragma once
+
+// 48-bit IEEE MAC addresses. Receivers are identified by MAC address in
+// the A-HDR Bloom filter and in the MAC simulator.
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace carpool {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets) noexcept
+      : octets_(octets) {}
+
+  /// Build from the low 48 bits of `value` (big-endian octet order).
+  constexpr explicit MacAddress(std::uint64_t value) noexcept {
+    for (int i = 5; i >= 0; --i) {
+      octets_[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(value & 0xFFu);
+      value >>= 8;
+    }
+  }
+
+  /// A locally-administered unicast address derived from a station id;
+  /// convenient for simulations.
+  static constexpr MacAddress for_station(std::uint32_t station_id) noexcept {
+    // 0x02 => locally administered, unicast.
+    return MacAddress{0x020000000000ULL | station_id};
+  }
+
+  [[nodiscard]] constexpr std::span<const std::uint8_t, 6> octets()
+      const noexcept {
+    return octets_;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept {
+    std::uint64_t v = 0;
+    for (const std::uint8_t octet : octets_) v = (v << 8) | octet;
+    return v;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace carpool

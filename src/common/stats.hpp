@@ -1,0 +1,116 @@
+#pragma once
+
+// Small statistics helpers used by benches and the MAC simulator: running
+// mean/variance (Welford), rate counters, and percentile extraction.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace carpool {
+
+/// Running mean / variance without storing samples (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples; offers percentiles and the empirical CDF.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// p in [0, 1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_.empty()) throw std::logic_error("percentile of empty set");
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("percentile range");
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+  /// Empirical CDF value at x: fraction of samples <= x.
+  [[nodiscard]] double cdf(double x) const {
+    if (samples_.empty()) return 0.0;
+    std::size_t below = 0;
+    for (const double s : samples_) {
+      if (s <= x) ++below;
+    }
+    return static_cast<double>(below) / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Counts successes over trials; reports a ratio (e.g. BER, PER, FPR).
+class RatioCounter {
+ public:
+  void add(bool hit) noexcept {
+    ++trials_;
+    if (hit) ++hits_;
+  }
+
+  void add(std::size_t hits, std::size_t trials) noexcept {
+    hits_ += hits;
+    trials_ += trials;
+  }
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t trials() const noexcept { return trials_; }
+
+  [[nodiscard]] double ratio() const noexcept {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(hits_) /
+                              static_cast<double>(trials_);
+  }
+
+ private:
+  std::size_t hits_ = 0;
+  std::size_t trials_ = 0;
+};
+
+}  // namespace carpool

@@ -1,0 +1,49 @@
+#pragma once
+
+// Unit helpers shared across PHY / channel / MAC code.
+//
+// Conventions:
+//  - time is double seconds unless a name says otherwise (`_us` suffix)
+//  - power ratios: `db` <-> linear power; `db_amplitude` for field quantities
+
+#include <cmath>
+#include <cstdint>
+
+namespace carpool {
+
+constexpr double kMicro = 1e-6;
+constexpr double kMilli = 1e-3;
+
+/// Convert a power ratio to decibels.
+inline double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// Convert decibels to a power ratio.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert an amplitude (field) ratio to decibels.
+inline double amplitude_to_db(double amp) { return 20.0 * std::log10(amp); }
+
+/// Convert decibels to an amplitude (field) ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// dBm to Watts.
+inline double dbm_to_watts(double dbm) { return db_to_linear(dbm) * 1e-3; }
+
+/// Watts to dBm.
+inline double watts_to_dbm(double watts) { return linear_to_db(watts * 1e3); }
+
+/// Seconds from microseconds.
+constexpr double us(double microseconds) { return microseconds * kMicro; }
+
+/// Seconds from milliseconds.
+constexpr double ms(double milliseconds) { return milliseconds * kMilli; }
+
+/// Bits in `bytes`.
+constexpr std::uint64_t bits(std::uint64_t bytes) { return bytes * 8; }
+
+/// Airtime in seconds of `num_bits` at `rate_bps`.
+constexpr double airtime(std::uint64_t num_bits, double rate_bps) {
+  return static_cast<double>(num_bits) / rate_bps;
+}
+
+}  // namespace carpool

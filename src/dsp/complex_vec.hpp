@@ -1,0 +1,47 @@
+#pragma once
+
+// Complex baseband sample types and element-wise helpers.
+
+#include <complex>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace carpool {
+
+using Cx = std::complex<double>;
+using CxVec = std::vector<Cx>;
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// e^{j*theta}.
+inline Cx cx_exp(double theta) { return Cx{std::cos(theta), std::sin(theta)}; }
+
+/// Average power (mean |x|^2) of a sample vector; 0 for empty input.
+double mean_power(std::span<const Cx> samples);
+
+/// Total energy (sum |x|^2).
+double energy(std::span<const Cx> samples);
+
+/// Scale all samples in place by a real factor.
+void scale(std::span<Cx> samples, double factor);
+
+/// Rotate all samples in place by angle theta (multiply by e^{j*theta}).
+void rotate(std::span<Cx> samples, double theta);
+
+/// Element-wise a .* b; sizes must match.
+CxVec multiply(std::span<const Cx> a, std::span<const Cx> b);
+
+/// Element-wise a ./ b; sizes must match. Division by an exact zero yields 0
+/// (a dead subcarrier, treated as erased).
+CxVec divide(std::span<const Cx> a, std::span<const Cx> b);
+
+/// Wrap an angle to (-pi, pi].
+double wrap_angle(double theta);
+
+/// Error vector magnitude between received and reference constellations:
+/// sqrt(mean |rx - ref|^2 / mean |ref|^2). Sizes must match.
+double evm(std::span<const Cx> rx, std::span<const Cx> ref);
+
+}  // namespace carpool

@@ -1,0 +1,82 @@
+#include "dsp/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace carpool {
+namespace {
+
+void check_size(std::size_t n) {
+  if (n == 0 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("fft: size must be a nonzero power of two");
+  }
+}
+
+/// Core iterative radix-2 transform; sign = -1 forward, +1 inverse.
+void transform(std::span<Cx> data, int sign) {
+  const std::size_t n = data.size();
+  check_size(n);
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * kTwoPi / static_cast<double>(len);
+    const Cx wlen = cx_exp(angle);
+    for (std::size_t i = 0; i < n; i += len) {
+      Cx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cx u = data[i + k];
+        const Cx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<Cx> data) { transform(data, -1); }
+
+void ifft_inplace(std::span<Cx> data) {
+  transform(data, +1);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (Cx& x : data) x *= inv_n;
+}
+
+CxVec fft(std::span<const Cx> data) {
+  CxVec out(data.begin(), data.end());
+  fft_inplace(out);
+  return out;
+}
+
+CxVec ifft(std::span<const Cx> data) {
+  CxVec out(data.begin(), data.end());
+  ifft_inplace(out);
+  return out;
+}
+
+CxVec dft_reference(std::span<const Cx> data) {
+  const std::size_t n = data.size();
+  CxVec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Cx acc{};
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += data[t] * cx_exp(-kTwoPi * static_cast<double>(k) *
+                              static_cast<double>(t) /
+                              static_cast<double>(n));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace carpool

@@ -1,0 +1,31 @@
+#pragma once
+
+// Radix-2 Cooley-Tukey FFT. OFDM in 802.11a/g/n uses 64-point transforms;
+// this implementation handles any power-of-two size so tests can cross-check
+// against DFT at several sizes.
+//
+// Conventions (match common DSP texts and the 802.11 signal model):
+//   forward:  X[k] = sum_n x[n] e^{-j 2 pi k n / N}     (no scaling)
+//   inverse:  x[n] = (1/N) sum_k X[k] e^{+j 2 pi k n / N}
+
+#include <span>
+
+#include "dsp/complex_vec.hpp"
+
+namespace carpool {
+
+/// In-place forward FFT. Throws std::invalid_argument unless size is a
+/// power of two (and nonzero).
+void fft_inplace(std::span<Cx> data);
+
+/// In-place inverse FFT (scaled by 1/N).
+void ifft_inplace(std::span<Cx> data);
+
+/// Out-of-place conveniences.
+CxVec fft(std::span<const Cx> data);
+CxVec ifft(std::span<const Cx> data);
+
+/// Direct O(N^2) DFT, for verification in tests.
+CxVec dft_reference(std::span<const Cx> data);
+
+}  // namespace carpool

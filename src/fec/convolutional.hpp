@@ -1,0 +1,68 @@
+#pragma once
+
+// IEEE 802.11 convolutional code: constraint length K = 7, rate 1/2, with
+// generator polynomials g0 = 133 (octal) and g1 = 171 (octal). Higher rates
+// (2/3, 3/4) are derived by puncturing (Clause 17.3.5.6).
+//
+// Soft values: a coded bit is represented on the air side as a double in
+// [-1, +1]: sign encodes the bit (+1 -> bit 1, -1 -> bit 0), magnitude is
+// confidence. 0.0 marks an erasure (e.g. a punctured position).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace carpool {
+
+enum class CodeRate { kHalf, kTwoThirds, kThreeQuarters, kFiveSixths };
+
+/// Numerator/denominator of a coding rate.
+struct RateFraction {
+  int numerator;
+  int denominator;
+};
+
+RateFraction rate_fraction(CodeRate rate) noexcept;
+
+/// Rate as a double (0.5, 0.6667, 0.75, 0.8333).
+double rate_value(CodeRate rate) noexcept;
+
+using SoftBits = std::vector<double>;
+
+/// Convert hard bits to ideal soft values (+/-1).
+SoftBits bits_to_soft(std::span<const std::uint8_t> bits);
+
+class ConvolutionalCode {
+ public:
+  static constexpr int kConstraintLength = 7;
+  static constexpr unsigned kNumStates = 1u << (kConstraintLength - 1);
+  static constexpr unsigned kG0 = 0133;  // octal
+  static constexpr unsigned kG1 = 0171;  // octal
+
+  /// Encode at rate 1/2; output has 2 * input.size() bits (the caller is
+  /// responsible for appending tail bits if termination is desired).
+  [[nodiscard]] static Bits encode(std::span<const std::uint8_t> data);
+
+  /// Encode `data`, appending K-1 zero tail bits to terminate the trellis,
+  /// then puncture to `rate`.
+  [[nodiscard]] static Bits encode_terminated(std::span<const std::uint8_t> data,
+                                              CodeRate rate);
+
+  /// Puncture a rate-1/2 coded stream to the target rate.
+  [[nodiscard]] static Bits puncture(std::span<const std::uint8_t> coded,
+                                     CodeRate rate);
+
+  /// Insert 0.0 erasures where bits were punctured, restoring the rate-1/2
+  /// positions expected by the Viterbi decoder.
+  [[nodiscard]] static SoftBits depuncture(std::span<const double> soft,
+                                           CodeRate rate);
+
+  /// Number of coded (post-puncturing) bits produced for `data_bits`
+  /// information bits including the K-1 tail bits.
+  [[nodiscard]] static std::size_t coded_length(std::size_t data_bits,
+                                                CodeRate rate);
+};
+
+}  // namespace carpool

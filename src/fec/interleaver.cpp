@@ -1,0 +1,51 @@
+#include "fec/interleaver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace carpool {
+
+Interleaver::Interleaver(std::size_t n_cbps, std::size_t n_bpsc) {
+  if (n_cbps == 0 || n_cbps % 16 != 0 || n_bpsc == 0 || n_cbps % n_bpsc != 0) {
+    throw std::invalid_argument("Interleaver: invalid n_cbps/n_bpsc");
+  }
+  const std::size_t s = std::max<std::size_t>(n_bpsc / 2, 1);
+  forward_.resize(n_cbps);
+  inverse_.resize(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    const std::size_t i = (n_cbps / 16) * (k % 16) + k / 16;
+    const std::size_t j =
+        s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+    forward_[k] = j;
+    inverse_[j] = k;
+  }
+}
+
+Bits Interleaver::interleave(std::span<const std::uint8_t> block) const {
+  if (block.size() != forward_.size()) {
+    throw std::invalid_argument("Interleaver: block size mismatch");
+  }
+  Bits out(block.size());
+  for (std::size_t k = 0; k < block.size(); ++k) out[forward_[k]] = block[k];
+  return out;
+}
+
+SoftBits Interleaver::deinterleave(std::span<const double> block) const {
+  if (block.size() != forward_.size()) {
+    throw std::invalid_argument("Interleaver: block size mismatch");
+  }
+  SoftBits out(block.size());
+  for (std::size_t j = 0; j < block.size(); ++j) out[inverse_[j]] = block[j];
+  return out;
+}
+
+Bits Interleaver::deinterleave(std::span<const std::uint8_t> block) const {
+  if (block.size() != forward_.size()) {
+    throw std::invalid_argument("Interleaver: block size mismatch");
+  }
+  Bits out(block.size());
+  for (std::size_t j = 0; j < block.size(); ++j) out[inverse_[j]] = block[j];
+  return out;
+}
+
+}  // namespace carpool

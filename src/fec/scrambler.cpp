@@ -1,0 +1,32 @@
+#include "fec/scrambler.hpp"
+
+#include <stdexcept>
+
+namespace carpool {
+
+Scrambler::Scrambler(std::uint8_t seed) : state_(0) { reset(seed); }
+
+void Scrambler::reset(std::uint8_t seed) {
+  seed &= 0x7F;
+  if (seed == 0) throw std::invalid_argument("Scrambler seed must be nonzero");
+  state_ = seed;
+}
+
+std::uint8_t Scrambler::next_bit() noexcept {
+  // Feedback = x^7 xor x^4 (bits 6 and 3 of the 7-bit register).
+  const std::uint8_t feedback =
+      static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | feedback) & 0x7F);
+  return feedback;
+}
+
+Bits Scrambler::process(std::span<const std::uint8_t> bits) {
+  Bits out;
+  out.reserve(bits.size());
+  for (const std::uint8_t bit : bits) {
+    out.push_back(static_cast<std::uint8_t>((bit ^ next_bit()) & 1u));
+  }
+  return out;
+}
+
+}  // namespace carpool

@@ -1,0 +1,36 @@
+#pragma once
+
+// IEEE 802.11 frame-synchronous scrambler (Clause 17.3.5.4): a 7-bit LFSR
+// with generator polynomial S(x) = x^7 + x^4 + 1. The same operation both
+// scrambles and descrambles.
+//
+// The SIG field is *not* scrambled — the Carpool receiver relies on this to
+// read subframe lengths without descrambling state (paper Sec. 4.1).
+
+#include <cstdint>
+#include <span>
+
+#include "common/bits.hpp"
+
+namespace carpool {
+
+class Scrambler {
+ public:
+  /// `seed` is the initial 7-bit LFSR state; must be nonzero (an all-zero
+  /// state would leave data unscrambled forever).
+  explicit Scrambler(std::uint8_t seed = 0x5D);
+
+  /// Scramble (or descramble) `bits`, returning a new vector.
+  [[nodiscard]] Bits process(std::span<const std::uint8_t> bits);
+
+  /// Advance the LFSR one step and return the generated scrambling bit.
+  std::uint8_t next_bit() noexcept;
+
+  /// Reset to a new seed.
+  void reset(std::uint8_t seed);
+
+ private:
+  std::uint8_t state_;
+};
+
+}  // namespace carpool

@@ -1,0 +1,98 @@
+#include "fec/viterbi.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace carpool {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint8_t parity(unsigned value) {
+  return static_cast<std::uint8_t>(std::popcount(value) & 1);
+}
+
+}  // namespace
+
+ViterbiDecoder::ViterbiDecoder() {
+  constexpr int kShift = ConvolutionalCode::kConstraintLength - 1;  // 6
+  for (unsigned state = 0; state < ConvolutionalCode::kNumStates; ++state) {
+    for (unsigned bit = 0; bit <= 1; ++bit) {
+      const unsigned window = (bit << kShift) | state;
+      Branch& br = branch_[state][bit];
+      br.next_state = window >> 1;
+      br.expected0 = parity(window & ConvolutionalCode::kG0) ? 1.0 : -1.0;
+      br.expected1 = parity(window & ConvolutionalCode::kG1) ? 1.0 : -1.0;
+    }
+  }
+}
+
+Bits ViterbiDecoder::decode(std::span<const double> soft,
+                            bool terminated) const {
+  if (soft.size() % 2 != 0) {
+    throw std::invalid_argument("ViterbiDecoder: soft size must be even");
+  }
+  const std::size_t steps = soft.size() / 2;
+  constexpr unsigned kStates = ConvolutionalCode::kNumStates;
+
+  std::vector<double> metric(kStates, kInf);
+  std::vector<double> next_metric(kStates, kInf);
+  metric[0] = 0.0;  // encoder starts in the all-zero state
+
+  // decisions[t][next_state] = (prev_state << 1) | input_bit
+  std::vector<std::vector<std::uint16_t>> decisions(
+      steps, std::vector<std::uint16_t>(kStates, 0));
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const double r0 = soft[2 * t];
+    const double r1 = soft[2 * t + 1];
+    std::fill(next_metric.begin(), next_metric.end(), kInf);
+    for (unsigned state = 0; state < kStates; ++state) {
+      const double pm = metric[state];
+      if (pm == kInf) continue;
+      for (unsigned bit = 0; bit <= 1; ++bit) {
+        const Branch& br = branch_[state][bit];
+        // Negative correlation metric: smaller is better; erasures (0.0)
+        // contribute nothing.
+        const double m = pm - (br.expected0 * r0 + br.expected1 * r1);
+        if (m < next_metric[br.next_state]) {
+          next_metric[br.next_state] = m;
+          decisions[t][br.next_state] =
+              static_cast<std::uint16_t>((state << 1) | bit);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  unsigned state = 0;
+  if (!terminated) {
+    state = static_cast<unsigned>(std::distance(
+        metric.begin(), std::min_element(metric.begin(), metric.end())));
+  }
+
+  Bits out(steps, 0);
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::uint16_t decision = decisions[t][state];
+    out[t] = static_cast<std::uint8_t>(decision & 1u);
+    state = decision >> 1;
+  }
+  return out;
+}
+
+Bits ViterbiDecoder::decode_punctured(std::span<const double> soft,
+                                      CodeRate rate,
+                                      std::size_t data_bits) const {
+  const SoftBits full = ConvolutionalCode::depuncture(soft, rate);
+  Bits decoded = decode(full, /*terminated=*/true);
+  if (decoded.size() < data_bits) {
+    throw std::invalid_argument("decode_punctured: stream shorter than data");
+  }
+  decoded.resize(data_bits);  // strip tail (and any depuncture padding)
+  return decoded;
+}
+
+}  // namespace carpool

@@ -1,0 +1,40 @@
+#pragma once
+
+// Soft-decision Viterbi decoder for the 802.11 K=7 rate-1/2 convolutional
+// code, with erasure support for punctured positions (soft value 0.0).
+
+#include <span>
+
+#include "fec/convolutional.hpp"
+
+namespace carpool {
+
+class ViterbiDecoder {
+ public:
+  ViterbiDecoder();
+
+  /// Decode a rate-1/2 soft stream (one pair of soft values per trellis
+  /// step). `soft.size()` must be even. Returns one bit per step; if
+  /// `terminated` the traceback starts from the all-zero state, which is
+  /// correct for streams produced by encode_terminated().
+  [[nodiscard]] Bits decode(std::span<const double> soft,
+                            bool terminated = true) const;
+
+  /// Full receive path: depuncture `soft` from `rate` back to rate 1/2,
+  /// decode, and strip the K-1 tail bits. `data_bits` is the number of
+  /// information bits expected (pre-tail).
+  [[nodiscard]] Bits decode_punctured(std::span<const double> soft,
+                                      CodeRate rate,
+                                      std::size_t data_bits) const;
+
+ private:
+  struct Branch {
+    unsigned next_state;
+    double expected0;  // +1/-1 expectation for first coded bit
+    double expected1;
+  };
+  // branch_[state][input_bit]
+  Branch branch_[ConvolutionalCode::kNumStates][2];
+};
+
+}  // namespace carpool

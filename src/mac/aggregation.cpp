@@ -1,0 +1,222 @@
+#include "mac/aggregation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace carpool::mac {
+namespace {
+
+std::size_t symbols_for(double seconds) {
+  return static_cast<std::size_t>(seconds / MacParams::symbol_duration + 0.5);
+}
+
+/// Pop frames for `dst` until the subunit or aggregate caps are hit.
+/// `subunit_cap` is the SIG LENGTH limit for Carpool/MU subframes, or the
+/// full A-MPDU limit when the subunit is the whole aggregate.
+SubUnit pop_subunit(std::deque<MacFrame>& queue, NodeId dst,
+                    std::size_t subunit_cap, std::size_t aggregate_budget,
+                    bool allow_aggregation) {
+  SubUnit su;
+  su.dst = dst;
+  while (!queue.empty()) {
+    const MacFrame& head = queue.front();
+    // Delimiters only exist between aggregated MPDUs.
+    const std::size_t cost =
+        head.on_air_bytes() + (allow_aggregation ? kMpduDelimiterBytes : 0);
+    const std::size_t next_size = su.bytes + cost;
+    if (!su.frames.empty() &&
+        (!allow_aggregation || next_size > subunit_cap ||
+         next_size > aggregate_budget)) {
+      break;
+    }
+    su.bytes += cost;
+    su.frames.push_back(head);
+    queue.pop_front();
+    if (!allow_aggregation) break;
+  }
+  return su;
+}
+
+}  // namespace
+
+void ApQueues::enqueue(MacFrame frame) {
+  if (frame.dst >= queues_.size()) queues_.resize(frame.dst + 1);
+  total_bytes_ += frame.on_air_bytes();
+  ++total_frames_;
+  queues_[frame.dst].push_back(std::move(frame));
+}
+
+std::size_t ApQueues::drop_expired(double now, double max_age) {
+  std::size_t dropped = 0;
+  for (auto& queue : queues_) {
+    while (!queue.empty() &&
+           now - queue.front().enqueue_time > max_age) {
+      total_bytes_ -= queue.front().on_air_bytes();
+      --total_frames_;
+      queue.pop_front();
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+long ApQueues::oldest_sta() const {
+  long best = -1;
+  double best_time = 0.0;
+  for (std::size_t sta = 0; sta < queues_.size(); ++sta) {
+    if (queues_[sta].empty()) continue;
+    const double t = queues_[sta].front().enqueue_time;
+    if (best < 0 || t < best_time) {
+      best = static_cast<long>(sta);
+      best_time = t;
+    }
+  }
+  return best;
+}
+
+void ApQueues::requeue_front(const SubUnit& subunit) {
+  if (subunit.frames.empty()) return;
+  auto& queue = queues_[subunit.dst];
+  for (auto it = subunit.frames.rbegin(); it != subunit.frames.rend(); ++it) {
+    queue.push_front(*it);
+    total_bytes_ += it->on_air_bytes();
+    ++total_frames_;
+  }
+}
+
+Transmission ApQueues::build(Scheme scheme, const MacParams& params,
+                             const AggregationPolicy& policy, double now,
+                             std::span<const double> airtime_occupancy,
+                             std::span<const double> rates_bps,
+                             std::span<const std::uint8_t> carpool_capable) {
+  Transmission tx;
+  tx.src = kApNode;
+  const long first = oldest_sta();
+  if (first < 0) return tx;
+
+  auto capable = [&](NodeId sta) {
+    return carpool_capable.empty() ||
+           (sta < carpool_capable.size() && carpool_capable[sta] != 0);
+  };
+  // A legacy head-of-line station is served with a plain legacy frame
+  // (Sec. 4.3: the AP runs the protocol version the client supports).
+  Scheme effective = scheme;
+  if (is_multi_receiver(scheme) &&
+      !capable(static_cast<NodeId>(first))) {
+    effective = Scheme::kDcf80211;
+  }
+  const Scheme original = scheme;
+  scheme = effective;
+
+  const bool aggregate_per_sta =
+      scheme == Scheme::kAmpdu || is_multi_receiver(scheme);
+
+  // Pick receivers oldest-head-of-line first, or least-airtime first
+  // under time fairness (Sec. 8).
+  std::vector<NodeId> order;
+  if (is_multi_receiver(scheme)) {
+    std::vector<std::pair<double, NodeId>> heads;
+    for (std::size_t sta = 0; sta < queues_.size(); ++sta) {
+      if (!queues_[sta].empty()) {
+        double key = queues_[sta].front().enqueue_time;
+        if (policy.time_fairness && sta < airtime_occupancy.size()) {
+          key = airtime_occupancy[sta];
+        }
+        heads.emplace_back(key, static_cast<NodeId>(sta));
+      }
+    }
+    std::sort(heads.begin(), heads.end());
+    for (const auto& [t, sta] : heads) {
+      if (order.size() >= policy.max_receivers) break;
+      if (is_multi_receiver(original) && !capable(sta)) continue;
+      order.push_back(sta);
+    }
+  } else {
+    order.push_back(static_cast<NodeId>(first));
+  }
+
+  // Multi-receiver subframes are bounded by the SIG LENGTH field; a plain
+  // A-MPDU's single subunit may fill the whole 64 KB aggregate.
+  const std::size_t subunit_cap = is_multi_receiver(scheme)
+                                      ? policy.max_subframe_bytes
+                                      : policy.max_aggregate_bytes;
+  std::size_t budget = policy.max_aggregate_bytes;
+  for (const NodeId dst : order) {
+    if (budget < kMacHeaderBytes + kMpduDelimiterBytes) break;
+    SubUnit su = pop_subunit(queues_[dst], dst, subunit_cap, budget,
+                             aggregate_per_sta);
+    if (su.frames.empty()) continue;
+    budget -= std::min(budget, su.bytes);
+    for (const MacFrame& f : su.frames) {
+      total_bytes_ -= f.on_air_bytes();
+      --total_frames_;
+    }
+    tx.subunits.push_back(std::move(su));
+  }
+  if (tx.subunits.empty()) return tx;
+
+  // Durations and symbol geometry.
+  const std::size_t n = tx.subunits.size();
+  double offset = 0.0;  // payload-section time offset after the preamble
+  double duration = params.plcp_header;
+  switch (scheme) {
+    case Scheme::kDcf80211:
+    case Scheme::kWiFox:
+    case Scheme::kAmpdu:
+      break;
+    case Scheme::kMuAggregation:
+      // Per-receiver 48-bit MAC address headers at the basic rate
+      // (the strawman cost the paper quantifies in Sec. 3).
+      duration += static_cast<double>(48 * n) / params.basic_rate_bps;
+      break;
+    case Scheme::kCarpool:
+      duration += 2.0 * MacParams::symbol_duration;  // A-HDR
+      break;
+  }
+  for (SubUnit& su : tx.subunits) {
+    if (scheme == Scheme::kCarpool) {
+      duration += MacParams::symbol_duration;  // per-subframe SIG
+      offset += MacParams::symbol_duration;
+    }
+    double rate = params.data_rate_bps;
+    if (su.dst < rates_bps.size() && rates_bps[su.dst] > 0.0) {
+      rate = rates_bps[su.dst];
+    }
+    const double payload_time =
+        8.0 * static_cast<double>(su.bytes) / rate;
+    su.start_symbol = symbols_for(offset);
+    su.num_symbols = std::max<std::size_t>(1, symbols_for(payload_time));
+    offset += payload_time;
+    duration += payload_time;
+  }
+  tx.data_duration = duration;
+  tx.sequential_ack = is_multi_receiver(scheme);
+  tx.ack_overhead =
+      static_cast<double>(n) * (params.sifs + params.ack_duration());
+  if (!tx.sequential_ack) {
+    tx.ack_overhead = params.sifs + params.ack_duration();
+  }
+  (void)now;
+  return tx;
+}
+
+Transmission build_single_frame(const MacFrame& frame,
+                                const MacParams& params, double rate_bps) {
+  Transmission tx;
+  tx.src = frame.src;
+  SubUnit su;
+  su.dst = frame.dst;
+  su.frames.push_back(frame);
+  su.bytes = frame.on_air_bytes();
+  const double rate = rate_bps > 0.0 ? rate_bps : params.data_rate_bps;
+  const double payload_time = 8.0 * static_cast<double>(su.bytes) / rate;
+  su.start_symbol = 0;
+  su.num_symbols = std::max<std::size_t>(1, symbols_for(payload_time));
+  tx.subunits.push_back(std::move(su));
+  tx.data_duration = params.plcp_header + payload_time;
+  tx.ack_overhead = params.sifs + params.ack_duration();
+  tx.sequential_ack = false;
+  return tx;
+}
+
+}  // namespace carpool::mac

@@ -1,0 +1,87 @@
+#pragma once
+
+// AP-side queueing and the per-scheme transmission builders.
+//
+// The AP keeps one FIFO per associated STA. On winning a TXOP the scheme
+// decides what goes on the air:
+//   802.11 / WiFox : the globally oldest frame, alone
+//   A-MPDU         : the oldest frame's STA, aggregated up to the caps
+//   MU-Aggregation : up to max_receivers STAs (oldest-first), with a
+//                    per-receiver MAC-address header at the basic rate
+//   Carpool        : up to max_receivers STAs, A-HDR (2 symbols) and one
+//                    SIG symbol per subframe
+//
+// Aggregation ends when the buffered size reaches the maximum frame size
+// or the oldest frame's delay reaches the latency limit (Sec. 7.2.2).
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "mac/frame.hpp"
+#include "mac/params.hpp"
+#include "mac/scheme.hpp"
+
+namespace carpool::mac {
+
+struct AggregationPolicy {
+  std::size_t max_aggregate_bytes = 65535;  ///< 802.11n A-MPDU cap
+  std::size_t max_subframe_bytes = 4095;    ///< SIG LENGTH field cap
+  std::size_t max_receivers = 8;            ///< Carpool kMaxReceivers
+  double max_latency = 0.1;  ///< stop aggregating once the oldest queued
+                             ///< frame is this old (seconds)
+  /// Time-fairness control (paper Sec. 8): pick receivers with the least
+  /// airtime occupancy first instead of the oldest head-of-line frame.
+  /// Requires an occupancy table passed to build().
+  bool time_fairness = false;
+};
+
+class ApQueues {
+ public:
+  void enqueue(MacFrame frame);
+
+  [[nodiscard]] bool empty() const noexcept { return total_frames_ == 0; }
+  [[nodiscard]] std::size_t depth() const noexcept { return total_frames_; }
+  [[nodiscard]] std::size_t queued_bytes() const noexcept {
+    return total_bytes_;
+  }
+
+  /// Remove frames whose age exceeds `max_age`; returns how many dropped.
+  std::size_t drop_expired(double now, double max_age);
+
+  /// Build the next transmission per `scheme`. Returns an empty-subunit
+  /// transmission if nothing is queued. Frames leave the queues; failed
+  /// subunits must be returned via requeue_front().
+  /// `airtime_occupancy[sta]` (optional) feeds the time-fairness policy.
+  /// `rates_bps[sta]` (optional) selects each receiver's PHY rate (the
+  /// Carpool format allows a different MCS per subframe); stations beyond
+  /// the table use params.data_rate_bps.
+  /// `carpool_capable[sta]` (optional, 0/1 flags) marks stations that
+  /// negotiated Carpool at association (Sec. 4.3); others always get
+  /// legacy single-destination transmissions, even under a multi-receiver
+  /// scheme.
+  Transmission build(Scheme scheme, const MacParams& params,
+                     const AggregationPolicy& policy, double now,
+                     std::span<const double> airtime_occupancy = {},
+                     std::span<const double> rates_bps = {},
+                     std::span<const std::uint8_t> carpool_capable = {});
+
+  /// Put a failed subunit's frames back at the head of their queue.
+  void requeue_front(const SubUnit& subunit);
+
+ private:
+  /// STA with the oldest head-of-line frame; -1 when empty.
+  [[nodiscard]] long oldest_sta() const;
+
+  std::vector<std::deque<MacFrame>> queues_;  // index = dst NodeId
+  std::size_t total_frames_ = 0;
+  std::size_t total_bytes_ = 0;
+};
+
+/// Airtime of a single (non-aggregated) uplink/downlink frame plus ACK.
+/// `rate_bps` overrides the PHY data rate (0 = params.data_rate_bps).
+Transmission build_single_frame(const MacFrame& frame,
+                                const MacParams& params,
+                                double rate_bps = 0.0);
+
+}  // namespace carpool::mac

@@ -1,0 +1,64 @@
+#pragma once
+
+// MAC-level frame and transmission descriptors for the event-driven
+// simulator. (The bit-exact PHY frame lives in src/carpool; the MAC
+// simulator works on sizes and durations, with reception judged by a
+// PhyErrorModel, mirroring the paper's trace-driven methodology.)
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace carpool::mac {
+
+using NodeId = std::uint32_t;
+
+/// Node 0 is the AP; STAs are 1..num_stas.
+inline constexpr NodeId kApNode = 0;
+
+inline constexpr std::size_t kMacHeaderBytes = 28;   ///< header + FCS
+inline constexpr std::size_t kMpduDelimiterBytes = 4;
+
+struct MacFrame {
+  std::uint64_t id = 0;
+  NodeId src = kApNode;
+  NodeId dst = 0;
+  std::size_t payload_bytes = 0;   ///< IP payload (headers added by MAC)
+  double enqueue_time = 0.0;
+  unsigned retries = 0;
+
+  [[nodiscard]] std::size_t on_air_bytes() const {
+    return payload_bytes + kMacHeaderBytes;
+  }
+};
+
+/// One receiver's share of a (possibly aggregated) transmission.
+struct SubUnit {
+  NodeId dst = 0;
+  std::vector<MacFrame> frames;
+  std::size_t bytes = 0;          ///< on-air bytes incl. MAC overheads
+  std::size_t start_symbol = 0;   ///< first payload symbol in the frame
+  std::size_t num_symbols = 0;
+};
+
+/// A fully-built MAC transmission ready for the air.
+struct Transmission {
+  NodeId src = kApNode;
+  std::vector<SubUnit> subunits;
+  double data_duration = 0.0;   ///< PLCP + headers + payload airtime
+  double ack_overhead = 0.0;    ///< SIFS + ACK slots (sequential if multi)
+  bool sequential_ack = false;  ///< Carpool / MU-Aggregation style
+
+  [[nodiscard]] double total_duration() const {
+    return data_duration + ack_overhead;
+  }
+  [[nodiscard]] std::size_t total_payload_bytes() const {
+    std::size_t total = 0;
+    for (const SubUnit& su : subunits) {
+      for (const MacFrame& f : su.frames) total += f.payload_bytes;
+    }
+    return total;
+  }
+};
+
+}  // namespace carpool::mac

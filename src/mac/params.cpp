@@ -1,0 +1,18 @@
+#include "mac/params.hpp"
+
+#include <stdexcept>
+
+namespace carpool::mac {
+
+double nav_data(const MacParams& p, double payload_duration,
+                std::size_t num_receivers) {
+  return payload_duration +
+         static_cast<double>(num_receivers) * (p.ack_duration() + p.sifs);
+}
+
+double nav_i(const MacParams& p, std::size_t i) {
+  if (i == 0) throw std::invalid_argument("nav_i: i is 1-based");
+  return static_cast<double>(i - 1) * (p.ack_duration() + p.sifs);
+}
+
+}  // namespace carpool::mac

@@ -1,0 +1,55 @@
+#pragma once
+
+// PHY/MAC timing parameters (paper Table 2, IEEE 802.11n values) and
+// scheme-specific overheads used by the discrete-event simulator.
+
+#include <cstdint>
+
+namespace carpool::mac {
+
+struct MacParams {
+  double slot_time = 9e-6;
+  double sifs = 10e-6;
+  double difs = 28e-6;
+  unsigned cw_min = 15;    ///< minimal contention window (time slots)
+  unsigned cw_max = 1023;  ///< maximal contention window (time slots)
+  double plcp_header = 28e-6;
+  double propagation_delay = 1e-6;
+
+  double data_rate_bps = 65e6;   ///< PHY rate for payloads (802.11n MCS)
+  double basic_rate_bps = 6.5e6; ///< control/ACK/PHY-header rate
+
+  unsigned retry_limit = 7;
+
+  /// ACK frame: 14 bytes at basic rate + PLCP.
+  [[nodiscard]] double ack_duration() const {
+    return plcp_header + 14.0 * 8.0 / basic_rate_bps;
+  }
+
+  /// RTS (20 B) / CTS (14 B) at basic rate.
+  [[nodiscard]] double rts_duration() const {
+    return plcp_header + 20.0 * 8.0 / basic_rate_bps;
+  }
+  [[nodiscard]] double cts_duration() const {
+    return plcp_header + 14.0 * 8.0 / basic_rate_bps;
+  }
+
+  /// Payload airtime at the data rate (MAC header included in `bits`).
+  [[nodiscard]] double payload_duration(std::uint64_t bits) const {
+    return static_cast<double>(bits) / data_rate_bps;
+  }
+
+  /// OFDM symbol duration implied by the data rate (for A-HDR/SIG costs we
+  /// keep the 20 MHz 4 us symbol).
+  static constexpr double symbol_duration = 4e-6;
+};
+
+/// Eq. (1): NAV set by a Carpool data frame covering N sequential ACKs.
+double nav_data(const MacParams& p, double payload_duration,
+                std::size_t num_receivers);
+
+/// Eq. (2): NAV_i counted down by the receiver of the i-th subframe
+/// (1-based) before sending its ACK.
+double nav_i(const MacParams& p, std::size_t i);
+
+}  // namespace carpool::mac

@@ -1,0 +1,63 @@
+#include "mac/phy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace carpool::mac {
+
+double AnalyticPhyModel::symbol_error_prob(double snr_db,
+                                           double staleness_ratio) const {
+  const double effective_snr =
+      snr_db - params_.stale_penalty_db * std::max(0.0, staleness_ratio);
+  const double x =
+      (effective_snr - params_.snr50_db) / params_.steepness_db;
+  return 1.0 / (1.0 + std::exp(x));
+}
+
+double AnalyticPhyModel::rate_margin_db(double rate_bps) {
+  // Mirror the 802.11n waterfall spacing: the SNR needed for MCS0 (6.5M)
+  // is ~23 dB below what MCS7 (65M) needs. Piecewise from the same
+  // threshold table used by rate adaptation.
+  constexpr double kRates[] = {6.5e6, 13e6,  19.5e6, 26e6,
+                               39e6,  52e6,  58.5e6, 65e6};
+  constexpr double kThresholds[] = {5, 8, 11, 14, 18, 22, 26, 28};
+  if (rate_bps <= 0.0 || rate_bps >= kRates[7]) return 0.0;
+  double margin = kThresholds[7] - kThresholds[0];
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (rate_bps >= kRates[i]) margin = kThresholds[7] - kThresholds[i];
+  }
+  return margin;
+}
+
+double AnalyticPhyModel::subframe_error_prob(
+    const SubframeChannelQuery& query) const {
+  // Success requires every symbol group to decode; staleness grows with
+  // the symbol's distance from the last channel-estimate refresh: the
+  // preamble (standard) or the last verified data pilot (RTE).
+  const double effective_snr = query.snr_db + rate_margin_db(query.rate_bps);
+  double success = 1.0;
+  for (std::size_t s = 0; s < query.num_symbols; ++s) {
+    double stale_symbols;
+    if (query.rte) {
+      stale_symbols = params_.rte_residual_symbols;
+    } else {
+      stale_symbols = static_cast<double>(query.start_symbol + s);
+    }
+    const double staleness =
+        stale_symbols * params_.symbol_duration / query.coherence_time;
+    success *= 1.0 - symbol_error_prob(effective_snr, staleness);
+    if (success <= 1e-9) return 1.0;
+  }
+  return 1.0 - success;
+}
+
+double AnalyticPhyModel::control_error_prob(double snr_db) const {
+  // Control frames ride the basic rate (MCS0-class robustness) right
+  // after a fresh preamble: a few symbols at zero staleness with the full
+  // low-rate margin.
+  const double per_symbol =
+      symbol_error_prob(snr_db + rate_margin_db(6.5e6), 0.0);
+  return 1.0 - std::pow(1.0 - per_symbol, 4.0);
+}
+
+}  // namespace carpool::mac

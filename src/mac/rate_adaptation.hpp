@@ -1,0 +1,29 @@
+#pragma once
+
+// Per-station rate selection. The Carpool frame format lets every subframe
+// use its own MCS (paper Sec. 4.1: "Different subframes can adopt
+// different MCSs"); the MAC picks each receiver's PHY rate from its link
+// SNR with a standard threshold table (802.11n single-stream rates).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace carpool::mac {
+
+/// 802.11n MCS0-7 rates at 20 MHz, 800 ns GI.
+inline constexpr double kHtRates[] = {6.5e6,  13e6,   19.5e6, 26e6,
+                                      39e6,   52e6,   58.5e6, 65e6};
+
+/// SNR thresholds (dB) above which each rate is sustainable (typical
+/// waterfall values for 10% PER on flat channels).
+inline constexpr double kHtThresholds[] = {5, 8, 11, 14, 18, 22, 26, 28};
+
+/// Highest rate whose threshold the SNR clears; never below the base rate.
+double rate_for_snr(double snr_db);
+
+/// Rate table for a set of stations (index 0 = the AP placeholder, kept at
+/// the max rate; index i = STA i).
+std::vector<double> rates_for_snrs(std::span<const double> sta_snr_db);
+
+}  // namespace carpool::mac

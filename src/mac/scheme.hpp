@@ -1,0 +1,45 @@
+#pragma once
+
+// The five MAC schemes evaluated in the paper (Sec. 7.2.1).
+
+#include <string_view>
+
+namespace carpool::mac {
+
+enum class Scheme {
+  kDcf80211,       ///< plain IEEE 802.11 DCF, one frame per TXOP
+  kAmpdu,          ///< IEEE 802.11n A-MPDU: aggregate for ONE receiver
+  kMuAggregation,  ///< multi-receiver aggregation, MAC-address header,
+                   ///< standard channel estimation (no RTE)
+  kWiFox,          ///< no aggregation; AP channel-access priority
+  kCarpool,        ///< A-HDR aggregation + RTE + sequential ACK
+};
+
+constexpr std::string_view scheme_name(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kDcf80211:
+      return "802.11";
+    case Scheme::kAmpdu:
+      return "A-MPDU";
+    case Scheme::kMuAggregation:
+      return "MU-Aggregation";
+    case Scheme::kWiFox:
+      return "WiFox";
+    case Scheme::kCarpool:
+      return "Carpool";
+  }
+  return "?";
+}
+
+/// Does the scheme aggregate frames for multiple receivers in one PHY
+/// transmission?
+constexpr bool is_multi_receiver(Scheme scheme) noexcept {
+  return scheme == Scheme::kMuAggregation || scheme == Scheme::kCarpool;
+}
+
+/// Does the scheme's PHY run real-time channel estimation?
+constexpr bool uses_rte(Scheme scheme) noexcept {
+  return scheme == Scheme::kCarpool;
+}
+
+}  // namespace carpool::mac

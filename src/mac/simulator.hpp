@@ -1,0 +1,144 @@
+#pragma once
+
+// Event-driven single-collision-domain 802.11 DCF simulator (paper
+// Sec. 7.2.1): two kinds of contenders — one AP with per-STA downlink
+// queues, and STAs with uplink background traffic — share a channel using
+// CSMA/CA with binary exponential backoff. PHY reception is judged by a
+// PhyErrorModel (trace-driven or analytic), collisions destroy all frames
+// involved, and Carpool/MU transmissions use the sequential ACK of Sec. 4.2.
+//
+// The contention loop is a "virtual slot" simulation: between events the
+// next transmission instant is computed directly from the minimum backoff
+// counter, which is exact for an ideal slotted DCF and avoids per-slot
+// events.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "mac/aggregation.hpp"
+#include "mac/energy.hpp"
+#include "mac/frame.hpp"
+#include "mac/params.hpp"
+#include "mac/phy_model.hpp"
+#include "mac/scheme.hpp"
+
+namespace carpool::mac {
+
+/// A traffic flow: pull-based generator of frames. `next` is called with
+/// the current time and must return the arrival time (>= now) and payload
+/// size of the next frame, or a negative time for "no more frames".
+struct FlowSpec {
+  NodeId src = kApNode;
+  NodeId dst = 0;
+  std::function<std::pair<double, std::size_t>(double now, Rng& rng)> next;
+};
+
+struct SimConfig {
+  Scheme scheme = Scheme::kCarpool;
+  MacParams params{};
+  AggregationPolicy aggregation{};
+  std::size_t num_stas = 20;
+  double duration = 20.0;  ///< simulated seconds
+  std::uint64_t seed = 1;
+
+  /// Delivery deadline for downlink frames (seconds); expired frames are
+  /// dropped at the AP and never count toward goodput. Infinity disables.
+  double delivery_deadline = std::numeric_limits<double>::infinity();
+
+  bool use_rts_cts = false;
+
+  /// Fraction of STA pairs that are mutually hidden (cannot carrier-sense
+  /// each other). A hidden station keeps counting down through a peer's
+  /// transmission and collides with it at the AP; RTS/CTS shrinks the
+  /// vulnerable window to the RTS, because the AP's CTS is heard by all
+  /// (paper Sec. 4.2, Fig. 7). 0 = the paper's single-sensing-domain setup.
+  double hidden_pair_fraction = 0.0;
+
+  /// Per-STA link SNR in dB (index 0 = STA 1). Missing entries use 25 dB.
+  std::vector<double> sta_snr_db;
+  double default_snr_db = 25.0;
+  double coherence_time = 5e-3;
+
+  /// SNR-driven per-STA rate selection (Carpool subframes may use
+  /// different MCSs). Off by default: every link uses params.data_rate_bps.
+  bool rate_adaptation = false;
+
+  /// Stations 1..num_legacy_stas do not support Carpool (Sec. 4.3): under
+  /// a multi-receiver scheme the AP serves them with plain legacy frames
+  /// and never aggregates them with others.
+  std::size_t num_legacy_stas = 0;
+
+  /// WiFox: scale applied to the AP's contention window when its queue is
+  /// backlogged (priority boost).
+  double wifox_cw_scale = 0.25;
+  std::size_t wifox_backlog_threshold = 4;
+
+  std::shared_ptr<const PhyErrorModel> phy;  ///< defaults to Analytic
+};
+
+struct NodeEnergy {
+  double tx_seconds = 0.0;
+  double rx_seconds = 0.0;
+  double joules = 0.0;
+  double idle_seconds = 0.0;
+};
+
+struct SimResult {
+  double duration = 0.0;
+
+  double downlink_goodput_bps = 0.0;
+  double uplink_goodput_bps = 0.0;
+  double mean_delay_s = 0.0;     ///< downlink enqueue -> delivery
+  double p95_delay_s = 0.0;
+  double max_delay_s = 0.0;
+
+  std::uint64_t dl_frames_delivered = 0;
+  std::uint64_t dl_frames_dropped = 0;   ///< retry limit or deadline
+  std::uint64_t ul_frames_delivered = 0;
+  std::uint64_t ul_frames_dropped = 0;
+  std::uint64_t tx_attempts = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t subframe_failures = 0;   ///< FCS failures (PHY losses)
+  std::uint64_t false_positive_decodes = 0;
+
+  double airtime_payload = 0.0;     ///< useful payload airtime
+  double airtime_overhead = 0.0;    ///< PLCP/headers/SIFS/ACKs
+  double airtime_collision = 0.0;
+  double airtime_idle = 0.0;        ///< incl. DIFS/backoff
+
+  double mean_ap_queue_depth = 0.0;
+  double avg_aggregated_receivers = 0.0;  ///< mean subunits per AP TXOP
+
+  /// Downlink goodput per STA (index 0 = AP, always 0).
+  std::vector<double> per_sta_goodput_bps;
+
+  /// Jain's fairness index over the per-STA downlink goodputs of stations
+  /// that had downlink traffic: (sum x)^2 / (n * sum x^2); 1 = perfectly
+  /// fair (Sec. 8 fairness discussion).
+  double jain_fairness = 1.0;
+
+  std::vector<NodeEnergy> node_energy;  ///< index 0 = AP
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimConfig config);
+
+  /// Add a traffic flow (downlink if src == kApNode, else uplink).
+  void add_flow(FlowSpec flow);
+
+  /// Run to config.duration and return aggregate metrics.
+  SimResult run();
+
+ private:
+  struct Contender;
+  struct PendingArrival;
+
+  SimConfig config_;
+  std::vector<FlowSpec> flows_;
+};
+
+}  // namespace carpool::mac

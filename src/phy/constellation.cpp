@@ -1,0 +1,170 @@
+#include "phy/constellation.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace carpool {
+namespace {
+
+// Gray-coded PAM levels per axis, indexed by the axis bits packed with the
+// first (earliest) bit as LSB. Values follow IEEE 802.11 Tables 17-(9..11).
+constexpr std::array<double, 2> kPam2{-1.0, 1.0};
+constexpr std::array<double, 4> kPam4{-3.0, 3.0, -1.0, 1.0};
+constexpr std::array<double, 8> kPam8{-7.0, 7.0, -1.0, 1.0,
+                                      -5.0, 5.0, -3.0, 3.0};
+
+double pam_level(unsigned packed, std::size_t bits_per_axis) {
+  switch (bits_per_axis) {
+    case 1:
+      return kPam2[packed];
+    case 2:
+      return kPam4[packed];
+    case 3:
+      return kPam8[packed];
+    default:
+      throw std::logic_error("pam_level: unsupported axis width");
+  }
+}
+
+double normalization(Modulation mod) {
+  switch (mod) {
+    case Modulation::kBpsk:
+      return 1.0;
+    case Modulation::kQpsk:
+      return 1.0 / std::sqrt(2.0);
+    case Modulation::kQam16:
+      return 1.0 / std::sqrt(10.0);
+    case Modulation::kQam64:
+      return 1.0 / std::sqrt(42.0);
+  }
+  throw std::logic_error("unknown modulation");
+}
+
+}  // namespace
+
+std::size_t bits_per_symbol(Modulation mod) noexcept {
+  switch (mod) {
+    case Modulation::kBpsk:
+      return 1;
+    case Modulation::kQpsk:
+      return 2;
+    case Modulation::kQam16:
+      return 4;
+    case Modulation::kQam64:
+      return 6;
+  }
+  return 1;
+}
+
+std::string_view modulation_name(Modulation mod) noexcept {
+  switch (mod) {
+    case Modulation::kBpsk:
+      return "BPSK";
+    case Modulation::kQpsk:
+      return "QPSK";
+    case Modulation::kQam16:
+      return "QAM16";
+    case Modulation::kQam64:
+      return "QAM64";
+  }
+  return "?";
+}
+
+Constellation::Constellation(Modulation mod)
+    : mod_(mod), nbits_(bits_per_symbol(mod)) {
+  const double norm = normalization(mod);
+  const std::size_t count = std::size_t{1} << nbits_;
+  points_.resize(count);
+  for (std::size_t label = 0; label < count; ++label) {
+    if (mod == Modulation::kBpsk) {
+      points_[label] = Cx{pam_level(static_cast<unsigned>(label), 1), 0.0};
+      continue;
+    }
+    const std::size_t axis_bits = nbits_ / 2;
+    const unsigned mask = (1u << axis_bits) - 1u;
+    const unsigned i_packed = static_cast<unsigned>(label) & mask;
+    const unsigned q_packed = (static_cast<unsigned>(label) >> axis_bits) & mask;
+    points_[label] = norm * Cx{pam_level(i_packed, axis_bits),
+                               pam_level(q_packed, axis_bits)};
+  }
+}
+
+Cx Constellation::map(std::span<const std::uint8_t> bits) const {
+  if (bits.size() != nbits_) {
+    throw std::invalid_argument("Constellation::map: wrong bit count");
+  }
+  unsigned label = 0;
+  for (std::size_t i = 0; i < nbits_; ++i) {
+    label |= static_cast<unsigned>(bits[i] & 1u) << i;
+  }
+  return points_[label];
+}
+
+CxVec Constellation::map_all(std::span<const std::uint8_t> bits) const {
+  if (bits.size() % nbits_ != 0) {
+    throw std::invalid_argument("Constellation::map_all: size mismatch");
+  }
+  CxVec out;
+  out.reserve(bits.size() / nbits_);
+  for (std::size_t i = 0; i < bits.size(); i += nbits_) {
+    out.push_back(map(bits.subspan(i, nbits_)));
+  }
+  return out;
+}
+
+Bits Constellation::demap_hard(Cx received) const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t label = 0; label < points_.size(); ++label) {
+    const double d = std::norm(received - points_[label]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = label;
+    }
+  }
+  Bits bits(nbits_);
+  for (std::size_t i = 0; i < nbits_; ++i) {
+    bits[i] = static_cast<std::uint8_t>((best >> i) & 1u);
+  }
+  return bits;
+}
+
+void Constellation::demap_soft(Cx received, double gain, SoftBits& out) const {
+  // Max-log LLR per bit: min distance over points with the bit = 0 minus
+  // min distance over points with the bit = 1; positive favours bit 1.
+  for (std::size_t bit = 0; bit < nbits_; ++bit) {
+    double min0 = std::numeric_limits<double>::infinity();
+    double min1 = std::numeric_limits<double>::infinity();
+    for (std::size_t label = 0; label < points_.size(); ++label) {
+      const double d = std::norm(received - points_[label]);
+      if ((label >> bit) & 1u) {
+        min1 = std::min(min1, d);
+      } else {
+        min0 = std::min(min0, d);
+      }
+    }
+    out.push_back(gain * (min0 - min1));
+  }
+}
+
+const Constellation& constellation(Modulation mod) {
+  static const Constellation bpsk{Modulation::kBpsk};
+  static const Constellation qpsk{Modulation::kQpsk};
+  static const Constellation qam16{Modulation::kQam16};
+  static const Constellation qam64{Modulation::kQam64};
+  switch (mod) {
+    case Modulation::kBpsk:
+      return bpsk;
+    case Modulation::kQpsk:
+      return qpsk;
+    case Modulation::kQam16:
+      return qam16;
+    case Modulation::kQam64:
+      return qam64;
+  }
+  throw std::logic_error("unknown modulation");
+}
+
+}  // namespace carpool

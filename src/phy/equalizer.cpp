@@ -1,0 +1,71 @@
+#include "phy/equalizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace carpool {
+
+SymbolEqualization equalize_symbol(std::span<const Cx> bins,
+                                   std::span<const Cx> h,
+                                   std::size_t symbol_index) {
+  if (bins.size() != kFftSize || h.size() != kFftSize) {
+    throw std::invalid_argument("equalize_symbol: need 64-bin inputs");
+  }
+  // Pilot phase estimate: correlate equalized pilots against expectation.
+  const double polarity = pilot_polarity(symbol_index);
+  const auto pbins = pilot_bins();
+  const auto pbase = pilot_base();
+  Cx corr{};
+  double magnitude_sum = 0.0;
+  for (std::size_t i = 0; i < kNumPilots; ++i) {
+    const Cx hk = h[pbins[i]];
+    if (hk == Cx{}) continue;
+    const Cx eq = bins[pbins[i]] / hk;
+    const double expected = pbase[i] * polarity;
+    corr += eq * expected;  // expected is real +-1
+    magnitude_sum += std::abs(eq);
+  }
+  SymbolEqualization out;
+  out.phase_offset = std::arg(corr);
+  // |sum| / sum|.| is 1 when all pilots agree in phase, < 1 otherwise.
+  out.pilot_quality =
+      magnitude_sum > 0.0 ? std::abs(corr) / magnitude_sum : 0.0;
+
+  const Cx derotate = cx_exp(-out.phase_offset);
+  const auto dbins = data_bins();
+  out.data.resize(kNumDataSubcarriers);
+  out.gains.resize(kNumDataSubcarriers);
+  for (std::size_t i = 0; i < kNumDataSubcarriers; ++i) {
+    const Cx hk = h[dbins[i]];
+    if (hk == Cx{}) {
+      out.data[i] = Cx{};
+      out.gains[i] = 0.0;
+      continue;
+    }
+    out.data[i] = bins[dbins[i]] / hk * derotate;
+    out.gains[i] = std::norm(hk);
+  }
+  return out;
+}
+
+CxVec reference_bins(std::span<const Cx> data_points, std::size_t symbol_index,
+                     double phase_offset) {
+  if (data_points.size() != kNumDataSubcarriers) {
+    throw std::invalid_argument("reference_bins: need 48 data points");
+  }
+  CxVec bins(kFftSize, Cx{});
+  const Cx rotation = cx_exp(phase_offset);
+  const auto dbins = data_bins();
+  for (std::size_t i = 0; i < kNumDataSubcarriers; ++i) {
+    bins[dbins[i]] = data_points[i] * rotation;
+  }
+  const double polarity = pilot_polarity(symbol_index);
+  const auto pbins = pilot_bins();
+  const auto pbase = pilot_base();
+  for (std::size_t i = 0; i < kNumPilots; ++i) {
+    bins[pbins[i]] = Cx{pbase[i] * polarity, 0.0} * rotation;
+  }
+  return bins;
+}
+
+}  // namespace carpool

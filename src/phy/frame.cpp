@@ -1,0 +1,225 @@
+#include "phy/frame.hpp"
+
+#include <stdexcept>
+
+#include "common/crc.hpp"
+#include "fec/interleaver.hpp"
+#include "fec/scrambler.hpp"
+#include "fec/viterbi.hpp"
+
+namespace carpool {
+namespace {
+
+const Interleaver& interleaver_for(const Mcs& m) {
+  static const Interleaver il_bpsk{48, 1};
+  static const Interleaver il_qpsk{96, 2};
+  static const Interleaver il_qam16{192, 4};
+  static const Interleaver il_qam64{288, 6};
+  switch (m.modulation) {
+    case Modulation::kBpsk:
+      return il_bpsk;
+    case Modulation::kQpsk:
+      return il_qpsk;
+    case Modulation::kQam16:
+      return il_qam16;
+    case Modulation::kQam64:
+      return il_qam64;
+  }
+  throw std::logic_error("unknown modulation");
+}
+
+const ViterbiDecoder& viterbi() {
+  static const ViterbiDecoder decoder;
+  return decoder;
+}
+
+}  // namespace
+
+Bytes append_fcs(std::span<const std::uint8_t> body) {
+  Bytes out(body.begin(), body.end());
+  const std::uint32_t crc = crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFFu));
+  }
+  return out;
+}
+
+bool check_fcs(std::span<const std::uint8_t> frame_with_fcs) {
+  if (frame_with_fcs.size() < 4) return false;
+  const auto body = frame_with_fcs.first(frame_with_fcs.size() - 4);
+  const std::uint32_t crc = crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    if (frame_with_fcs[body.size() + static_cast<std::size_t>(i)] !=
+        static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFFu)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Bits build_data_bits(std::span<const std::uint8_t> psdu, const Mcs& m) {
+  const std::size_t n_sym = num_data_symbols(m, psdu.size());
+  const std::size_t total = n_sym * m.n_dbps;
+
+  BitWriter w;
+  w.put_bits(0, 16);  // SERVICE (scrambler init + reserved)
+  w.append(bytes_to_bits(psdu));
+  const std::size_t tail_pos = w.size();
+  w.put_bits(0, 6);  // tail
+  while (w.size() < total) w.put_bit(0);  // pad
+
+  Scrambler scrambler(kScramblerSeed);
+  Bits scrambled = scrambler.process(w.bits());
+  // Tail bits are reset to zero after scrambling (Clause 17.3.5.3) so the
+  // trellis reaches the zero state at the end of the PSDU.
+  for (std::size_t i = tail_pos; i < tail_pos + 6; ++i) scrambled[i] = 0;
+  return scrambled;
+}
+
+Bits code_data_bits(std::span<const std::uint8_t> data_bits, const Mcs& m) {
+  const Bits coded = ConvolutionalCode::encode(data_bits);
+  return ConvolutionalCode::puncture(coded, m.code_rate);
+}
+
+std::vector<CxVec> modulate_coded(std::span<const std::uint8_t> coded,
+                                  const Mcs& m) {
+  if (coded.size() % m.n_cbps != 0) {
+    throw std::invalid_argument("modulate_coded: not a whole symbol count");
+  }
+  const Interleaver& il = interleaver_for(m);
+  const Constellation& con = constellation(m.modulation);
+  std::vector<CxVec> symbols;
+  symbols.reserve(coded.size() / m.n_cbps);
+  for (std::size_t off = 0; off < coded.size(); off += m.n_cbps) {
+    const Bits block = il.interleave(coded.subspan(off, m.n_cbps));
+    symbols.push_back(con.map_all(block));
+  }
+  return symbols;
+}
+
+void demap_symbol_soft(std::span<const Cx> points,
+                       std::span<const double> gains, const Mcs& m,
+                       SoftBits& out) {
+  if (points.size() != kNumDataSubcarriers ||
+      gains.size() != kNumDataSubcarriers) {
+    throw std::invalid_argument("demap_symbol_soft: need 48 points");
+  }
+  const Constellation& con = constellation(m.modulation);
+  SoftBits interleaved;
+  interleaved.reserve(m.n_cbps);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    con.demap_soft(points[i], gains[i], interleaved);
+  }
+  const SoftBits block = interleaver_for(m).deinterleave(interleaved);
+  out.insert(out.end(), block.begin(), block.end());
+}
+
+Bits demap_symbol_hard(std::span<const Cx> points, const Mcs& m) {
+  if (points.size() != kNumDataSubcarriers) {
+    throw std::invalid_argument("demap_symbol_hard: need 48 points");
+  }
+  const Constellation& con = constellation(m.modulation);
+  Bits interleaved;
+  interleaved.reserve(m.n_cbps);
+  for (const Cx& p : points) {
+    const Bits bits = con.demap_hard(p);
+    interleaved.insert(interleaved.end(), bits.begin(), bits.end());
+  }
+  return interleaver_for(m).deinterleave(std::span<const std::uint8_t>(
+      interleaved.data(), interleaved.size()));
+}
+
+std::optional<Bytes> decode_data_bits(std::span<const double> soft,
+                                      const Mcs& m, std::size_t psdu_len) {
+  const SoftBits full = ConvolutionalCode::depuncture(soft, m.code_rate);
+  const std::size_t needed_bits = 16 + 8 * psdu_len;
+  if (full.size() / 2 < needed_bits) return std::nullopt;
+  Bits decoded = viterbi().decode(full, /*terminated=*/false);
+
+  Scrambler scrambler(kScramblerSeed);
+  const Bits descrambled = scrambler.process(decoded);
+  if (descrambled.size() < needed_bits) return std::nullopt;
+  return bits_to_bytes(std::span<const std::uint8_t>(
+      descrambled.data() + 16, 8 * psdu_len));
+}
+
+CxVec LegacyTransmitter::build(std::span<const std::uint8_t> psdu,
+                               const Mcs& m) const {
+  CxVec wave = preamble_waveform();
+
+  const CxVec sig_points = encode_sig(SigInfo{mcs_index(m), psdu.size()});
+  const CxVec sig_symbol = assemble_symbol(sig_points, /*symbol_index=*/0);
+  wave.insert(wave.end(), sig_symbol.begin(), sig_symbol.end());
+
+  const Bits data_bits = build_data_bits(psdu, m);
+  const Bits coded = code_data_bits(data_bits, m);
+  const std::vector<CxVec> symbols = modulate_coded(coded, m);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    const CxVec sym = assemble_symbol(symbols[i], /*symbol_index=*/i + 1);
+    wave.insert(wave.end(), sym.begin(), sym.end());
+  }
+  return wave;
+}
+
+Frontend receive_frontend(std::span<const Cx> waveform) {
+  if (waveform.size() < kPreambleLen) {
+    throw std::invalid_argument("receive_frontend: waveform too short");
+  }
+  Frontend fe;
+  fe.corrected.assign(waveform.begin(), waveform.end());
+
+  const double coarse =
+      estimate_coarse_cfo(std::span<const Cx>(fe.corrected).first(kStfLen));
+  apply_cfo_correction(fe.corrected, coarse);
+
+  const double fine = estimate_fine_cfo(
+      std::span<const Cx>(fe.corrected).subspan(kStfLen, kLtfLen));
+  apply_cfo_correction(fe.corrected, fine);
+
+  fe.cfo_radians_per_sample = coarse + fine;
+  fe.h = estimate_channel_from_ltf(
+      std::span<const Cx>(fe.corrected).subspan(kStfLen, kLtfLen));
+  return fe;
+}
+
+LegacyRxResult LegacyReceiver::receive(std::span<const Cx> waveform) const {
+  LegacyRxResult result;
+  if (waveform.size() < kPreambleLen + kSymbolLen) return result;
+  const Frontend fe = receive_frontend(waveform);
+  const std::span<const Cx> wave(fe.corrected);
+
+  // SIG.
+  const CxVec sig_bins =
+      extract_symbol(wave.subspan(fe.data_start, kSymbolLen));
+  const SymbolEqualization sig_eq = equalize_symbol(sig_bins, fe.h, 0);
+  const auto sig = decode_sig(sig_eq.data, sig_eq.gains);
+  if (!sig) return result;
+  result.sig_ok = true;
+  result.sig = *sig;
+
+  const Mcs& m = mcs(sig->mcs_index);
+  const std::size_t n_sym = num_data_symbols(m, sig->length_bytes);
+  const std::size_t frame_end =
+      fe.data_start + kSymbolLen + n_sym * kSymbolLen;
+  if (waveform.size() < frame_end) return result;
+
+  SoftBits soft;
+  soft.reserve(n_sym * m.n_cbps);
+  for (std::size_t i = 0; i < n_sym; ++i) {
+    const std::size_t off = fe.data_start + kSymbolLen + i * kSymbolLen;
+    const CxVec bins = extract_symbol(wave.subspan(off, kSymbolLen));
+    const SymbolEqualization eq = equalize_symbol(bins, fe.h, i + 1);
+    result.phase_offsets.push_back(eq.phase_offset);
+    result.raw_symbol_bits.push_back(demap_symbol_hard(eq.data, m));
+    demap_symbol_soft(eq.data, eq.gains, m, soft);
+  }
+
+  auto psdu = decode_data_bits(soft, m, sig->length_bytes);
+  if (!psdu) return result;
+  result.decoded = true;
+  result.psdu = std::move(*psdu);
+  result.fcs_ok = check_fcs(result.psdu);
+  return result;
+}
+
+}  // namespace carpool

@@ -1,0 +1,100 @@
+#pragma once
+
+// Legacy PPDU assembly and reception: preamble + SIG + DATA. The DATA path
+// helpers are shared with the Carpool transceiver, which inserts an A-HDR
+// and per-subframe SIGs and injects side-channel phase offsets.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "dsp/complex_vec.hpp"
+#include "phy/equalizer.hpp"
+#include "phy/mcs.hpp"
+#include "phy/ofdm.hpp"
+#include "phy/preamble.hpp"
+#include "phy/sig.hpp"
+
+namespace carpool {
+
+/// Fixed scrambler seed used by both ends (a real receiver recovers the
+/// seed from the SERVICE field; fixing it keeps simulations deterministic
+/// without changing any error behaviour).
+inline constexpr std::uint8_t kScramblerSeed = 0x5D;
+
+/// MAC-level FCS helpers (CRC-32 appended little-endian).
+Bytes append_fcs(std::span<const std::uint8_t> body);
+bool check_fcs(std::span<const std::uint8_t> frame_with_fcs);
+
+/// --- TX data path (shared with Carpool) ---
+
+/// SERVICE + PSDU + tail + pad, scrambled, tail bits re-zeroed; output
+/// length is num_data_symbols(mcs, psdu.size()) * n_dbps.
+Bits build_data_bits(std::span<const std::uint8_t> psdu, const Mcs& m);
+
+/// Convolutional-encode (unterminated) and puncture; output length is a
+/// multiple of n_cbps.
+Bits code_data_bits(std::span<const std::uint8_t> data_bits, const Mcs& m);
+
+/// Per-symbol constellation points: interleave + map each n_cbps block.
+/// Returns one 48-point vector per OFDM symbol.
+std::vector<CxVec> modulate_coded(std::span<const std::uint8_t> coded,
+                                  const Mcs& m);
+
+/// --- RX data path (shared with Carpool) ---
+
+/// Inverse of modulate_coded for one symbol: soft demap (weighted by
+/// per-subcarrier gain) + deinterleave. Appends n_cbps soft values to `out`.
+void demap_symbol_soft(std::span<const Cx> points,
+                       std::span<const double> gains, const Mcs& m,
+                       SoftBits& out);
+
+/// Hard demap + deinterleave one symbol (n_cbps bits): the bits a
+/// symbol-level CRC covers.
+Bits demap_symbol_hard(std::span<const Cx> points, const Mcs& m);
+
+/// Viterbi-decode a soft coded stream and descramble; returns the PSDU
+/// (length from SIG). Returns nullopt if the stream is too short.
+std::optional<Bytes> decode_data_bits(std::span<const double> soft,
+                                      const Mcs& m, std::size_t psdu_len);
+
+/// --- Full legacy transceiver ---
+
+class LegacyTransmitter {
+ public:
+  /// Build a complete PPDU waveform for one PSDU at the given MCS.
+  [[nodiscard]] CxVec build(std::span<const std::uint8_t> psdu,
+                            const Mcs& m) const;
+};
+
+/// Result of the shared preamble front end.
+struct Frontend {
+  CxVec corrected;  ///< CFO-corrected copy of the waveform
+  CxVec h;          ///< initial channel estimate (64 bins)
+  double cfo_radians_per_sample = 0.0;
+  std::size_t data_start = kPreambleLen;  ///< index of the first symbol
+};
+
+/// Run STF/LTF processing on a received waveform that starts at sample 0.
+Frontend receive_frontend(std::span<const Cx> waveform);
+
+struct LegacyRxResult {
+  bool sig_ok = false;
+  SigInfo sig;
+  bool decoded = false;  ///< PSDU extracted (correctness judged by FCS)
+  bool fcs_ok = false;
+  Bytes psdu;
+  std::vector<double> phase_offsets;   ///< measured common phase per symbol
+  std::vector<Bits> raw_symbol_bits;   ///< hard coded bits per data symbol
+};
+
+class LegacyReceiver {
+ public:
+  /// Decode a waveform (frame assumed to start at sample 0, as the MAC
+  /// simulator provides exact timing; see phy/sync.hpp for detection).
+  [[nodiscard]] LegacyRxResult receive(std::span<const Cx> waveform) const;
+};
+
+}  // namespace carpool

@@ -1,0 +1,53 @@
+#include "phy/mcs.hpp"
+
+#include <stdexcept>
+
+namespace carpool {
+namespace {
+
+constexpr std::array<Mcs, 8> kMcsTable{{
+    {Modulation::kBpsk, CodeRate::kHalf, 6e6, 1, 48, 24, "BPSK-1/2 (6M)"},
+    {Modulation::kBpsk, CodeRate::kThreeQuarters, 9e6, 1, 48, 36,
+     "BPSK-3/4 (9M)"},
+    {Modulation::kQpsk, CodeRate::kHalf, 12e6, 2, 96, 48, "QPSK-1/2 (12M)"},
+    {Modulation::kQpsk, CodeRate::kThreeQuarters, 18e6, 2, 96, 72,
+     "QPSK-3/4 (18M)"},
+    {Modulation::kQam16, CodeRate::kHalf, 24e6, 4, 192, 96,
+     "QAM16-1/2 (24M)"},
+    {Modulation::kQam16, CodeRate::kThreeQuarters, 36e6, 4, 192, 144,
+     "QAM16-3/4 (36M)"},
+    {Modulation::kQam64, CodeRate::kTwoThirds, 48e6, 6, 288, 192,
+     "QAM64-2/3 (48M)"},
+    {Modulation::kQam64, CodeRate::kThreeQuarters, 54e6, 6, 288, 216,
+     "QAM64-3/4 (54M)"},
+}};
+
+}  // namespace
+
+std::span<const Mcs> mcs_table() noexcept { return kMcsTable; }
+
+const Mcs& mcs(std::size_t index) {
+  if (index >= kMcsTable.size()) throw std::out_of_range("mcs index");
+  return kMcsTable[index];
+}
+
+const Mcs& basic_mcs() noexcept { return kMcsTable[0]; }
+
+std::size_t mcs_index(const Mcs& m) {
+  for (std::size_t i = 0; i < kMcsTable.size(); ++i) {
+    if (&kMcsTable[i] == &m ||
+        (kMcsTable[i].modulation == m.modulation &&
+         kMcsTable[i].code_rate == m.code_rate)) {
+      return i;
+    }
+  }
+  throw std::invalid_argument("mcs_index: not a table entry");
+}
+
+std::size_t num_data_symbols(const Mcs& m, std::size_t psdu_bytes) {
+  // SERVICE (16 bits) + PSDU + tail (6 bits), rounded up to N_DBPS.
+  const std::size_t payload_bits = 16 + 8 * psdu_bytes + 6;
+  return (payload_bits + m.n_dbps - 1) / m.n_dbps;
+}
+
+}  // namespace carpool

@@ -1,0 +1,42 @@
+#pragma once
+
+// Modulation and coding schemes for the 20 MHz OFDM PHY (802.11a/g rates;
+// the MAC simulator additionally models 802.11n rates as plain bit rates).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "fec/convolutional.hpp"
+#include "phy/constellation.hpp"
+
+namespace carpool {
+
+struct Mcs {
+  Modulation modulation;
+  CodeRate code_rate;
+  double data_rate_bps;     ///< PHY data rate
+  std::size_t n_bpsc;       ///< coded bits per subcarrier
+  std::size_t n_cbps;       ///< coded bits per OFDM symbol (48 carriers)
+  std::size_t n_dbps;       ///< data bits per OFDM symbol
+  std::string_view name;
+};
+
+/// 802.11a/g rate set: 6, 9, 12, 18, 24, 36, 48, 54 Mbit/s.
+std::span<const Mcs> mcs_table() noexcept;
+
+/// Lookup by index (0..7). Throws std::out_of_range on bad index.
+const Mcs& mcs(std::size_t index);
+
+/// The lowest ("basic") rate: BPSK 1/2, 6 Mbit/s. Used by SIG and A-HDR.
+const Mcs& basic_mcs() noexcept;
+
+/// Index of an MCS in the table (for SIG encoding). Throws if not found.
+std::size_t mcs_index(const Mcs& m);
+
+/// Number of OFDM data symbols needed for `psdu_bytes` of MAC payload at
+/// this MCS, including SERVICE (16) and tail (6) bits, with padding.
+std::size_t num_data_symbols(const Mcs& m, std::size_t psdu_bytes);
+
+}  // namespace carpool

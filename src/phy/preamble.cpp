@@ -1,0 +1,152 @@
+#include "phy/preamble.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace carpool {
+namespace {
+
+constexpr std::size_t bin_of(int subcarrier) {
+  return subcarrier >= 0 ? static_cast<std::size_t>(subcarrier)
+                         : kFftSize - static_cast<std::size_t>(-subcarrier);
+}
+
+// LTF sequence on subcarriers -26..+26 (Clause 17.3.3).
+constexpr std::array<int, 53> kLtfSeq{
+    1, 1, -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1, 1, -1, -1, 1,
+    1, -1, 1, -1, 1,  1,  1,  1,  0,  1,  -1, -1, 1,  1, -1, 1,  -1, 1,
+    -1, -1, -1, -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1, 1,  1,  1};
+
+// STF sequence on subcarriers -26..+26 before the sqrt(13/6) factor;
+// entries are multiples of (1+j) (Clause 17.3.3).
+constexpr std::array<int, 53> kStfSeq{
+    0, 0, 1, 0, 0, 0, -1, 0, 0, 0, 1, 0, 0, 0, -1, 0, 0, 0, -1, 0, 0, 0,
+    1, 0, 0, 0, 0,  0, 0, 0, -1, 0, 0, 0, -1, 0, 0, 0, 1, 0, 0, 0, 1, 0,
+    0, 0, 1, 0, 0,  0, 1,  0, 0};
+
+CxVec make_ltf_freq() {
+  CxVec bins(kFftSize, Cx{});
+  for (int sc = -26; sc <= 26; ++sc) {
+    bins[bin_of(sc)] = Cx{static_cast<double>(kLtfSeq[sc + 26]), 0.0};
+  }
+  return bins;
+}
+
+CxVec make_stf_freq() {
+  const double amp = std::sqrt(13.0 / 6.0);
+  CxVec bins(kFftSize, Cx{});
+  for (int sc = -26; sc <= 26; ++sc) {
+    const double v = static_cast<double>(kStfSeq[sc + 26]);
+    bins[bin_of(sc)] = Cx{v * amp, v * amp};
+  }
+  return bins;
+}
+
+const CxVec kLtfFreq = make_ltf_freq();
+const CxVec kStfFreq = make_stf_freq();
+
+// Unit-mean-power scaling (see ofdm.cpp): total bin power of the LTF is 52,
+// of the STF is 12 * (13/6) * 2 = 26... times |1+j|^2 per occupied entry.
+double bins_power(const CxVec& bins) {
+  double p = 0.0;
+  for (const Cx& b : bins) p += std::norm(b);
+  return p;
+}
+
+}  // namespace
+
+std::span<const Cx> ltf_freq() noexcept { return kLtfFreq; }
+
+CxVec stf_waveform() {
+  CxVec time = ifft(kStfFreq);
+  const double gain =
+      static_cast<double>(kFftSize) / std::sqrt(bins_power(kStfFreq));
+  scale(time, gain);
+  // Only bins that are multiples of 4 are occupied, so `time` is periodic
+  // with period 16; tile the first period to 160 samples.
+  CxVec out;
+  out.reserve(kStfLen);
+  for (std::size_t i = 0; i < kStfLen; ++i) out.push_back(time[i % 16]);
+  return out;
+}
+
+CxVec ltf_waveform() {
+  CxVec time = ifft(kLtfFreq);
+  const double gain =
+      static_cast<double>(kFftSize) / std::sqrt(bins_power(kLtfFreq));
+  scale(time, gain);
+  CxVec out;
+  out.reserve(kLtfLen);
+  out.insert(out.end(), time.end() - kLtfCpLen, time.end());
+  out.insert(out.end(), time.begin(), time.end());
+  out.insert(out.end(), time.begin(), time.end());
+  return out;
+}
+
+CxVec preamble_waveform() {
+  CxVec out = stf_waveform();
+  const CxVec ltf = ltf_waveform();
+  out.insert(out.end(), ltf.begin(), ltf.end());
+  return out;
+}
+
+CxVec estimate_channel_from_ltf(std::span<const Cx> ltf_samples) {
+  if (ltf_samples.size() != kLtfLen) {
+    throw std::invalid_argument("estimate_channel_from_ltf: need 160 samples");
+  }
+  const double gain =
+      static_cast<double>(kFftSize) / std::sqrt(bins_power(kLtfFreq));
+  CxVec sym1(ltf_samples.begin() + kLtfCpLen,
+             ltf_samples.begin() + kLtfCpLen + kFftSize);
+  CxVec sym2(ltf_samples.begin() + kLtfCpLen + kFftSize, ltf_samples.end());
+  fft_inplace(sym1);
+  fft_inplace(sym2);
+  CxVec h(kFftSize, Cx{});
+  for (std::size_t k = 0; k < kFftSize; ++k) {
+    if (kLtfFreq[k] == Cx{}) continue;
+    const Cx avg = (sym1[k] + sym2[k]) / 2.0;
+    // Undo the known sequence and the transmit gain. The LTF gain equals
+    // the data-symbol scale (both have 52 unit-power bins), so this H
+    // applies directly to extract_symbol() output.
+    h[k] = avg / (kLtfFreq[k] * gain);
+  }
+  return h;
+}
+
+double estimate_coarse_cfo(std::span<const Cx> stf_samples) {
+  if (stf_samples.size() != kStfLen) {
+    throw std::invalid_argument("estimate_coarse_cfo: need 160 samples");
+  }
+  Cx acc{};
+  // Skip the first short symbol (AGC settling in real receivers).
+  for (std::size_t n = 16; n + 16 < kStfLen; ++n) {
+    acc += std::conj(stf_samples[n]) * stf_samples[n + 16];
+  }
+  return std::arg(acc) / 16.0;
+}
+
+double estimate_fine_cfo(std::span<const Cx> ltf_samples) {
+  if (ltf_samples.size() != kLtfLen) {
+    throw std::invalid_argument("estimate_fine_cfo: need 160 samples");
+  }
+  Cx acc{};
+  for (std::size_t n = kLtfCpLen; n < kLtfCpLen + kFftSize; ++n) {
+    acc += std::conj(ltf_samples[n]) * ltf_samples[n + kFftSize];
+  }
+  return std::arg(acc) / static_cast<double>(kFftSize);
+}
+
+double apply_cfo_correction(std::span<Cx> samples, double radians_per_sample,
+                            double start_phase) {
+  double phase = start_phase;
+  for (Cx& s : samples) {
+    s *= cx_exp(-phase);
+    phase += radians_per_sample;
+  }
+  return phase;
+}
+
+}  // namespace carpool

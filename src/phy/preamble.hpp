@@ -1,0 +1,49 @@
+#pragma once
+
+// Legacy (802.11a/g) PLCP preamble: 8 us short training field (STF) for
+// AGC/coarse CFO and 8 us long training field (LTF) for fine CFO and the
+// initial channel estimate. 320 samples total at 20 Msps.
+
+#include <span>
+
+#include "dsp/complex_vec.hpp"
+#include "phy/ofdm.hpp"
+
+namespace carpool {
+
+inline constexpr std::size_t kStfLen = 160;
+inline constexpr std::size_t kLtfLen = 160;
+inline constexpr std::size_t kPreambleLen = kStfLen + kLtfLen;
+inline constexpr std::size_t kLtfCpLen = 32;
+
+/// Known LTF frequency-domain sequence on the 64-bin grid (+-1 on the 52
+/// occupied subcarriers, 0 elsewhere).
+std::span<const Cx> ltf_freq() noexcept;
+
+/// STF waveform: 10 repetitions of the 16-sample short symbol.
+CxVec stf_waveform();
+
+/// LTF waveform: 32-sample CP followed by two 64-sample long symbols.
+CxVec ltf_waveform();
+
+/// Full legacy preamble (STF + LTF).
+CxVec preamble_waveform();
+
+/// Channel estimate from a received LTF (160 samples): average of the two
+/// long symbols divided by the known sequence; zero on unused bins.
+CxVec estimate_channel_from_ltf(std::span<const Cx> ltf_samples);
+
+/// Coarse CFO estimate from the STF's 16-sample periodicity. Returns the
+/// offset in radians per sample.
+double estimate_coarse_cfo(std::span<const Cx> stf_samples);
+
+/// Fine CFO estimate from the LTF's 64-sample repetition, radians/sample.
+double estimate_fine_cfo(std::span<const Cx> ltf_samples);
+
+/// Derotate `samples` in place by `radians_per_sample`, starting at
+/// accumulated phase `start_phase` (returns the phase after the block so
+/// correction can continue seamlessly across blocks).
+double apply_cfo_correction(std::span<Cx> samples, double radians_per_sample,
+                            double start_phase = 0.0);
+
+}  // namespace carpool

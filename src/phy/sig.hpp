@@ -1,0 +1,40 @@
+#pragma once
+
+// Legacy SIG field (Clause 17.3.4): one BPSK rate-1/2 OFDM symbol carrying
+// RATE (4 bits), LENGTH (12 bits), even parity and 6 tail bits. The SIG is
+// never scrambled — Carpool receivers exploit this to read subframe
+// lengths and skip ahead without descrambler state (paper Sec. 4.1).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/bits.hpp"
+#include "dsp/complex_vec.hpp"
+#include "fec/convolutional.hpp"
+#include "phy/mcs.hpp"
+
+namespace carpool {
+
+struct SigInfo {
+  std::size_t mcs_index = 0;
+  std::size_t length_bytes = 0;  ///< PSDU length, 1..4095
+};
+
+/// Maximum PSDU length encodable in the 12-bit LENGTH field.
+inline constexpr std::size_t kMaxSigLength = 4095;
+
+/// Encode the SIG as 48 BPSK points ready for assemble_symbol().
+CxVec encode_sig(const SigInfo& info);
+
+/// The SIG's 48 coded bits *before* interleaving — the bits a receiver
+/// recovers by hard demapping + deinterleaving, and therefore the bits the
+/// Carpool side channel checksums for the SIG symbol.
+Bits sig_coded_bits(const SigInfo& info);
+
+/// Decode SIG from 48 equalized points (+ per-subcarrier gains for soft
+/// decisions). Returns nullopt if the parity check or rate code fails.
+std::optional<SigInfo> decode_sig(std::span<const Cx> points,
+                                  std::span<const double> gains);
+
+}  // namespace carpool

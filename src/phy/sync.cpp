@@ -1,0 +1,50 @@
+#include "phy/sync.hpp"
+
+#include <cmath>
+
+namespace carpool {
+
+std::optional<SyncResult> detect_frame(std::span<const Cx> samples,
+                                       const SyncConfig& config) {
+  constexpr std::size_t kLag = 16;      // STF short-symbol period
+  constexpr std::size_t kWindow = 64;   // correlation window
+  if (samples.size() < kWindow + kLag) return std::nullopt;
+
+  // Sliding autocorrelation C(n) = sum_{i<W} x[n+i] conj(x[n+i+L]) against
+  // energy E(n); the normalised metric |C|/E approaches 1 inside the STF.
+  Cx corr{};
+  double energy_acc = 0.0;
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    corr += samples[i] * std::conj(samples[i + kLag]);
+    energy_acc += std::norm(samples[i + kLag]);
+  }
+
+  std::size_t run = 0;
+  std::size_t run_start = 0;
+  double best_metric = 0.0;
+  const std::size_t last = samples.size() - kWindow - kLag;
+  for (std::size_t n = 0;; ++n) {
+    const double metric =
+        energy_acc > 1e-30 ? std::abs(corr) / energy_acc : 0.0;
+    if (metric > config.threshold) {
+      if (run == 0) run_start = n;
+      ++run;
+      best_metric = std::max(best_metric, metric);
+      if (run >= config.min_run) {
+        return SyncResult{run_start, best_metric};
+      }
+    } else {
+      run = 0;
+      best_metric = 0.0;
+    }
+    if (n >= last) break;
+    corr += samples[n + kWindow] * std::conj(samples[n + kWindow + kLag]) -
+            samples[n] * std::conj(samples[n + kLag]);
+    energy_acc += std::norm(samples[n + kWindow + kLag]) -
+                  std::norm(samples[n + kLag]);
+    energy_acc = std::max(energy_acc, 0.0);
+  }
+  return std::nullopt;
+}
+
+}  // namespace carpool

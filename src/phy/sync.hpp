@@ -1,0 +1,29 @@
+#pragma once
+
+// Packet detection and coarse timing from the STF's 16-sample periodicity
+// (Schmidl & Cox style autocorrelation). The MAC simulator hands receivers
+// exact frame timing, so this module exists for completeness and is
+// exercised by tests and the quickstart example.
+
+#include <optional>
+#include <span>
+
+#include "dsp/complex_vec.hpp"
+
+namespace carpool {
+
+struct SyncResult {
+  std::size_t frame_start = 0;  ///< estimated index of the first STF sample
+  double metric = 0.0;          ///< peak autocorrelation metric (0..1)
+};
+
+struct SyncConfig {
+  double threshold = 0.8;    ///< detection threshold on the metric
+  std::size_t min_run = 48;  ///< samples the metric must stay above it
+};
+
+/// Scan `samples` for an STF. Returns nullopt if none is found.
+std::optional<SyncResult> detect_frame(std::span<const Cx> samples,
+                                       const SyncConfig& config = {});
+
+}  // namespace carpool

@@ -1,0 +1,188 @@
+#include "sim/phy_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "carpool/transceiver.hpp"
+#include "channel/fading.hpp"
+#include "common/rng.hpp"
+
+namespace carpool::sim {
+namespace {
+
+Bytes random_psdu(std::size_t n, Rng& rng) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  return out;
+}
+
+}  // namespace
+
+TracePhyModel TracePhyModel::generate(const PhyTraceConfig& config) {
+  TracePhyModel model(config);
+  Rng rng(config.seed);
+  const Mcs& m = mcs(config.mcs_index);
+
+  // Build one reusable frame (the channel varies across trials instead).
+  std::vector<SubframeSpec> subframes;
+  for (std::size_t i = 0; i < config.subframes_per_frame; ++i) {
+    subframes.push_back(SubframeSpec{
+        MacAddress::for_station(static_cast<std::uint32_t>(i + 1)),
+        append_fcs(random_psdu(config.subframe_bytes, rng)),
+        config.mcs_index});
+  }
+  const CarpoolTransmitter tx;
+  const CxVec wave = tx.build(subframes);
+
+  // Reference coded bits per subframe for raw-symbol comparisons.
+  std::vector<Bits> reference;
+  for (const SubframeSpec& spec : subframes) {
+    reference.push_back(code_data_bits(build_data_bits(spec.psdu, m), m));
+  }
+  const std::size_t syms_per_subframe =
+      num_data_symbols(m, subframes[0].psdu.size());
+  const std::size_t total_positions =
+      config.subframes_per_frame * (1 + syms_per_subframe);
+  const std::size_t buckets =
+      (total_positions + kBucketSymbols - 1) / kBucketSymbols;
+
+  for (const double snr : config.snr_grid_db) {
+    for (const bool rte : {false, true}) {
+      std::vector<double> fail(buckets, 0.0);
+      std::vector<double> count(buckets, 0.0);
+      std::vector<double> fcs_fail_at(config.subframes_per_frame, 0.0);
+      std::vector<double> trials_at(config.subframes_per_frame, 0.0);
+      double walk_attempts = 0.0;
+      double walk_reached = 0.0;
+
+      for (std::size_t f = 0; f < config.frames_per_point; ++f) {
+        FadingConfig ch;
+        ch.seed = config.seed * 7919 + f * 31 +
+                  static_cast<std::uint64_t>(snr * 10) + (rte ? 1 : 0) * 3;
+        ch.snr_db = snr;
+        ch.coherence_time = config.coherence_time;
+        ch.cfo_hz = 6e3;
+        ch.rician_los = true;  // indoor office links (Fig. 10)
+        ch.rician_k_db = 8.0;
+        FadingChannel channel(ch);
+        const CxVec rx_wave = channel.transmit(wave);
+
+        for (std::size_t target = 0; target < config.subframes_per_frame;
+             ++target) {
+          CarpoolRxConfig rx_cfg;
+          rx_cfg.self = subframes[target].receiver;
+          rx_cfg.use_rte = rte;
+          const CarpoolReceiver rx(rx_cfg);
+          const CarpoolRxResult result = rx.receive(rx_wave);
+
+          walk_attempts += 1.0;
+          for (const DecodedSubframe& sub : result.subframes) {
+            if (sub.index == target) walk_reached += 1.0;
+          }
+          for (const DecodedSubframe& sub : result.subframes) {
+            if (sub.index != target) continue;
+            trials_at[target] += 1.0;
+            if (!sub.fcs_ok) fcs_fail_at[target] += 1.0;
+            // Per-symbol raw failures against the TX coded stream
+            // (diagnostic curve; PER composition uses the FCS hazards).
+            for (std::size_t s = 0; s < sub.raw_symbol_bits.size(); ++s) {
+              const std::span<const std::uint8_t> want(
+                  reference[target].data() + s * m.n_cbps, m.n_cbps);
+              const bool bad =
+                  hamming_distance(sub.raw_symbol_bits[s], want) > 0;
+              const std::size_t position =
+                  target * (1 + syms_per_subframe) + 1 + s;
+              const std::size_t bucket =
+                  std::min(position / kBucketSymbols, buckets - 1);
+              fail[bucket] += bad ? 1.0 : 0.0;
+              count[bucket] += 1.0;
+            }
+          }
+        }
+      }
+
+      Curve curve;
+      curve.failure_by_bucket.resize(buckets, 0.0);
+      for (std::size_t b = 0; b < buckets; ++b) {
+        curve.failure_by_bucket[b] = count[b] > 0 ? fail[b] / count[b] : 0.0;
+      }
+      // Post-FEC hazard per symbol from the measured per-position FCS
+      // failure rates: PER_i = 1 - exp(-h_i * span).
+      curve.hazard_by_bucket.assign(buckets, 0.0);
+      for (std::size_t i = 0; i < config.subframes_per_frame; ++i) {
+        const double per =
+            trials_at[i] > 0.0
+                ? std::min(fcs_fail_at[i] / trials_at[i], 0.98)
+                : 0.0;
+        const double hazard =
+            -std::log(1.0 - per) / static_cast<double>(syms_per_subframe);
+        const std::size_t first = i * (1 + syms_per_subframe) + 1;
+        const std::size_t last = first + syms_per_subframe;
+        for (std::size_t pos = first; pos < last; ++pos) {
+          const std::size_t bucket =
+              std::min(pos / kBucketSymbols, buckets - 1);
+          curve.hazard_by_bucket[bucket] = hazard;
+        }
+      }
+      if (walk_attempts > 0.0) {
+        // A missed subframe means a SIG (BPSK-1/2, fresh chain) was lost:
+        // the measured proxy for control-frame robustness.
+        curve.control_failure = 1.0 - walk_reached / walk_attempts;
+      }
+      (rte ? model.rte_curves_ : model.std_curves_).push_back(
+          std::move(curve));
+    }
+  }
+  return model;
+}
+
+const TracePhyModel::Curve& TracePhyModel::curve(double snr_db,
+                                                 bool rte) const {
+  const auto& grid = config_.snr_grid_db;
+  std::size_t best = 0;
+  double best_dist = std::abs(grid[0] - snr_db);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double d = std::abs(grid[i] - snr_db);
+    if (d < best_dist) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  return rte ? rte_curves_[best] : std_curves_[best];
+}
+
+double TracePhyModel::symbol_failure(double snr_db, bool rte,
+                                     std::size_t symbol_index) const {
+  const Curve& c = curve(snr_db, rte);
+  const std::size_t bucket = std::min(symbol_index / kBucketSymbols,
+                                      c.failure_by_bucket.size() - 1);
+  return c.failure_by_bucket[bucket];
+}
+
+double TracePhyModel::subframe_error_prob(
+    const mac::SubframeChannelQuery& query) const {
+  const Curve& c = curve(query.snr_db, query.rte);
+  // Rescale symbol positions by the coherence-time ratio: a channel twice
+  // as fast makes staleness accrue twice as quickly.
+  const double scale =
+      query.coherence_time > 0.0
+          ? config_.coherence_time / query.coherence_time
+          : 1.0;
+  double hazard = 0.0;
+  for (std::size_t s = 0; s < query.num_symbols; ++s) {
+    const auto scaled = static_cast<std::size_t>(
+        static_cast<double>(query.start_symbol + s) * scale);
+    const std::size_t bucket = std::min(scaled / kBucketSymbols,
+                                        c.hazard_by_bucket.size() - 1);
+    hazard += c.hazard_by_bucket[bucket];
+  }
+  return 1.0 - std::exp(-hazard);
+}
+
+double TracePhyModel::control_error_prob(double snr_db) const {
+  // Use the measured SIG-walk failure rate: SIG symbols are BPSK rate-1/2
+  // like ACK/RTS/CTS frames and follow a fresh channel estimate.
+  return curve(snr_db, /*rte=*/false).control_failure;
+}
+
+}  // namespace carpool::sim

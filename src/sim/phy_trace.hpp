@@ -1,0 +1,72 @@
+#pragma once
+
+// Trace-driven PHY error model (the paper's MAC-evaluation methodology,
+// Sec. 7.2.1): real Carpool frames are run through the bit-exact OFDM PHY
+// and fading channel; the measured per-symbol-position group-failure rates
+// are tabulated and composed into subframe error probabilities for the MAC
+// simulator.
+//
+// For each (SNR, RTE on/off) the generator transmits aggregate frames and
+// records, per symbol position, how often the symbol's coded bits came
+// back wrong (the BER-bias curve of Fig. 3/13), plus the overall FCS pass
+// rate used to calibrate how much the convolutional code rescues.
+
+#include <memory>
+#include <vector>
+
+#include "carpool/side_channel.hpp"
+#include "mac/phy_model.hpp"
+
+namespace carpool::sim {
+
+struct PhyTraceConfig {
+  std::vector<double> snr_grid_db = {10, 14, 18, 22, 26, 30};
+  std::size_t mcs_index = 7;           ///< QAM64-3/4 payloads
+  double coherence_time = 3e-3;        ///< channel during generation
+  std::size_t frames_per_point = 10;
+  std::size_t subframes_per_frame = 4;
+  std::size_t subframe_bytes = 700;
+  std::uint64_t seed = 99;
+};
+
+class TracePhyModel final : public mac::PhyErrorModel {
+ public:
+  /// Run the PHY and build the table. Takes a few seconds at the default
+  /// configuration.
+  static TracePhyModel generate(const PhyTraceConfig& config);
+
+  [[nodiscard]] double subframe_error_prob(
+      const mac::SubframeChannelQuery& query) const override;
+
+  [[nodiscard]] double control_error_prob(double snr_db) const override;
+
+  /// Measured P[symbol group fails] at a grid point (diagnostics/benches).
+  [[nodiscard]] double symbol_failure(double snr_db, bool rte,
+                                      std::size_t symbol_index) const;
+
+  [[nodiscard]] const PhyTraceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  explicit TracePhyModel(PhyTraceConfig config) : config_(std::move(config)) {}
+
+  struct Curve {
+    std::vector<double> failure_by_bucket;  ///< raw per symbol-index bucket
+                                            ///< (diagnostics, Fig. 3 shape)
+    /// Post-FEC failure hazard per symbol, by symbol-index bucket: derived
+    /// from measured per-position FCS failure rates, so composed PERs
+    /// reproduce what the real decoder did.
+    std::vector<double> hazard_by_bucket;
+    double control_failure = 0.0;  ///< measured SIG/A-HDR walk failures
+  };
+  [[nodiscard]] const Curve& curve(double snr_db, bool rte) const;
+
+  static constexpr std::size_t kBucketSymbols = 8;
+
+  PhyTraceConfig config_;
+  std::vector<Curve> std_curves_;  ///< per SNR grid point
+  std::vector<Curve> rte_curves_;
+};
+
+}  // namespace carpool::sim

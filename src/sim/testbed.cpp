@@ -1,0 +1,48 @@
+#include "sim/testbed.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace carpool::sim {
+
+TestbedLayout::TestbedLayout(std::uint64_t seed) {
+  Rng rng(seed);
+  rx_.reserve(kNumLocations);
+  while (rx_.size() < kNumLocations) {
+    const Point p{rng.uniform(0.5, kRoomSize - 0.5),
+                  rng.uniform(0.5, kRoomSize - 0.5)};
+    // Keep receivers at least 1 m from the transmitter (as in the paper's
+    // layout, no receiver sits on top of the TX antenna).
+    const double d = std::hypot(p.x - tx_.x, p.y - tx_.y);
+    if (d >= 1.0) rx_.push_back(p);
+  }
+}
+
+double TestbedLayout::distance(std::size_t location) const {
+  if (location >= rx_.size()) {
+    throw std::out_of_range("TestbedLayout: bad location");
+  }
+  const Point& p = rx_[location];
+  return std::hypot(p.x - tx_.x, p.y - tx_.y);
+}
+
+double TestbedLayout::snr_db(std::size_t location,
+                             double power_magnitude) const {
+  const double tx_dbm = usrp_power_magnitude_to_dbm(power_magnitude);
+  return pathloss_.snr_db(tx_dbm, distance(location));
+}
+
+FadingConfig TestbedLayout::channel_config(std::size_t location,
+                                           double power_magnitude,
+                                           std::uint64_t seed) const {
+  FadingConfig cfg;
+  cfg.snr_db = snr_db(location, power_magnitude);
+  cfg.seed = seed * 1000003ULL + location;
+  cfg.num_taps = 4;        // indoor office delay spread
+  cfg.coherence_time = 5e-3;
+  cfg.cfo_hz = 6e3;        // residual oscillator offset
+  cfg.rician_los = distance(location) < 4.0;  // LOS near the centre
+  return cfg;
+}
+
+}  // namespace carpool::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+// The simulated counterpart of the paper's testbed (Fig. 10): a 10 m x
+// 10 m office with the transmitter at the centre and receivers at 30
+// locations. Locations matter only through their link SNR, which we derive
+// from log-distance path loss; the paper's USRP "power magnitude" knob
+// maps to TX power in dBm.
+
+#include <vector>
+
+#include "channel/fading.hpp"
+#include "channel/pathloss.hpp"
+#include "common/rng.hpp"
+
+namespace carpool::sim {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class TestbedLayout {
+ public:
+  static constexpr double kRoomSize = 10.0;          // metres
+  static constexpr std::size_t kNumLocations = 30;   // paper Fig. 10
+
+  /// Deterministic pseudo-random layout for a seed (same seed = same
+  /// testbed across experiments).
+  explicit TestbedLayout(std::uint64_t seed = 2015);
+
+  [[nodiscard]] Point transmitter() const noexcept { return tx_; }
+  [[nodiscard]] const std::vector<Point>& receivers() const noexcept {
+    return rx_;
+  }
+
+  [[nodiscard]] double distance(std::size_t location) const;
+
+  /// Link SNR at a location for a given USRP power magnitude (0.0125-0.2).
+  [[nodiscard]] double snr_db(std::size_t location,
+                              double power_magnitude) const;
+
+  /// A fading channel parameterised for this location.
+  [[nodiscard]] FadingConfig channel_config(std::size_t location,
+                                            double power_magnitude,
+                                            std::uint64_t seed) const;
+
+ private:
+  Point tx_{kRoomSize / 2, kRoomSize / 2};
+  std::vector<Point> rx_;
+  PathLossModel pathloss_;
+};
+
+}  // namespace carpool::sim

@@ -1,0 +1,66 @@
+#include "traffic/frame_sizes.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace carpool::traffic {
+namespace {
+
+// Piecewise-uniform mixtures; weights sum to 1. SIGCOMM has a fatter tail
+// of MTU-sized frames than the library trace.
+constexpr std::array<FrameSizeDistribution::Segment, 4> kSigcomm = {{
+    {0.40, 40, 120},     // TCP ACKs, control
+    {0.17, 120, 300},    // small data
+    {0.18, 300, 1000},   // medium
+    {0.25, 1000, 1500},  // near-MTU bulk
+}};
+constexpr std::array<FrameSizeDistribution::Segment, 4> kLibrary = {{
+    {0.70, 40, 120},
+    {0.21, 120, 300},
+    {0.05, 300, 1000},
+    {0.04, 1000, 1500},
+}};
+
+}  // namespace
+
+const FrameSizeDistribution::Segment* FrameSizeDistribution::segments(
+    std::size_t& count) const {
+  if (kind_ == TraceKind::kSigcomm) {
+    count = kSigcomm.size();
+    return kSigcomm.data();
+  }
+  count = kLibrary.size();
+  return kLibrary.data();
+}
+
+std::size_t FrameSizeDistribution::sample(Rng& rng) const {
+  std::size_t count = 0;
+  const Segment* segs = segments(count);
+  double u = rng.uniform();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (u < segs[i].weight || i + 1 == count) {
+      return segs[i].lo +
+             rng.uniform_int(static_cast<std::uint64_t>(segs[i].hi -
+                                                        segs[i].lo + 1));
+    }
+    u -= segs[i].weight;
+  }
+  return 1500;
+}
+
+double FrameSizeDistribution::cdf(std::size_t bytes) const {
+  std::size_t count = 0;
+  const Segment* segs = segments(count);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (bytes >= segs[i].hi) {
+      acc += segs[i].weight;
+    } else if (bytes > segs[i].lo) {
+      acc += segs[i].weight * static_cast<double>(bytes - segs[i].lo) /
+             static_cast<double>(segs[i].hi - segs[i].lo);
+    }
+  }
+  return std::min(acc, 1.0);
+}
+
+}  // namespace carpool::traffic

@@ -1,0 +1,40 @@
+#pragma once
+
+// Frame size distributions matched to the paper's Fig. 1(b): the
+// SIGCOMM'04/'08 and campus-library traces. More than 50% (SIGCOMM) and
+// 90% (library) of downlink frames are smaller than 300 bytes, with the
+// remainder stretching to the 1500-byte MTU.
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace carpool::traffic {
+
+enum class TraceKind { kSigcomm, kLibrary };
+
+class FrameSizeDistribution {
+ public:
+  explicit FrameSizeDistribution(TraceKind kind) : kind_(kind) {}
+
+  /// Draw one frame size in bytes (40..1500).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Model CDF at `bytes` (used to regenerate Fig. 1(b)).
+  [[nodiscard]] double cdf(std::size_t bytes) const;
+
+  [[nodiscard]] TraceKind kind() const noexcept { return kind_; }
+
+  struct Segment {
+    double weight;
+    std::size_t lo;
+    std::size_t hi;
+  };
+
+ private:
+  [[nodiscard]] const Segment* segments(std::size_t& count) const;
+
+  TraceKind kind_;
+};
+
+}  // namespace carpool::traffic

@@ -1,0 +1,92 @@
+#include "traffic/generators.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace carpool::traffic {
+
+mac::FlowSpec make_voip_flow(mac::NodeId sta, const VoipParams& params,
+                             bool uplink) {
+  if (params.frame_interval <= 0.0 || params.mean_on <= 0.0 ||
+      params.mean_off <= 0.0) {
+    throw std::invalid_argument("make_voip_flow: invalid parameters");
+  }
+  struct State {
+    double spurt_end = -1.0;  ///< end of the current talk spurt
+    double clock = 0.0;       ///< time of the last generated frame
+  };
+  auto state = std::make_shared<State>();
+  mac::FlowSpec flow;
+  flow.src = uplink ? sta : mac::kApNode;
+  flow.dst = uplink ? mac::kApNode : sta;
+  flow.next = [state, params](double now,
+                              Rng& rng) -> std::pair<double, std::size_t> {
+    double t = std::max(state->clock, now);
+    if (state->spurt_end < 0.0) {
+      // First call: start somewhere inside an OFF period.
+      t += rng.exponential(params.mean_off / 2.0);
+      state->spurt_end = t + rng.exponential(params.mean_on);
+    } else {
+      t += params.frame_interval;
+      if (t > state->spurt_end) {
+        // Silence, then a new spurt.
+        t += rng.exponential(params.mean_off);
+        state->spurt_end = t + rng.exponential(params.mean_on);
+      }
+    }
+    state->clock = t;
+    return {t, params.frame_bytes};
+  };
+  return flow;
+}
+
+std::vector<mac::FlowSpec> make_voip_call(mac::NodeId sta,
+                                          const VoipParams& params) {
+  return {make_voip_flow(sta, params, /*uplink=*/false),
+          make_voip_flow(sta, params, /*uplink=*/true)};
+}
+
+mac::FlowSpec make_poisson_flow(mac::NodeId sta, double mean_interval,
+                                TraceKind sizes, bool uplink) {
+  if (mean_interval <= 0.0) {
+    throw std::invalid_argument("make_poisson_flow: invalid interval");
+  }
+  auto clock = std::make_shared<double>(0.0);
+  const FrameSizeDistribution dist(sizes);
+  mac::FlowSpec flow;
+  flow.src = uplink ? sta : mac::kApNode;
+  flow.dst = uplink ? mac::kApNode : sta;
+  flow.next = [clock, dist, mean_interval](
+                  double now, Rng& rng) -> std::pair<double, std::size_t> {
+    double t = std::max(*clock, now) + rng.exponential(mean_interval);
+    *clock = t;
+    return {t, dist.sample(rng)};
+  };
+  return flow;
+}
+
+std::vector<mac::FlowSpec> make_sigcomm_background(mac::NodeId sta) {
+  // Paper Sec. 7.2.2: mean inter-packet arrival 47 ms (TCP), 88 ms (UDP).
+  return {make_poisson_flow(sta, 0.047, TraceKind::kSigcomm, true),
+          make_poisson_flow(sta, 0.088, TraceKind::kSigcomm, true)};
+}
+
+mac::FlowSpec make_cbr_flow(mac::NodeId sta, std::size_t frame_bytes,
+                            double interval) {
+  if (interval <= 0.0 || frame_bytes == 0) {
+    throw std::invalid_argument("make_cbr_flow: invalid parameters");
+  }
+  auto clock = std::make_shared<double>(0.0);
+  mac::FlowSpec flow;
+  flow.src = mac::kApNode;
+  flow.dst = sta;
+  flow.next = [clock, interval, frame_bytes](
+                  double now, Rng&) -> std::pair<double, std::size_t> {
+    const double t = std::max(*clock, now) + interval;
+    *clock = t;
+    return {t, frame_bytes};
+  };
+  return flow;
+}
+
+}  // namespace carpool::traffic

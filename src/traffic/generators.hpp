@@ -1,0 +1,53 @@
+#pragma once
+
+// Traffic flow factories for the MAC simulator (paper Sec. 7.2):
+//
+//  - VoIP (Brady's ON/OFF model): exponential talk spurts and silences;
+//    during a spurt, 120-byte frames every 10 ms (96 kbit/s peak), per the
+//    IEEE 802.11n usage models.
+//  - SIGCOMM'08 background UDP/TCP: Poisson uplink with mean inter-arrival
+//    47 ms (TCP) / 88 ms (UDP) and trace-matched frame sizes.
+//  - CBR: fixed size / fixed interval (Fig. 17 sweeps).
+//  - Poisson downlink with trace-matched sizes (general busy-hour load).
+
+#include "mac/simulator.hpp"
+#include "traffic/frame_sizes.hpp"
+
+namespace carpool::traffic {
+
+struct VoipParams {
+  double mean_on = 1.0;     ///< talk spurt, seconds (Brady)
+  double mean_off = 1.35;   ///< silence, seconds (Brady)
+  double frame_interval = 0.01;  ///< 10 ms
+  std::size_t frame_bytes = 120;
+
+  /// The paper's Fig. 15 goodput values imply VoIP streams near the 96
+  /// kbit/s peak rate (silence suppression essentially off, so comfort
+  /// noise keeps the stream flowing). This preset reproduces that
+  /// offered-load regime, putting the congestion knee inside the 10-30
+  /// STA window as in the paper.
+  static VoipParams near_peak() { return VoipParams{10.0, 0.1, 0.01, 120}; }
+};
+
+/// VoIP flow for one STA; `uplink` selects the STA -> AP direction (a call
+/// has both directions, each with its own ON/OFF process).
+mac::FlowSpec make_voip_flow(mac::NodeId sta, const VoipParams& params = {},
+                             bool uplink = false);
+
+/// Both directions of one VoIP call.
+std::vector<mac::FlowSpec> make_voip_call(mac::NodeId sta,
+                                          const VoipParams& params = {});
+
+/// Poisson flow with sizes drawn from a trace distribution. `uplink` flips
+/// direction (STA -> AP).
+mac::FlowSpec make_poisson_flow(mac::NodeId sta, double mean_interval,
+                                TraceKind sizes, bool uplink);
+
+/// SIGCOMM'08 background uplink pair for one STA: TCP (47 ms) + UDP (88 ms).
+std::vector<mac::FlowSpec> make_sigcomm_background(mac::NodeId sta);
+
+/// Constant-bit-rate downlink flow (fixed frame size and interval).
+mac::FlowSpec make_cbr_flow(mac::NodeId sta, std::size_t frame_bytes,
+                            double interval);
+
+}  // namespace carpool::traffic

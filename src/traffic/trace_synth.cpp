@@ -1,0 +1,72 @@
+#include "traffic/trace_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace carpool::traffic {
+
+SyntheticTrace synthesize_trace(const TraceSynthConfig& config) {
+  Rng rng(config.seed);
+  SyntheticTrace trace;
+
+  // Assign a population to each AP.
+  std::vector<std::size_t> ap_stas(config.num_aps);
+  for (auto& n : ap_stas) {
+    n = config.stas_per_ap_min +
+        rng.uniform_int(config.stas_per_ap_max - config.stas_per_ap_min + 1);
+    trace.total_stas += n;
+  }
+
+  // Per-STA ON/OFF activity processes for AP 0, sampled each second.
+  struct StaActivity {
+    bool on = false;
+    double until = 0.0;
+  };
+  const std::size_t observed_ap_stas = ap_stas[0];
+  std::vector<StaActivity> stas(observed_ap_stas);
+  for (auto& s : stas) {
+    // Random initial phase.
+    s.on = rng.bernoulli(config.activity_mean_on /
+                         (config.activity_mean_on + config.activity_mean_off));
+    s.until = rng.exponential(s.on ? config.activity_mean_on
+                                   : config.activity_mean_off);
+  }
+
+  const auto seconds = static_cast<std::size_t>(config.duration);
+  trace.active_stas_per_second.reserve(seconds);
+  double active_sum = 0.0;
+  for (std::size_t t = 0; t < seconds; ++t) {
+    std::size_t active = 0;
+    for (auto& s : stas) {
+      while (s.until <= static_cast<double>(t)) {
+        s.on = !s.on;
+        s.until += rng.exponential(s.on ? config.activity_mean_on
+                                        : config.activity_mean_off);
+      }
+      if (s.on) ++active;
+    }
+    trace.active_stas_per_second.push_back(active);
+    active_sum += static_cast<double>(active);
+  }
+  trace.mean_active_stas =
+      seconds > 0 ? active_sum / static_cast<double>(seconds) : 0.0;
+
+  // Traffic volume split: frames are downlink with probability equal to
+  // the target ratio weighted by size class (downlink frames skew larger
+  // in real traces, which we fold into the ratio directly).
+  const FrameSizeDistribution dist(config.sizes);
+  const std::size_t kFrames = 20000;
+  trace.frame_sizes.reserve(kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const std::size_t size = dist.sample(rng);
+    if (rng.bernoulli(config.downlink_ratio)) {
+      trace.downlink_volume_bytes += static_cast<double>(size);
+      trace.frame_sizes.push_back(size);
+    } else {
+      trace.uplink_volume_bytes += static_cast<double>(size);
+    }
+  }
+  return trace;
+}
+
+}  // namespace carpool::traffic

@@ -1,0 +1,49 @@
+#pragma once
+
+// Synthetic public-WLAN trace generator reproducing the statistics of
+// paper Fig. 1 / Sec. 2: the campus-library measurement (15 APs, ~164
+// active STAs over five minutes, 6-28 STAs per AP, mean 7.63 concurrently
+// active per AP) and the SIGCOMM'04/'08 downlink-dominance ratios.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "traffic/frame_sizes.hpp"
+
+namespace carpool::traffic {
+
+struct TraceSynthConfig {
+  std::size_t num_aps = 15;
+  std::size_t stas_per_ap_min = 6;
+  std::size_t stas_per_ap_max = 28;
+  double activity_mean_on = 6.0;   ///< seconds a STA stays active
+  double activity_mean_off = 6.0;  ///< seconds between activity bursts
+  double duration = 300.0;          ///< trace length, seconds
+  double downlink_ratio = 0.892;    ///< library trace value (Fig. 1c)
+  TraceKind sizes = TraceKind::kLibrary;
+  std::uint64_t seed = 7;
+};
+
+struct SyntheticTrace {
+  /// Active STA count for AP 0, sampled each second (Fig. 1a).
+  std::vector<std::size_t> active_stas_per_second;
+  double mean_active_stas = 0.0;
+
+  /// Downlink / total traffic volume (Fig. 1c).
+  double downlink_volume_bytes = 0.0;
+  double uplink_volume_bytes = 0.0;
+  [[nodiscard]] double downlink_ratio() const {
+    const double total = downlink_volume_bytes + uplink_volume_bytes;
+    return total > 0.0 ? downlink_volume_bytes / total : 0.0;
+  }
+
+  /// Sampled downlink frame sizes (Fig. 1b CDF).
+  std::vector<std::size_t> frame_sizes;
+  std::size_t total_stas = 0;
+};
+
+/// Generate a synthetic trace with the configured statistics.
+SyntheticTrace synthesize_trace(const TraceSynthConfig& config);
+
+}  // namespace carpool::traffic

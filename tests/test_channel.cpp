@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.hpp"
+#include "channel/fading.hpp"
+#include "channel/pathloss.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace carpool {
+namespace {
+
+TEST(Awgn, NoisePowerMatchesTarget) {
+  Rng rng(1);
+  CxVec samples(200000, Cx{});
+  add_awgn(samples, 0.25, rng);
+  EXPECT_NEAR(mean_power(samples), 0.25, 0.01);
+}
+
+TEST(Awgn, ZeroPowerIsNoOp) {
+  Rng rng(2);
+  CxVec samples(100, Cx{1.0, 1.0});
+  add_awgn(samples, 0.0, rng);
+  for (const Cx& s : samples) EXPECT_EQ(s, (Cx{1.0, 1.0}));
+}
+
+TEST(Awgn, NegativePowerThrows) {
+  Rng rng(3);
+  CxVec samples(4);
+  EXPECT_THROW(add_awgn(samples, -1.0, rng), std::invalid_argument);
+}
+
+TEST(Awgn, SnrHelper) {
+  EXPECT_NEAR(noise_power_for_snr(1.0, 20.0), 0.01, 1e-12);
+  EXPECT_NEAR(noise_power_for_snr(2.0, 3.0), 1.0024, 1e-3);
+}
+
+TEST(Fading, UnitAverageGain) {
+  // Across many independent realisations, E[sum |h_l|^2] = 1.
+  RunningStats gains;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    FadingConfig cfg;
+    cfg.seed = seed;
+    cfg.snr_db = 200.0;  // effectively noise-free
+    FadingChannel ch(cfg);
+    const CxVec h = ch.frequency_response(64);
+    gains.add(mean_power(h));
+  }
+  EXPECT_NEAR(gains.mean(), 1.0, 0.1);
+}
+
+TEST(Fading, DeterministicPerSeed) {
+  FadingConfig cfg;
+  cfg.seed = 77;
+  FadingChannel a(cfg), b(cfg);
+  const CxVec tx(100, Cx{1.0, 0.0});
+  const CxVec ra = a.transmit(tx);
+  const CxVec rb = b.transmit(tx);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+}
+
+TEST(Fading, SnrControlsNoise) {
+  // Compare received error power against a noise-free run.
+  const CxVec tx(20000, Cx{1.0, 0.0});
+  FadingConfig clean_cfg;
+  clean_cfg.seed = 5;
+  clean_cfg.snr_db = 300.0;
+  FadingChannel clean(clean_cfg);
+  const CxVec ref = clean.transmit(tx);
+
+  for (const double snr_db : {10.0, 20.0}) {
+    FadingConfig cfg;
+    cfg.seed = 5;  // same fading realisation
+    cfg.snr_db = snr_db;
+    FadingChannel noisy(cfg);
+    const CxVec rx = noisy.transmit(tx);
+    double err = 0.0;
+    for (std::size_t i = 0; i < rx.size(); ++i) err += std::norm(rx[i] - ref[i]);
+    err /= static_cast<double>(rx.size());
+    EXPECT_NEAR(err, db_to_linear(-snr_db), db_to_linear(-snr_db) * 0.15);
+  }
+}
+
+TEST(Fading, ChannelVariesFasterWithShorterCoherence) {
+  // Measure decorrelation of H over 2 ms for two coherence times.
+  auto decorrelation = [](double coherence) {
+    FadingConfig cfg;
+    cfg.seed = 9;
+    cfg.coherence_time = coherence;
+    FadingChannel ch(cfg);
+    const CxVec h0 = ch.frequency_response(64);
+    ch.idle(2e-3);
+    const CxVec h1 = ch.frequency_response(64);
+    double num = 0.0, den = 0.0;
+    for (std::size_t k = 0; k < 64; ++k) {
+      num += std::norm(h1[k] - h0[k]);
+      den += std::norm(h0[k]);
+    }
+    return num / den;
+  };
+  const double fast = decorrelation(0.5e-3);
+  const double slow = decorrelation(50e-3);
+  EXPECT_GT(fast, 4.0 * slow);
+}
+
+TEST(Fading, FlatWhenSingleTap) {
+  FadingConfig cfg;
+  cfg.seed = 11;
+  cfg.num_taps = 1;
+  FadingChannel ch(cfg);
+  const CxVec h = ch.frequency_response(64);
+  for (std::size_t k = 1; k < 64; ++k) {
+    EXPECT_NEAR(std::abs(h[k]), std::abs(h[0]), 1e-9);
+  }
+}
+
+TEST(Fading, MultipathIsFrequencySelective) {
+  FadingConfig cfg;
+  cfg.seed = 12;
+  cfg.num_taps = 6;
+  FadingChannel ch(cfg);
+  const CxVec h = ch.frequency_response(64);
+  double min_mag = 1e9, max_mag = 0.0;
+  for (const Cx& hk : h) {
+    min_mag = std::min(min_mag, std::abs(hk));
+    max_mag = std::max(max_mag, std::abs(hk));
+  }
+  EXPECT_GT(max_mag / min_mag, 1.5);
+}
+
+TEST(Fading, CfoRotatesPhase) {
+  FadingConfig cfg;
+  cfg.seed = 13;
+  cfg.num_taps = 1;
+  cfg.coherence_time = 1e3;  // effectively static taps
+  cfg.snr_db = 300.0;
+  cfg.cfo_hz = 10e3;
+  FadingChannel ch(cfg);
+  const CxVec tx(2000, Cx{1.0, 0.0});
+  const CxVec rx = ch.transmit(tx);
+  // Phase advance over 600 samples at 10 kHz / 20 MHz (stays away from
+  // the +-pi wrap boundary).
+  const double expected = kTwoPi * 10e3 * 600.0 / 20e6;
+  const double measured =
+      wrap_angle(std::arg(rx[1100]) - std::arg(rx[500]));
+  EXPECT_NEAR(measured, wrap_angle(expected), 0.05);
+}
+
+TEST(Fading, RicianHasSmallerFadeDepth) {
+  // LOS component should reduce the spread of channel magnitudes.
+  RunningStats rayleigh_mag, rician_mag;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    FadingConfig cfg;
+    cfg.seed = seed;
+    cfg.num_taps = 1;
+    FadingChannel ray(cfg);
+    cfg.rician_los = true;
+    cfg.rician_k_db = 10.0;
+    FadingChannel ric(cfg);
+    rayleigh_mag.add(std::abs(ray.frequency_response(64)[0]));
+    rician_mag.add(std::abs(ric.frequency_response(64)[0]));
+  }
+  EXPECT_LT(rician_mag.stddev(), rayleigh_mag.stddev() * 0.75);
+}
+
+TEST(Fading, InvalidConfigThrows) {
+  FadingConfig cfg;
+  cfg.num_taps = 0;
+  EXPECT_THROW(FadingChannel{cfg}, std::invalid_argument);
+  cfg = FadingConfig{};
+  cfg.coherence_time = -1.0;
+  EXPECT_THROW(FadingChannel{cfg}, std::invalid_argument);
+  cfg = FadingConfig{};
+  cfg.tap_decay = 0.0;
+  EXPECT_THROW(FadingChannel{cfg}, std::invalid_argument);
+}
+
+
+TEST(Fading, TimingOffsetDelaysWaveform) {
+  FadingConfig cfg;
+  cfg.seed = 55;
+  cfg.num_taps = 1;
+  cfg.snr_db = 300.0;
+  cfg.coherence_time = 1e3;
+  FadingChannel aligned(cfg);
+  cfg.timing_offset_samples = 5;
+  FadingChannel offset(cfg);
+  CxVec tx(50, Cx{});
+  tx[0] = Cx{1.0, 0.0};
+  const CxVec a = aligned.transmit(tx);
+  const CxVec b = offset.transmit(tx);
+  // The impulse lands 5 samples later through the offset channel.
+  std::size_t peak_a = 0, peak_b = 0;
+  for (std::size_t i = 1; i < 50; ++i) {
+    if (std::abs(a[i]) > std::abs(a[peak_a])) peak_a = i;
+    if (std::abs(b[i]) > std::abs(b[peak_b])) peak_b = i;
+  }
+  EXPECT_EQ(peak_b, peak_a + 5);
+}
+
+TEST(PathLoss, MonotoneInDistance) {
+  const PathLossModel model;
+  EXPECT_LT(model.loss_db(1.0), model.loss_db(3.0));
+  EXPECT_LT(model.loss_db(3.0), model.loss_db(10.0));
+}
+
+TEST(PathLoss, ExponentSlope) {
+  PathLossConfig cfg;
+  cfg.exponent = 3.0;
+  const PathLossModel model(cfg);
+  // 10x distance -> 30 dB extra loss at exponent 3.
+  EXPECT_NEAR(model.loss_db(10.0) - model.loss_db(1.0), 30.0, 1e-9);
+}
+
+TEST(PathLoss, SnrDecreasesWithDistance) {
+  const PathLossModel model;
+  EXPECT_GT(model.snr_db(20.0, 1.0), model.snr_db(20.0, 8.0));
+}
+
+TEST(PathLoss, UsrpPowerMagnitudeMapping) {
+  // Full scale = 20 dBm; 0.1 magnitude = -20 dB amplitude.
+  EXPECT_NEAR(usrp_power_magnitude_to_dbm(1.0), 20.0, 1e-9);
+  EXPECT_NEAR(usrp_power_magnitude_to_dbm(0.1), 0.0, 1e-9);
+  // Each doubling of magnitude is +6 dB (paper sweeps 0.0125..0.2).
+  EXPECT_NEAR(usrp_power_magnitude_to_dbm(0.2) -
+                  usrp_power_magnitude_to_dbm(0.1),
+              6.0, 0.05);
+  EXPECT_THROW(usrp_power_magnitude_to_dbm(0.0), std::invalid_argument);
+  EXPECT_THROW(usrp_power_magnitude_to_dbm(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace carpool

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/crc.hpp"
+#include "common/hash.hpp"
+#include "common/mac_address.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace carpool {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedCoverage) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(123);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(99);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(3.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(5);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Bits, RoundTripBytesBits) {
+  const Bytes bytes{0x00, 0xFF, 0xA5, 0x3C};
+  const Bits bits = bytes_to_bits(bytes);
+  ASSERT_EQ(bits.size(), 32u);
+  EXPECT_EQ(bits_to_bytes(bits), bytes);
+}
+
+TEST(Bits, LsbFirstOrder) {
+  const Bytes bytes{0x01};
+  const Bits bits = bytes_to_bits(bytes);
+  EXPECT_EQ(bits[0], 1);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(bits[i], 0);
+}
+
+TEST(Bits, BitsToBytesRejectsPartialByte) {
+  const Bits bits(7, 0);
+  EXPECT_THROW((void)bits_to_bytes(bits), std::invalid_argument);
+}
+
+TEST(Bits, HammingDistance) {
+  const Bits a{0, 1, 1, 0};
+  const Bits b{0, 1, 0, 0};
+  EXPECT_EQ(hamming_distance(a, b), 1u);
+  const Bits c{0, 1};
+  EXPECT_EQ(hamming_distance(a, c), 2u);  // no mismatches + 2 length
+}
+
+TEST(BitIo, WriterReaderRoundTrip) {
+  BitWriter w;
+  w.put_bits(0x5A5, 12);
+  w.put_bit(1);
+  w.put_bits(0x3, 2);
+  BitReader r(w.bits());
+  EXPECT_EQ(r.get_bits(12), 0x5A5u);
+  EXPECT_EQ(r.get_bit(), 1);
+  EXPECT_EQ(r.get_bits(2), 0x3u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BitIo, ReaderThrowsWhenExhausted) {
+  const Bits bits{1};
+  BitReader r(bits);
+  (void)r.get_bit();
+  EXPECT_THROW((void)r.get_bit(), std::out_of_range);
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926.
+  const Bytes data{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes data(64, 0xAB);
+  const std::uint32_t ref = crc32(data);
+  data[10] ^= 0x04;
+  EXPECT_NE(crc32(data), ref);
+}
+
+TEST(BitCrc, Crc2DetectsErrorsWithExpectedRate) {
+  // A 2-bit CRC detects all single-bit errors and ~75% of random garbage.
+  Rng rng(11);
+  const std::size_t trials = 2000;
+  std::size_t undetected = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    Bits data(48);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+    const std::uint16_t ref = crc2().compute(data);
+    Bits corrupted = data;
+    // Random multi-bit corruption.
+    const std::size_t flips = 1 + rng.uniform_int(6);
+    for (std::size_t f = 0; f < flips; ++f) {
+      corrupted[rng.uniform_int(corrupted.size())] ^= 1u;
+    }
+    if (corrupted != data && crc2().compute(corrupted) == ref) ++undetected;
+  }
+  const double miss_rate =
+      static_cast<double>(undetected) / static_cast<double>(trials);
+  EXPECT_LT(miss_rate, 0.35);  // 2-bit CRC theoretical miss ~= 25%
+}
+
+TEST(BitCrc, SingleBitErrorAlwaysDetected) {
+  Rng rng(13);
+  for (int t = 0; t < 200; ++t) {
+    Bits data(96);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+    const std::uint16_t ref = crc2().compute(data);
+    Bits corrupted = data;
+    corrupted[rng.uniform_int(corrupted.size())] ^= 1u;
+    EXPECT_NE(crc2().compute(corrupted), ref);
+  }
+}
+
+TEST(BitCrc, WidthValidation) {
+  EXPECT_THROW(BitCrc(0, 0x3), std::invalid_argument);
+  EXPECT_THROW(BitCrc(17, 0x3), std::invalid_argument);
+}
+
+TEST(BitCrc, DifferentWidthsProduceDifferentRanges) {
+  const Bits data{1, 0, 1, 1, 0, 0, 1, 0};
+  EXPECT_LT(crc2().compute(data), 4u);
+  EXPECT_LT(crc4().compute(data), 16u);
+  EXPECT_LT(crc8().compute(data), 256u);
+}
+
+TEST(Hash, KeyedHashesDifferPerKey) {
+  const Bytes data{1, 2, 3, 4, 5, 6};
+  EXPECT_NE(keyed_hash(data, 0), keyed_hash(data, 1));
+  EXPECT_NE(keyed_hash(data, 1), keyed_hash(data, 2));
+}
+
+TEST(Hash, KeyedHashUniformBitPositions) {
+  // Hash positions modulo 48 should be roughly uniform (Bloom assumption).
+  std::array<int, 48> counts{};
+  const int kSamples = 48 * 500;
+  for (int i = 0; i < kSamples; ++i) {
+    const MacAddress mac = MacAddress::for_station(static_cast<std::uint32_t>(i));
+    const auto octets = mac.octets();
+    counts[keyed_hash(octets, 7) % 48] += 1;
+  }
+  const double expected = kSamples / 48.0;
+  for (const int c : counts) {
+    EXPECT_GT(c, expected * 0.7);
+    EXPECT_LT(c, expected * 1.3);
+  }
+}
+
+TEST(MacAddress, RoundTripValue) {
+  const MacAddress mac(0x0123456789ABULL);
+  EXPECT_EQ(mac.value(), 0x0123456789ABULL);
+  EXPECT_EQ(mac.to_string(), "01:23:45:67:89:ab");
+}
+
+TEST(MacAddress, ForStationUniqueAndOrdered) {
+  const MacAddress a = MacAddress::for_station(1);
+  const MacAddress b = MacAddress::for_station(2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(Units, DbConversions) {
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9953, 1e-3);
+  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(db_to_amplitude(6.0), 1.9953, 1e-3);
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(watts_to_dbm(0.001), 0.0, 1e-12);
+}
+
+TEST(Units, Airtime) {
+  // 1500 bytes at 54 Mbit/s ~= 222 us (paper Sec. 3).
+  EXPECT_NEAR(airtime(bits(1500), 54e6), 222e-6, 1e-6);
+  // 64KB at 54 Mbit/s ~= 9.7 ms (paper Sec. 3).
+  EXPECT_NEAR(airtime(bits(64 * 1024), 54e6), 9.7e-3, 0.05e-3);
+}
+
+TEST(Stats, RunningStatsMoments) {
+  RunningStats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Stats, SampleSetPercentilesAndCdf) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(0.9), 90.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(100.0), 1.0);
+}
+
+TEST(Stats, RatioCounter) {
+  RatioCounter r;
+  r.add(true);
+  r.add(false);
+  r.add(false);
+  r.add(true);
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.5);
+  RatioCounter empty;
+  EXPECT_DOUBLE_EQ(empty.ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace carpool

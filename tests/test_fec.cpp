@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fec/convolutional.hpp"
+#include "fec/interleaver.hpp"
+#include "fec/scrambler.hpp"
+#include "fec/viterbi.hpp"
+
+namespace carpool {
+namespace {
+
+Bits random_bits(std::size_t n, Rng& rng) {
+  Bits bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+  return bits;
+}
+
+TEST(Scrambler, SelfInverse) {
+  Rng rng(1);
+  const Bits data = random_bits(256, rng);
+  Scrambler tx(0x5D), rx(0x5D);
+  EXPECT_EQ(rx.process(tx.process(data)), data);
+}
+
+TEST(Scrambler, KnownSequenceAllOnesSeed) {
+  // With the all-ones seed the first 16 outputs are the start of the
+  // 127-bit sequence in Clause 17.3.5.5: 0000 1110 1111 0010 ...
+  Scrambler s(0x7F);
+  const Bits expected{0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0};
+  for (const std::uint8_t e : expected) EXPECT_EQ(s.next_bit(), e);
+}
+
+TEST(Scrambler, Period127) {
+  Scrambler s(0x7F);
+  Bits first(127), second(127);
+  for (auto& b : first) b = s.next_bit();
+  for (auto& b : second) b = s.next_bit();
+  EXPECT_EQ(first, second);
+}
+
+TEST(Scrambler, RejectsZeroSeed) {
+  EXPECT_THROW(Scrambler(0), std::invalid_argument);
+}
+
+TEST(Scrambler, ActuallyChangesData) {
+  const Bits zeros(64, 0);
+  Scrambler s(0x5D);
+  const Bits out = s.process(zeros);
+  EXPECT_NE(out, zeros);
+}
+
+TEST(Convolutional, KnownRateHalfOutputLength) {
+  Rng rng(2);
+  const Bits data = random_bits(100, rng);
+  EXPECT_EQ(ConvolutionalCode::encode(data).size(), 200u);
+}
+
+TEST(Convolutional, AllZeroInputGivesAllZeroOutput) {
+  const Bits zeros(24, 0);
+  const Bits coded = ConvolutionalCode::encode(zeros);
+  for (const auto b : coded) EXPECT_EQ(b, 0);
+}
+
+TEST(Convolutional, PunctureLengths) {
+  Bits coded(48, 1);
+  EXPECT_EQ(ConvolutionalCode::puncture(coded, CodeRate::kHalf).size(), 48u);
+  EXPECT_EQ(ConvolutionalCode::puncture(coded, CodeRate::kTwoThirds).size(),
+            36u);
+  EXPECT_EQ(ConvolutionalCode::puncture(coded, CodeRate::kThreeQuarters).size(),
+            32u);
+}
+
+TEST(Convolutional, DepunctureInsertsErasures) {
+  // 4 coded bits at 2/3 come from 4 full positions, the 4th punctured.
+  const SoftBits soft{1.0, -1.0, 1.0};
+  const SoftBits full =
+      ConvolutionalCode::depuncture(soft, CodeRate::kTwoThirds);
+  ASSERT_EQ(full.size(), 4u);
+  EXPECT_DOUBLE_EQ(full[3], 0.0);
+}
+
+TEST(Convolutional, RateValues) {
+  EXPECT_DOUBLE_EQ(rate_value(CodeRate::kHalf), 0.5);
+  EXPECT_NEAR(rate_value(CodeRate::kTwoThirds), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rate_value(CodeRate::kThreeQuarters), 0.75);
+  EXPECT_NEAR(rate_value(CodeRate::kFiveSixths), 5.0 / 6.0, 1e-12);
+}
+
+TEST(Convolutional, FiveSixthsPunctureLength) {
+  Bits coded(60, 1);
+  EXPECT_EQ(ConvolutionalCode::puncture(coded, CodeRate::kFiveSixths).size(),
+            36u);
+}
+
+class ViterbiRoundTrip
+    : public ::testing::TestWithParam<std::tuple<CodeRate, std::size_t>> {};
+
+TEST_P(ViterbiRoundTrip, NoiselessDecodesExactly) {
+  const auto [rate, size] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(size) * 7 + 1);
+  const Bits data = random_bits(size, rng);
+  const Bits coded = ConvolutionalCode::encode_terminated(data, rate);
+  const ViterbiDecoder decoder;
+  const Bits decoded =
+      decoder.decode_punctured(bits_to_soft(coded), rate, data.size());
+  EXPECT_EQ(decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndSizes, ViterbiRoundTrip,
+    ::testing::Combine(::testing::Values(CodeRate::kHalf,
+                                         CodeRate::kTwoThirds,
+                                         CodeRate::kThreeQuarters,
+                                         CodeRate::kFiveSixths),
+                       ::testing::Values(30, 120, 240, 480)));
+
+TEST(Viterbi, CorrectsBitErrorsAtRateHalf) {
+  Rng rng(5);
+  const Bits data = random_bits(200, rng);
+  const Bits coded = ConvolutionalCode::encode_terminated(data, CodeRate::kHalf);
+  SoftBits soft = bits_to_soft(coded);
+  // Flip ~4% of coded bits, spread out (free distance 10 handles these).
+  for (std::size_t i = 5; i < soft.size(); i += 25) soft[i] = -soft[i];
+  const ViterbiDecoder decoder;
+  const Bits decoded =
+      decoder.decode_punctured(soft, CodeRate::kHalf, data.size());
+  EXPECT_EQ(decoded, data);
+}
+
+TEST(Viterbi, SoftConfidenceBeatsHardDecisions) {
+  // Attenuated (low-confidence) wrong bits should not break decoding.
+  Rng rng(6);
+  const Bits data = random_bits(300, rng);
+  const Bits coded = ConvolutionalCode::encode_terminated(data, CodeRate::kHalf);
+  SoftBits soft = bits_to_soft(coded);
+  for (std::size_t i = 3; i < soft.size(); i += 11) {
+    soft[i] = -0.05 * soft[i];  // weakly wrong
+  }
+  const ViterbiDecoder decoder;
+  const Bits decoded =
+      decoder.decode_punctured(soft, CodeRate::kHalf, data.size());
+  EXPECT_EQ(decoded, data);
+}
+
+TEST(Viterbi, ErasuresTolerated) {
+  Rng rng(7);
+  const Bits data = random_bits(150, rng);
+  const Bits coded = ConvolutionalCode::encode_terminated(data, CodeRate::kHalf);
+  SoftBits soft = bits_to_soft(coded);
+  for (std::size_t i = 0; i < soft.size(); i += 10) soft[i] = 0.0;
+  const ViterbiDecoder decoder;
+  const Bits decoded =
+      decoder.decode_punctured(soft, CodeRate::kHalf, data.size());
+  EXPECT_EQ(decoded, data);
+}
+
+TEST(Viterbi, OddSoftSizeThrows) {
+  const ViterbiDecoder decoder;
+  const SoftBits soft{1.0, -1.0, 1.0};
+  EXPECT_THROW((void)decoder.decode(soft), std::invalid_argument);
+}
+
+TEST(Viterbi, UnterminatedDecodingWorks) {
+  Rng rng(8);
+  const Bits data = random_bits(100, rng);
+  const Bits coded = ConvolutionalCode::encode(data);
+  const ViterbiDecoder decoder;
+  const Bits decoded = decoder.decode(bits_to_soft(coded),
+                                      /*terminated=*/false);
+  EXPECT_EQ(decoded, data);
+}
+
+class InterleaverParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(InterleaverParam, RoundTrip) {
+  const auto [n_cbps, n_bpsc] = GetParam();
+  Rng rng(n_cbps);
+  const Interleaver il(n_cbps, n_bpsc);
+  const Bits block = random_bits(n_cbps, rng);
+  EXPECT_EQ(il.deinterleave(std::span<const std::uint8_t>(il.interleave(block))),
+            block);
+}
+
+TEST_P(InterleaverParam, IsPermutation) {
+  const auto [n_cbps, n_bpsc] = GetParam();
+  const Interleaver il(n_cbps, n_bpsc);
+  // Interleaving a one-hot block must produce a one-hot block.
+  for (std::size_t pos = 0; pos < n_cbps; pos += 17) {
+    Bits block(n_cbps, 0);
+    block[pos] = 1;
+    const Bits out = il.interleave(block);
+    std::size_t ones = 0;
+    for (const auto b : out) ones += b;
+    EXPECT_EQ(ones, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMcs, InterleaverParam,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{48, 1},
+                      std::pair<std::size_t, std::size_t>{96, 2},
+                      std::pair<std::size_t, std::size_t>{192, 4},
+                      std::pair<std::size_t, std::size_t>{288, 6}));
+
+TEST(Interleaver, SpreadsAdjacentBits) {
+  // Adjacent coded bits must map to non-adjacent positions (the point of
+  // the first permutation).
+  const Interleaver il(192, 4);
+  Bits a(192, 0), b(192, 0);
+  a[0] = 1;
+  b[1] = 1;
+  const Bits ia = il.interleave(a);
+  const Bits ib = il.interleave(b);
+  std::size_t pa = 0, pb = 0;
+  for (std::size_t i = 0; i < 192; ++i) {
+    if (ia[i]) pa = i;
+    if (ib[i]) pb = i;
+  }
+  const std::size_t dist = pa > pb ? pa - pb : pb - pa;
+  EXPECT_GE(dist, 8u);
+}
+
+TEST(Interleaver, InvalidConfigThrows) {
+  EXPECT_THROW(Interleaver(47, 1), std::invalid_argument);
+  EXPECT_THROW(Interleaver(0, 1), std::invalid_argument);
+  EXPECT_THROW(Interleaver(48, 0), std::invalid_argument);
+  EXPECT_THROW(Interleaver(48, 5), std::invalid_argument);
+}
+
+TEST(Interleaver, BlockSizeMismatchThrows) {
+  const Interleaver il(48, 1);
+  const Bits wrong(47, 0);
+  EXPECT_THROW((void)il.interleave(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace carpool

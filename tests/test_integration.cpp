@@ -1,0 +1,357 @@
+// Cross-module integration and property tests: full TX -> channel -> RX
+// sweeps, failure injection, and invariants that must hold across random
+// configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "carpool/transceiver.hpp"
+#include "channel/fading.hpp"
+#include "common/rng.hpp"
+#include "mac/simulator.hpp"
+#include "phy/frame.hpp"
+#include "traffic/generators.hpp"
+
+namespace carpool {
+namespace {
+
+Bytes random_psdu(std::size_t n, Rng& rng) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  return out;
+}
+
+// ------------------------------------------------- randomized PHY sweeps
+
+struct RandomFrameCase {
+  std::uint64_t seed;
+};
+
+class RandomCarpoolFrames : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCarpoolFrames, EveryReceiverGetsItsPayloadCleanChannel) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.uniform_int(kMaxReceivers);
+  std::vector<SubframeSpec> subframes;
+  for (std::size_t i = 0; i < n; ++i) {
+    subframes.push_back(SubframeSpec{
+        MacAddress::for_station(
+            static_cast<std::uint32_t>(rng.uniform_int(1 << 16))),
+        append_fcs(random_psdu(1 + rng.uniform_int(1200), rng)),
+        rng.uniform_int(8)});
+  }
+  // Distinct receivers required for per-receiver assertions.
+  std::sort(subframes.begin(), subframes.end(),
+            [](const auto& a, const auto& b) {
+              return a.receiver < b.receiver;
+            });
+  for (std::size_t i = 1; i < subframes.size(); ++i) {
+    if (subframes[i].receiver == subframes[i - 1].receiver) return;  // skip
+  }
+  std::shuffle(subframes.begin(), subframes.end(), rng);
+
+  const CarpoolTransmitter tx;
+  const CxVec wave = tx.build(subframes);
+  EXPECT_EQ(wave.size(), kPreambleLen + CarpoolTransmitter::frame_symbols(
+                                            subframes) *
+                                            kSymbolLen);
+
+  for (std::size_t i = 0; i < subframes.size(); ++i) {
+    CarpoolRxConfig cfg;
+    cfg.self = subframes[i].receiver;
+    const CarpoolReceiver rx(cfg);
+    const auto result = rx.receive(wave);
+    bool ok = false;
+    for (const auto& sub : result.subframes) {
+      if (sub.index == i) {
+        ok = sub.fcs_ok && sub.psdu == subframes[i].psdu;
+      }
+    }
+    EXPECT_TRUE(ok) << "seed " << GetParam() << " subframe " << i << "/"
+                    << subframes.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCarpoolFrames,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+class FadingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FadingSweep, GoodSnrFramesDecodeThroughRandomChannels) {
+  Rng rng(GetParam() * 31 + 5);
+  const std::size_t n = 1 + rng.uniform_int(4);
+  std::vector<SubframeSpec> subframes;
+  for (std::size_t i = 0; i < n; ++i) {
+    subframes.push_back(SubframeSpec{
+        MacAddress::for_station(static_cast<std::uint32_t>(i + 1)),
+        append_fcs(random_psdu(50 + rng.uniform_int(400), rng)),
+        rng.uniform_int(6)});  // up to QAM16-3/4 at 30+ dB
+  }
+  const CarpoolTransmitter tx;
+  const CxVec wave = tx.build(subframes);
+
+  FadingConfig cfg;
+  cfg.seed = GetParam() * 7 + 1;
+  cfg.snr_db = 32.0 + rng.uniform(0.0, 8.0);
+  cfg.coherence_time = rng.uniform(5e-3, 50e-3);
+  cfg.cfo_hz = rng.uniform(-10e3, 10e3);
+  cfg.num_taps = 1 + rng.uniform_int(4);
+  cfg.rician_los = true;
+  FadingChannel channel(cfg);
+  const CxVec rx_wave = channel.transmit(wave);
+
+  std::size_t decoded = 0;
+  for (std::size_t i = 0; i < subframes.size(); ++i) {
+    CarpoolRxConfig rx_cfg;
+    rx_cfg.self = subframes[i].receiver;
+    const CarpoolReceiver rx(rx_cfg);
+    for (const auto& sub : rx.receive(rx_wave).subframes) {
+      if (sub.index == i && sub.fcs_ok) ++decoded;
+    }
+  }
+  // At >=32 dB LOS nearly everything must decode.
+  EXPECT_GE(decoded + 1, subframes.size()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FadingSweep,
+                         ::testing::Range<std::uint64_t>(1, 20));
+
+// ------------------------------------------------------ failure injection
+
+TEST(FailureInjection, TruncatedWaveformsNeverCrash) {
+  Rng rng(100);
+  std::vector<SubframeSpec> subframes{
+      SubframeSpec{MacAddress::for_station(1),
+                   append_fcs(random_psdu(300, rng)), 4},
+      SubframeSpec{MacAddress::for_station(2),
+                   append_fcs(random_psdu(300, rng)), 4}};
+  const CarpoolTransmitter tx;
+  const CxVec wave = tx.build(subframes);
+
+  CarpoolRxConfig cfg;
+  cfg.self = MacAddress::for_station(2);
+  const CarpoolReceiver rx(cfg);
+  for (std::size_t len = 0; len <= wave.size(); len += 97) {
+    const auto result =
+        rx.receive(std::span<const Cx>(wave.data(), len));
+    // Truncation before subframe 2 ends must not produce subframe 2.
+    if (len < wave.size()) {
+      for (const auto& sub : result.subframes) {
+        EXPECT_LT(sub.index, 2u);
+      }
+    }
+  }
+}
+
+TEST(FailureInjection, CorruptedAhdrDropsGracefully) {
+  Rng rng(101);
+  std::vector<SubframeSpec> subframes{SubframeSpec{
+      MacAddress::for_station(1), append_fcs(random_psdu(200, rng)), 4}};
+  const CarpoolTransmitter tx;
+  CxVec wave = tx.build(subframes);
+  // Obliterate the A-HDR symbols.
+  for (std::size_t i = kPreambleLen; i < kPreambleLen + 2 * kSymbolLen; ++i) {
+    wave[i] = Cx{rng.gaussian(), rng.gaussian()};
+  }
+  CarpoolRxConfig cfg;
+  cfg.self = subframes[0].receiver;
+  const CarpoolReceiver rx(cfg);
+  const auto result = rx.receive(wave);  // must not crash or mis-deliver
+  for (const auto& sub : result.subframes) {
+    // If a Bloom false positive led here, FCS still protects the payload.
+    EXPECT_TRUE(sub.fcs_ok || !sub.decoded || sub.psdu != subframes[0].psdu);
+  }
+}
+
+TEST(FailureInjection, MidFrameBurstCorruptsOnlyTail) {
+  Rng rng(102);
+  std::vector<SubframeSpec> subframes{
+      SubframeSpec{MacAddress::for_station(1),
+                   append_fcs(random_psdu(400, rng)), 4},
+      SubframeSpec{MacAddress::for_station(2),
+                   append_fcs(random_psdu(400, rng)), 4}};
+  const CarpoolTransmitter tx;
+  CxVec wave = tx.build(subframes);
+  // Noise burst over the SECOND subframe only.
+  const std::size_t sub1_syms = 1 + num_data_symbols(mcs(4), 404);
+  const std::size_t burst_start =
+      kPreambleLen + (2 + sub1_syms) * kSymbolLen;
+  for (std::size_t i = burst_start; i < wave.size(); ++i) {
+    wave[i] += 2.0 * Cx{rng.gaussian(), rng.gaussian()};
+  }
+
+  CarpoolRxConfig cfg1;
+  cfg1.self = subframes[0].receiver;
+  const auto r1 = CarpoolReceiver(cfg1).receive(wave);
+  bool first_ok = false;
+  for (const auto& sub : r1.subframes) {
+    if (sub.index == 0) first_ok = sub.fcs_ok;
+  }
+  EXPECT_TRUE(first_ok);  // first subframe untouched
+
+  CarpoolRxConfig cfg2;
+  cfg2.self = subframes[1].receiver;
+  const auto r2 = CarpoolReceiver(cfg2).receive(wave);
+  for (const auto& sub : r2.subframes) {
+    if (sub.index == 1 && sub.decoded) {
+      EXPECT_FALSE(sub.fcs_ok);  // burst destroyed it, FCS catches it
+    }
+  }
+}
+
+TEST(FailureInjection, MismatchedCrcSchemeDegradesToNoPilots) {
+  // RX configured for a different side-channel scheme than TX: CRC checks
+  // fail, so no RTE updates happen — but data still decodes (the side
+  // channel never hurts data, Sec. 5.2).
+  Rng rng(103);
+  std::vector<SubframeSpec> subframes{SubframeSpec{
+      MacAddress::for_station(1), append_fcs(random_psdu(300, rng)), 2}};
+  CarpoolFrameConfig txcfg;
+  txcfg.crc_scheme = SymbolCrcScheme{PhaseMod::kTwoBit, 1};
+  const CarpoolTransmitter tx(txcfg);
+  const CxVec wave = tx.build(subframes);
+
+  CarpoolRxConfig rxcfg;
+  rxcfg.self = subframes[0].receiver;
+  rxcfg.crc_scheme = SymbolCrcScheme{PhaseMod::kOneBit, 2};  // wrong
+  const CarpoolReceiver rx(rxcfg);
+  const auto result = rx.receive(wave);
+  ASSERT_FALSE(result.subframes.empty());
+  const DecodedSubframe& sub = result.subframes.front();
+  EXPECT_TRUE(sub.fcs_ok);  // clean channel: data fine
+  // Wrong-scheme CRC verdicts only match by accident (~1/8 for CRC-3), so
+  // far fewer symbols serve as pilots than with the matched scheme — and
+  // on a clean channel those accidental pilots are still correct data, so
+  // nothing breaks.
+  EXPECT_LT(sub.side_bits.size(), 200u);
+  EXPECT_LT(sub.rte_updates, sub.raw_symbol_bits.size() / 2);
+}
+
+// ------------------------------------------------------- MAC invariants
+
+TEST(MacInvariants, ConservationOfFrames) {
+  using namespace mac;
+  SimConfig cfg;
+  cfg.scheme = Scheme::kCarpool;
+  cfg.num_stas = 12;
+  cfg.duration = 5.0;
+  cfg.seed = 5;
+  cfg.delivery_deadline = 0.05;
+  Simulator sim(cfg);
+  std::uint64_t offered_estimate = 0;
+  for (NodeId sta = 1; sta <= 12; ++sta) {
+    sim.add_flow(traffic::make_cbr_flow(sta, 500, 0.004));
+    offered_estimate += static_cast<std::uint64_t>(5.0 / 0.004);
+  }
+  const SimResult r = sim.run();
+  // delivered + dropped <= offered (frames still queued at the end are
+  // neither).
+  EXPECT_LE(r.dl_frames_delivered + r.dl_frames_dropped, offered_estimate);
+  EXPECT_GT(r.dl_frames_delivered, 0u);
+}
+
+TEST(MacInvariants, GoodputNeverExceedsOffered) {
+  using namespace mac;
+  for (const Scheme scheme :
+       {Scheme::kDcf80211, Scheme::kAmpdu, Scheme::kCarpool,
+        Scheme::kMuAggregation, Scheme::kWiFox}) {
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.num_stas = 8;
+    cfg.duration = 5.0;
+    cfg.seed = 7;
+    Simulator sim(cfg);
+    for (NodeId sta = 1; sta <= 8; ++sta) {
+      sim.add_flow(traffic::make_cbr_flow(sta, 1000, 0.01));
+    }
+    const SimResult r = sim.run();
+    const double offered = 8 * 1000 * 8 / 0.01;  // 6.4 Mb/s
+    EXPECT_LE(r.downlink_goodput_bps, offered * 1.02)
+        << scheme_name(scheme);
+  }
+}
+
+TEST(MacInvariants, DelaysNonNegativeAndOrdered) {
+  using namespace mac;
+  SimConfig cfg;
+  cfg.scheme = Scheme::kAmpdu;
+  cfg.num_stas = 20;
+  cfg.duration = 5.0;
+  cfg.seed = 9;
+  Simulator sim(cfg);
+  for (NodeId sta = 1; sta <= 20; ++sta) {
+    for (auto& f :
+         traffic::make_voip_call(sta, traffic::VoipParams::near_peak())) {
+      sim.add_flow(std::move(f));
+    }
+  }
+  const SimResult r = sim.run();
+  EXPECT_GE(r.mean_delay_s, 0.0);
+  EXPECT_LE(r.mean_delay_s, r.p95_delay_s + 1e-12);
+  EXPECT_LE(r.p95_delay_s, r.max_delay_s + 1e-12);
+}
+
+TEST(MacInvariants, MoreReceiversNeverHurtsCarpoolGoodput) {
+  using namespace mac;
+  double prev = 0.0;
+  for (const std::size_t max_rx : {1u, 4u, 8u}) {
+    SimConfig cfg;
+    cfg.scheme = Scheme::kCarpool;
+    cfg.num_stas = 30;
+    cfg.duration = 6.0;
+    cfg.seed = 13;
+    cfg.aggregation.max_receivers = max_rx;
+    Simulator sim(cfg);
+    for (NodeId sta = 1; sta <= 30; ++sta) {
+      for (auto& f :
+           traffic::make_voip_call(sta, traffic::VoipParams::near_peak())) {
+        sim.add_flow(std::move(f));
+      }
+    }
+    const SimResult r = sim.run();
+    EXPECT_GE(r.downlink_goodput_bps, prev * 0.9)
+        << "max_receivers=" << max_rx;
+    prev = std::max(prev, r.downlink_goodput_bps);
+  }
+}
+
+// -------------------------------------------- side channel x RTE matrix
+
+class SchemeMatrix
+    : public ::testing::TestWithParam<std::tuple<PhaseMod, std::size_t>> {};
+
+TEST_P(SchemeMatrix, RoundTripAllSchemes) {
+  const auto [mod, group] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(group) * 100 + 7);
+  std::vector<SubframeSpec> subframes{SubframeSpec{
+      MacAddress::for_station(1), append_fcs(random_psdu(600, rng)), 5}};
+  CarpoolFrameConfig txcfg;
+  txcfg.crc_scheme = SymbolCrcScheme{mod, group};
+  const CarpoolTransmitter tx(txcfg);
+  const CxVec wave = tx.build(subframes);
+
+  FadingConfig ch;
+  ch.seed = group * 3 + (mod == PhaseMod::kOneBit ? 0 : 1);
+  ch.snr_db = 30.0;
+  ch.rician_los = true;
+  FadingChannel channel(ch);
+
+  CarpoolRxConfig rxcfg;
+  rxcfg.self = subframes[0].receiver;
+  rxcfg.crc_scheme = txcfg.crc_scheme;
+  const CarpoolReceiver rx(rxcfg);
+  const auto result = rx.receive(channel.transmit(wave));
+  ASSERT_FALSE(result.subframes.empty());
+  EXPECT_TRUE(result.subframes.front().fcs_ok);
+  EXPECT_GT(result.subframes.front().rte_updates, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeMatrix,
+    ::testing::Combine(::testing::Values(PhaseMod::kOneBit,
+                                         PhaseMod::kTwoBit),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace carpool

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "mac/phy_model.hpp"
+#include "sim/phy_trace.hpp"
+#include "sim/testbed.hpp"
+
+namespace carpool::sim {
+namespace {
+
+TEST(Testbed, ThirtyLocationsInRoom) {
+  const TestbedLayout layout;
+  ASSERT_EQ(layout.receivers().size(), TestbedLayout::kNumLocations);
+  for (const Point& p : layout.receivers()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, TestbedLayout::kRoomSize);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, TestbedLayout::kRoomSize);
+  }
+  EXPECT_DOUBLE_EQ(layout.transmitter().x, 5.0);
+  EXPECT_DOUBLE_EQ(layout.transmitter().y, 5.0);
+}
+
+TEST(Testbed, DeterministicForSeed) {
+  const TestbedLayout a(2015), b(2015), c(99);
+  EXPECT_DOUBLE_EQ(a.receivers()[0].x, b.receivers()[0].x);
+  EXPECT_NE(a.receivers()[0].x, c.receivers()[0].x);
+}
+
+TEST(Testbed, DistancesAtLeastOneMeter) {
+  const TestbedLayout layout;
+  for (std::size_t i = 0; i < TestbedLayout::kNumLocations; ++i) {
+    EXPECT_GE(layout.distance(i), 1.0);
+    EXPECT_LE(layout.distance(i), 8.0);  // room diagonal / 2 + margin
+  }
+  EXPECT_THROW((void)layout.distance(30), std::out_of_range);
+}
+
+TEST(Testbed, SnrIncreasesWithPower) {
+  const TestbedLayout layout;
+  for (std::size_t loc = 0; loc < 5; ++loc) {
+    const double low = layout.snr_db(loc, 0.0125);
+    const double high = layout.snr_db(loc, 0.2);
+    // 0.0125 -> 0.2 is 16x amplitude = +24 dB.
+    EXPECT_NEAR(high - low, 24.0, 0.1);
+  }
+}
+
+TEST(Testbed, ChannelConfigTracksDistance) {
+  const TestbedLayout layout;
+  // Find a near and a far location.
+  std::size_t near = 0, far = 0;
+  for (std::size_t i = 1; i < TestbedLayout::kNumLocations; ++i) {
+    if (layout.distance(i) < layout.distance(near)) near = i;
+    if (layout.distance(i) > layout.distance(far)) far = i;
+  }
+  const FadingConfig near_cfg = layout.channel_config(near, 0.1, 1);
+  const FadingConfig far_cfg = layout.channel_config(far, 0.1, 1);
+  EXPECT_GT(near_cfg.snr_db, far_cfg.snr_db);
+}
+
+class TraceModelTest : public ::testing::Test {
+ protected:
+  static const TracePhyModel& model() {
+    static const TracePhyModel instance = [] {
+      PhyTraceConfig cfg;
+      cfg.snr_grid_db = {18, 26};
+      cfg.frames_per_point = 4;
+      cfg.subframes_per_frame = 3;
+      cfg.subframe_bytes = 400;
+      return TracePhyModel::generate(cfg);
+    }();
+    return instance;
+  }
+};
+
+TEST_F(TraceModelTest, BerBiasMeasuredFromRealPhy) {
+  // Without RTE, later symbol positions fail more often (Fig. 3).
+  const double front = model().symbol_failure(18.0, false, 2);
+  const double rear = model().symbol_failure(18.0, false, 60);
+  EXPECT_GE(rear, front);
+}
+
+TEST_F(TraceModelTest, RteReducesTailFailures) {
+  const double std_rear = model().symbol_failure(18.0, false, 60);
+  const double rte_rear = model().symbol_failure(18.0, true, 60);
+  EXPECT_LE(rte_rear, std_rear);
+}
+
+TEST_F(TraceModelTest, ComposedPerMonotoneInLength) {
+  mac::SubframeChannelQuery q;
+  q.snr_db = 18.0;
+  q.coherence_time = 3e-3;
+  q.start_symbol = 10;
+  q.num_symbols = 5;
+  const double short_per = model().subframe_error_prob(q);
+  q.num_symbols = 50;
+  const double long_per = model().subframe_error_prob(q);
+  EXPECT_GE(long_per, short_per);
+}
+
+TEST_F(TraceModelTest, HigherSnrLowersPer) {
+  mac::SubframeChannelQuery q;
+  q.coherence_time = 3e-3;
+  q.start_symbol = 20;
+  q.num_symbols = 30;
+  q.snr_db = 18.0;
+  const double low = model().subframe_error_prob(q);
+  q.snr_db = 26.0;
+  const double high = model().subframe_error_prob(q);
+  EXPECT_LE(high, low);
+}
+
+TEST_F(TraceModelTest, ControlFramesReliableAtHighSnr) {
+  EXPECT_LT(model().control_error_prob(26.0), 0.2);
+}
+
+TEST_F(TraceModelTest, AgreesWithAnalyticModelDirectionally) {
+  // Cross-validation: both models must rank (rte, position) cells the
+  // same way at moderate SNR.
+  const mac::AnalyticPhyModel analytic;
+  mac::SubframeChannelQuery rear;
+  rear.snr_db = 18.0;
+  rear.coherence_time = 3e-3;
+  rear.start_symbol = 60;
+  rear.num_symbols = 20;
+  mac::SubframeChannelQuery front = rear;
+  front.start_symbol = 0;
+
+  const double trace_gap = model().subframe_error_prob(rear) -
+                           model().subframe_error_prob(front);
+  const double analytic_gap = analytic.subframe_error_prob(rear) -
+                              analytic.subframe_error_prob(front);
+  EXPECT_GE(trace_gap, -0.05);
+  EXPECT_GE(analytic_gap, 0.0);
+}
+
+}  // namespace
+}  // namespace carpool::sim

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "traffic/frame_sizes.hpp"
+#include "traffic/generators.hpp"
+#include "traffic/trace_synth.hpp"
+
+namespace carpool::traffic {
+namespace {
+
+TEST(FrameSizes, SigcommMatchesPaperCdf) {
+  // Fig. 1(b): more than 50% of SIGCOMM downlink frames are < 300 B.
+  const FrameSizeDistribution dist(TraceKind::kSigcomm);
+  EXPECT_GT(dist.cdf(300), 0.5);
+  EXPECT_LT(dist.cdf(300), 0.75);
+  EXPECT_DOUBLE_EQ(dist.cdf(1500), 1.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(0), 0.0);
+}
+
+TEST(FrameSizes, LibraryMatchesPaperCdf) {
+  // Fig. 1(b): more than 90% of library downlink frames are < 300 B.
+  const FrameSizeDistribution dist(TraceKind::kLibrary);
+  EXPECT_GT(dist.cdf(300), 0.9);
+}
+
+TEST(FrameSizes, SamplesMatchCdf) {
+  Rng rng(3);
+  for (const TraceKind kind : {TraceKind::kSigcomm, TraceKind::kLibrary}) {
+    const FrameSizeDistribution dist(kind);
+    SampleSet samples;
+    for (int i = 0; i < 20000; ++i) {
+      const std::size_t s = dist.sample(rng);
+      EXPECT_GE(s, 40u);
+      EXPECT_LE(s, 1500u);
+      samples.add(static_cast<double>(s));
+    }
+    for (const std::size_t x : {120u, 300u, 1000u}) {
+      EXPECT_NEAR(samples.cdf(static_cast<double>(x)), dist.cdf(x), 0.02);
+    }
+  }
+}
+
+TEST(Voip, PeakRateMatches96Kbps) {
+  // During a talk spurt: 120 B / 10 ms = 96 kbit/s.
+  const VoipParams params;
+  EXPECT_NEAR(static_cast<double>(params.frame_bytes) * 8.0 /
+                  params.frame_interval,
+              96e3, 1.0);
+}
+
+TEST(Voip, OnOffStructure) {
+  Rng rng(5);
+  auto flow = make_voip_flow(1);
+  double now = 0.0;
+  std::vector<double> gaps;
+  double prev = -1.0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto [t, size] = flow.next(now, rng);
+    EXPECT_EQ(size, 120u);
+    if (prev >= 0.0) gaps.push_back(t - prev);
+    prev = t;
+    now = t;
+  }
+  // Most gaps are the 10 ms frame interval; some are long silences.
+  std::size_t short_gaps = 0, long_gaps = 0;
+  for (const double g : gaps) {
+    if (g < 0.011) ++short_gaps;
+    if (g > 0.1) ++long_gaps;
+  }
+  EXPECT_GT(short_gaps, gaps.size() * 6 / 10);
+  EXPECT_GT(long_gaps, 10u);
+}
+
+TEST(Voip, AverageRateBelowPeak) {
+  // Brady duty cycle ~ 1.0/(1.0+1.35) = 0.426 -> ~41 kbit/s average.
+  Rng rng(6);
+  auto flow = make_voip_flow(1);
+  double now = 0.0;
+  double bytes = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto [t, size] = flow.next(now, rng);
+    bytes += static_cast<double>(size);
+    now = t;
+  }
+  const double rate = bytes * 8.0 / now;
+  EXPECT_GT(rate, 25e3);
+  EXPECT_LT(rate, 60e3);
+}
+
+TEST(Poisson, MeanIntervalRespected) {
+  Rng rng(7);
+  auto flow = make_poisson_flow(1, 0.047, TraceKind::kSigcomm, true);
+  EXPECT_EQ(flow.src, 1u);
+  EXPECT_EQ(flow.dst, mac::kApNode);
+  double now = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto [t, size] = flow.next(now, rng);
+    EXPECT_GT(t, now);
+    now = t;
+  }
+  EXPECT_NEAR(now / n, 0.047, 0.002);
+}
+
+TEST(Poisson, RejectsBadInterval) {
+  EXPECT_THROW((void)make_poisson_flow(1, 0.0, TraceKind::kSigcomm, true),
+               std::invalid_argument);
+}
+
+TEST(SigcommBackground, TwoFlowsPerSta) {
+  const auto flows = make_sigcomm_background(3);
+  ASSERT_EQ(flows.size(), 2u);
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.src, 3u);
+    EXPECT_EQ(f.dst, mac::kApNode);
+  }
+}
+
+TEST(Cbr, FixedSizeAndInterval) {
+  Rng rng(8);
+  auto flow = make_cbr_flow(2, 800, 0.02);
+  double now = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    const auto [t, size] = flow.next(now, rng);
+    EXPECT_EQ(size, 800u);
+    EXPECT_NEAR(t, 0.02 * i, 1e-9);
+    now = t;
+  }
+}
+
+TEST(TraceSynth, MeanActiveStasNearPaper) {
+  // Paper Fig. 1(a): the average number of active STAs per AP is 7.63.
+  TraceSynthConfig cfg;
+  const SyntheticTrace trace = synthesize_trace(cfg);
+  ASSERT_EQ(trace.active_stas_per_second.size(), 300u);
+  EXPECT_GT(trace.mean_active_stas, 4.0);
+  EXPECT_LT(trace.mean_active_stas, 12.0);
+}
+
+TEST(TraceSynth, DownlinkRatioMatchesTarget) {
+  for (const double target : {0.80, 0.834, 0.892}) {
+    TraceSynthConfig cfg;
+    cfg.downlink_ratio = target;
+    cfg.seed = static_cast<std::uint64_t>(target * 1000);
+    const SyntheticTrace trace = synthesize_trace(cfg);
+    EXPECT_NEAR(trace.downlink_ratio(), target, 0.02);
+  }
+}
+
+TEST(TraceSynth, StaPopulationInRange) {
+  TraceSynthConfig cfg;
+  const SyntheticTrace trace = synthesize_trace(cfg);
+  // 15 APs x 6..28 STAs; paper reports ~164 on average.
+  EXPECT_GE(trace.total_stas, cfg.num_aps * cfg.stas_per_ap_min);
+  EXPECT_LE(trace.total_stas, cfg.num_aps * cfg.stas_per_ap_max);
+}
+
+TEST(TraceSynth, ActivityVariesOverTime) {
+  TraceSynthConfig cfg;
+  const SyntheticTrace trace = synthesize_trace(cfg);
+  std::size_t lo = 1000, hi = 0;
+  for (const std::size_t a : trace.active_stas_per_second) {
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  EXPECT_GT(hi, lo);  // Fig. 1(a) shows fluctuation between 2 and 14
+}
+
+}  // namespace
+}  // namespace carpool::traffic
