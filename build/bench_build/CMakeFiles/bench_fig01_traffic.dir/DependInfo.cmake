@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig01_traffic.cpp" "bench_build/CMakeFiles/bench_fig01_traffic.dir/bench_fig01_traffic.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig01_traffic.dir/bench_fig01_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/carpool/CMakeFiles/carpool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/carpool_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/carpool_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/carpool_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/carpool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/carpool_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/carpool_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/carpool_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/carpool_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_ber_bias"
+  "../bench/bench_fig03_ber_bias.pdb"
+  "CMakeFiles/bench_fig03_ber_bias.dir/bench_fig03_ber_bias.cpp.o"
+  "CMakeFiles/bench_fig03_ber_bias.dir/bench_fig03_ber_bias.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_ber_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_impact"
+  "../bench/bench_fig11_impact.pdb"
+  "CMakeFiles/bench_fig11_impact.dir/bench_fig11_impact.cpp.o"
+  "CMakeFiles/bench_fig11_impact.dir/bench_fig11_impact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

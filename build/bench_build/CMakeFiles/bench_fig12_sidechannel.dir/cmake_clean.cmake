@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_sidechannel"
+  "../bench/bench_fig12_sidechannel.pdb"
+  "CMakeFiles/bench_fig12_sidechannel.dir/bench_fig12_sidechannel.cpp.o"
+  "CMakeFiles/bench_fig12_sidechannel.dir/bench_fig12_sidechannel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

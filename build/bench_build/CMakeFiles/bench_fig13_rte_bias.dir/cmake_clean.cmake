@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_rte_bias"
+  "../bench/bench_fig13_rte_bias.pdb"
+  "CMakeFiles/bench_fig13_rte_bias.dir/bench_fig13_rte_bias.cpp.o"
+  "CMakeFiles/bench_fig13_rte_bias.dir/bench_fig13_rte_bias.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_rte_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

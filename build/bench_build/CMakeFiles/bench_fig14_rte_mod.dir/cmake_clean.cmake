@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_rte_mod"
+  "../bench/bench_fig14_rte_mod.pdb"
+  "CMakeFiles/bench_fig14_rte_mod.dir/bench_fig14_rte_mod.cpp.o"
+  "CMakeFiles/bench_fig14_rte_mod.dir/bench_fig14_rte_mod.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rte_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

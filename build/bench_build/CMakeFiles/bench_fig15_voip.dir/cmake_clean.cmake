@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_voip"
+  "../bench/bench_fig15_voip.pdb"
+  "CMakeFiles/bench_fig15_voip.dir/bench_fig15_voip.cpp.o"
+  "CMakeFiles/bench_fig15_voip.dir/bench_fig15_voip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_voip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_background"
+  "../bench/bench_fig16_background.pdb"
+  "CMakeFiles/bench_fig16_background.dir/bench_fig16_background.cpp.o"
+  "CMakeFiles/bench_fig16_background.dir/bench_fig16_background.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_latency_frames"
+  "../bench/bench_fig17_latency_frames.pdb"
+  "CMakeFiles/bench_fig17_latency_frames.dir/bench_fig17_latency_frames.cpp.o"
+  "CMakeFiles/bench_fig17_latency_frames.dir/bench_fig17_latency_frames.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_latency_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

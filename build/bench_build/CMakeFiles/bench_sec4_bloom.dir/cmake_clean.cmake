@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4_bloom"
+  "../bench/bench_sec4_bloom.pdb"
+  "CMakeFiles/bench_sec4_bloom.dir/bench_sec4_bloom.cpp.o"
+  "CMakeFiles/bench_sec4_bloom.dir/bench_sec4_bloom.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec5_granularity"
+  "../bench/bench_sec5_granularity.pdb"
+  "CMakeFiles/bench_sec5_granularity.dir/bench_sec5_granularity.cpp.o"
+  "CMakeFiles/bench_sec5_granularity.dir/bench_sec5_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec8_mumimo"
+  "../bench/bench_sec8_mumimo.pdb"
+  "CMakeFiles/bench_sec8_mumimo.dir/bench_sec8_mumimo.cpp.o"
+  "CMakeFiles/bench_sec8_mumimo.dir/bench_sec8_mumimo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_mumimo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference_hall.dir/conference_hall.cpp.o"
+  "CMakeFiles/conference_hall.dir/conference_hall.cpp.o.d"
+  "conference_hall"
+  "conference_hall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference_hall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/side_channel_demo.dir/side_channel_demo.cpp.o"
+  "CMakeFiles/side_channel_demo.dir/side_channel_demo.cpp.o.d"
+  "side_channel_demo"
+  "side_channel_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/side_channel_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

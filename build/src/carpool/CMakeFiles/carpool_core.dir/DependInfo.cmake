@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/carpool/ack.cpp" "src/carpool/CMakeFiles/carpool_core.dir/ack.cpp.o" "gcc" "src/carpool/CMakeFiles/carpool_core.dir/ack.cpp.o.d"
+  "/root/repo/src/carpool/ahdr.cpp" "src/carpool/CMakeFiles/carpool_core.dir/ahdr.cpp.o" "gcc" "src/carpool/CMakeFiles/carpool_core.dir/ahdr.cpp.o.d"
+  "/root/repo/src/carpool/bloom.cpp" "src/carpool/CMakeFiles/carpool_core.dir/bloom.cpp.o" "gcc" "src/carpool/CMakeFiles/carpool_core.dir/bloom.cpp.o.d"
+  "/root/repo/src/carpool/compat.cpp" "src/carpool/CMakeFiles/carpool_core.dir/compat.cpp.o" "gcc" "src/carpool/CMakeFiles/carpool_core.dir/compat.cpp.o.d"
+  "/root/repo/src/carpool/mumimo.cpp" "src/carpool/CMakeFiles/carpool_core.dir/mumimo.cpp.o" "gcc" "src/carpool/CMakeFiles/carpool_core.dir/mumimo.cpp.o.d"
+  "/root/repo/src/carpool/rtscts.cpp" "src/carpool/CMakeFiles/carpool_core.dir/rtscts.cpp.o" "gcc" "src/carpool/CMakeFiles/carpool_core.dir/rtscts.cpp.o.d"
+  "/root/repo/src/carpool/side_channel.cpp" "src/carpool/CMakeFiles/carpool_core.dir/side_channel.cpp.o" "gcc" "src/carpool/CMakeFiles/carpool_core.dir/side_channel.cpp.o.d"
+  "/root/repo/src/carpool/transceiver.cpp" "src/carpool/CMakeFiles/carpool_core.dir/transceiver.cpp.o" "gcc" "src/carpool/CMakeFiles/carpool_core.dir/transceiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/carpool_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/carpool_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/carpool_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/carpool_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_core.dir/ack.cpp.o"
+  "CMakeFiles/carpool_core.dir/ack.cpp.o.d"
+  "CMakeFiles/carpool_core.dir/ahdr.cpp.o"
+  "CMakeFiles/carpool_core.dir/ahdr.cpp.o.d"
+  "CMakeFiles/carpool_core.dir/bloom.cpp.o"
+  "CMakeFiles/carpool_core.dir/bloom.cpp.o.d"
+  "CMakeFiles/carpool_core.dir/compat.cpp.o"
+  "CMakeFiles/carpool_core.dir/compat.cpp.o.d"
+  "CMakeFiles/carpool_core.dir/mumimo.cpp.o"
+  "CMakeFiles/carpool_core.dir/mumimo.cpp.o.d"
+  "CMakeFiles/carpool_core.dir/rtscts.cpp.o"
+  "CMakeFiles/carpool_core.dir/rtscts.cpp.o.d"
+  "CMakeFiles/carpool_core.dir/side_channel.cpp.o"
+  "CMakeFiles/carpool_core.dir/side_channel.cpp.o.d"
+  "CMakeFiles/carpool_core.dir/transceiver.cpp.o"
+  "CMakeFiles/carpool_core.dir/transceiver.cpp.o.d"
+  "libcarpool_core.a"
+  "libcarpool_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_channel.dir/awgn.cpp.o"
+  "CMakeFiles/carpool_channel.dir/awgn.cpp.o.d"
+  "CMakeFiles/carpool_channel.dir/fading.cpp.o"
+  "CMakeFiles/carpool_channel.dir/fading.cpp.o.d"
+  "CMakeFiles/carpool_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/carpool_channel.dir/pathloss.cpp.o.d"
+  "libcarpool_channel.a"
+  "libcarpool_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_common.dir/bits.cpp.o"
+  "CMakeFiles/carpool_common.dir/bits.cpp.o.d"
+  "CMakeFiles/carpool_common.dir/crc.cpp.o"
+  "CMakeFiles/carpool_common.dir/crc.cpp.o.d"
+  "CMakeFiles/carpool_common.dir/mac_address.cpp.o"
+  "CMakeFiles/carpool_common.dir/mac_address.cpp.o.d"
+  "libcarpool_common.a"
+  "libcarpool_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_dsp.dir/complex_vec.cpp.o"
+  "CMakeFiles/carpool_dsp.dir/complex_vec.cpp.o.d"
+  "CMakeFiles/carpool_dsp.dir/fft.cpp.o"
+  "CMakeFiles/carpool_dsp.dir/fft.cpp.o.d"
+  "libcarpool_dsp.a"
+  "libcarpool_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fec/convolutional.cpp" "src/fec/CMakeFiles/carpool_fec.dir/convolutional.cpp.o" "gcc" "src/fec/CMakeFiles/carpool_fec.dir/convolutional.cpp.o.d"
+  "/root/repo/src/fec/interleaver.cpp" "src/fec/CMakeFiles/carpool_fec.dir/interleaver.cpp.o" "gcc" "src/fec/CMakeFiles/carpool_fec.dir/interleaver.cpp.o.d"
+  "/root/repo/src/fec/scrambler.cpp" "src/fec/CMakeFiles/carpool_fec.dir/scrambler.cpp.o" "gcc" "src/fec/CMakeFiles/carpool_fec.dir/scrambler.cpp.o.d"
+  "/root/repo/src/fec/viterbi.cpp" "src/fec/CMakeFiles/carpool_fec.dir/viterbi.cpp.o" "gcc" "src/fec/CMakeFiles/carpool_fec.dir/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/carpool_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_fec.dir/convolutional.cpp.o"
+  "CMakeFiles/carpool_fec.dir/convolutional.cpp.o.d"
+  "CMakeFiles/carpool_fec.dir/interleaver.cpp.o"
+  "CMakeFiles/carpool_fec.dir/interleaver.cpp.o.d"
+  "CMakeFiles/carpool_fec.dir/scrambler.cpp.o"
+  "CMakeFiles/carpool_fec.dir/scrambler.cpp.o.d"
+  "CMakeFiles/carpool_fec.dir/viterbi.cpp.o"
+  "CMakeFiles/carpool_fec.dir/viterbi.cpp.o.d"
+  "libcarpool_fec.a"
+  "libcarpool_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/aggregation.cpp" "src/mac/CMakeFiles/carpool_mac.dir/aggregation.cpp.o" "gcc" "src/mac/CMakeFiles/carpool_mac.dir/aggregation.cpp.o.d"
+  "/root/repo/src/mac/params.cpp" "src/mac/CMakeFiles/carpool_mac.dir/params.cpp.o" "gcc" "src/mac/CMakeFiles/carpool_mac.dir/params.cpp.o.d"
+  "/root/repo/src/mac/phy_model.cpp" "src/mac/CMakeFiles/carpool_mac.dir/phy_model.cpp.o" "gcc" "src/mac/CMakeFiles/carpool_mac.dir/phy_model.cpp.o.d"
+  "/root/repo/src/mac/rate_adaptation.cpp" "src/mac/CMakeFiles/carpool_mac.dir/rate_adaptation.cpp.o" "gcc" "src/mac/CMakeFiles/carpool_mac.dir/rate_adaptation.cpp.o.d"
+  "/root/repo/src/mac/simulator.cpp" "src/mac/CMakeFiles/carpool_mac.dir/simulator.cpp.o" "gcc" "src/mac/CMakeFiles/carpool_mac.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/carpool_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/carpool/CMakeFiles/carpool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/carpool_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/carpool_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/carpool_fec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_mac.dir/aggregation.cpp.o"
+  "CMakeFiles/carpool_mac.dir/aggregation.cpp.o.d"
+  "CMakeFiles/carpool_mac.dir/params.cpp.o"
+  "CMakeFiles/carpool_mac.dir/params.cpp.o.d"
+  "CMakeFiles/carpool_mac.dir/phy_model.cpp.o"
+  "CMakeFiles/carpool_mac.dir/phy_model.cpp.o.d"
+  "CMakeFiles/carpool_mac.dir/rate_adaptation.cpp.o"
+  "CMakeFiles/carpool_mac.dir/rate_adaptation.cpp.o.d"
+  "CMakeFiles/carpool_mac.dir/simulator.cpp.o"
+  "CMakeFiles/carpool_mac.dir/simulator.cpp.o.d"
+  "libcarpool_mac.a"
+  "libcarpool_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcarpool_mac.a"
+)

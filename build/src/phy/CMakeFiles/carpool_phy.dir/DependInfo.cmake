@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/constellation.cpp" "src/phy/CMakeFiles/carpool_phy.dir/constellation.cpp.o" "gcc" "src/phy/CMakeFiles/carpool_phy.dir/constellation.cpp.o.d"
+  "/root/repo/src/phy/equalizer.cpp" "src/phy/CMakeFiles/carpool_phy.dir/equalizer.cpp.o" "gcc" "src/phy/CMakeFiles/carpool_phy.dir/equalizer.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/phy/CMakeFiles/carpool_phy.dir/frame.cpp.o" "gcc" "src/phy/CMakeFiles/carpool_phy.dir/frame.cpp.o.d"
+  "/root/repo/src/phy/mcs.cpp" "src/phy/CMakeFiles/carpool_phy.dir/mcs.cpp.o" "gcc" "src/phy/CMakeFiles/carpool_phy.dir/mcs.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/carpool_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/carpool_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/preamble.cpp" "src/phy/CMakeFiles/carpool_phy.dir/preamble.cpp.o" "gcc" "src/phy/CMakeFiles/carpool_phy.dir/preamble.cpp.o.d"
+  "/root/repo/src/phy/sig.cpp" "src/phy/CMakeFiles/carpool_phy.dir/sig.cpp.o" "gcc" "src/phy/CMakeFiles/carpool_phy.dir/sig.cpp.o.d"
+  "/root/repo/src/phy/sync.cpp" "src/phy/CMakeFiles/carpool_phy.dir/sync.cpp.o" "gcc" "src/phy/CMakeFiles/carpool_phy.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/carpool_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/carpool_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/carpool_fec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_phy.dir/constellation.cpp.o"
+  "CMakeFiles/carpool_phy.dir/constellation.cpp.o.d"
+  "CMakeFiles/carpool_phy.dir/equalizer.cpp.o"
+  "CMakeFiles/carpool_phy.dir/equalizer.cpp.o.d"
+  "CMakeFiles/carpool_phy.dir/frame.cpp.o"
+  "CMakeFiles/carpool_phy.dir/frame.cpp.o.d"
+  "CMakeFiles/carpool_phy.dir/mcs.cpp.o"
+  "CMakeFiles/carpool_phy.dir/mcs.cpp.o.d"
+  "CMakeFiles/carpool_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/carpool_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/carpool_phy.dir/preamble.cpp.o"
+  "CMakeFiles/carpool_phy.dir/preamble.cpp.o.d"
+  "CMakeFiles/carpool_phy.dir/sig.cpp.o"
+  "CMakeFiles/carpool_phy.dir/sig.cpp.o.d"
+  "CMakeFiles/carpool_phy.dir/sync.cpp.o"
+  "CMakeFiles/carpool_phy.dir/sync.cpp.o.d"
+  "libcarpool_phy.a"
+  "libcarpool_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_sim.dir/phy_trace.cpp.o"
+  "CMakeFiles/carpool_sim.dir/phy_trace.cpp.o.d"
+  "CMakeFiles/carpool_sim.dir/testbed.cpp.o"
+  "CMakeFiles/carpool_sim.dir/testbed.cpp.o.d"
+  "libcarpool_sim.a"
+  "libcarpool_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

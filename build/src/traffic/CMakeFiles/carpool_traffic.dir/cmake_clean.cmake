@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carpool_traffic.dir/frame_sizes.cpp.o"
+  "CMakeFiles/carpool_traffic.dir/frame_sizes.cpp.o.d"
+  "CMakeFiles/carpool_traffic.dir/generators.cpp.o"
+  "CMakeFiles/carpool_traffic.dir/generators.cpp.o.d"
+  "CMakeFiles/carpool_traffic.dir/trace_synth.cpp.o"
+  "CMakeFiles/carpool_traffic.dir/trace_synth.cpp.o.d"
+  "libcarpool_traffic.a"
+  "libcarpool_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carpool_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

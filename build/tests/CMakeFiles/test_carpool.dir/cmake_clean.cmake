@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_carpool.dir/test_carpool.cpp.o"
+  "CMakeFiles/test_carpool.dir/test_carpool.cpp.o.d"
+  "test_carpool"
+  "test_carpool.pdb"
+  "test_carpool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_carpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

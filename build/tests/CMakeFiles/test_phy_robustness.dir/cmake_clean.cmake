@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_robustness.dir/test_phy_robustness.cpp.o"
+  "CMakeFiles/test_phy_robustness.dir/test_phy_robustness.cpp.o.d"
+  "test_phy_robustness"
+  "test_phy_robustness.pdb"
+  "test_phy_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build/tests/test_fec[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_phy[1]_include.cmake")
+include("/root/repo/build/tests/test_carpool[1]_include.cmake")
+include("/root/repo/build/tests/test_mac[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_ack_fairness[1]_include.cmake")
