@@ -260,5 +260,6 @@ int main() {
   ablate_rate_adaptation();
   ablate_coexistence();
   ablate_hidden_terminals();
+  bench::write_metrics("ablation");
   return 0;
 }

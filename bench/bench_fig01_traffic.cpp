@@ -51,5 +51,6 @@ int main() {
     std::printf("%12s: downlink ratio %.3f (paper: %.3f)\n", row.name,
                 t.downlink_ratio(), row.target);
   }
+  bench::write_metrics("fig01_traffic");
   return 0;
 }

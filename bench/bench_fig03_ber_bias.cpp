@@ -48,5 +48,6 @@ int main() {
   std::printf("\nhead BER %.6f -> tail BER %.6f (bias factor %.1fx; "
               "paper shows ~5x growth)\n",
               head, tail, head > 0 ? tail / head : 0.0);
+  bench::write_metrics("fig03_ber_bias");
   return 0;
 }

@@ -64,5 +64,6 @@ int main() {
                   modulation_name(mod).data(), power, std_ber, inj_ber, rel);
     }
   }
+  bench::write_metrics("fig11_impact");
   return 0;
 }

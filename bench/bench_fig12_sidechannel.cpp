@@ -71,5 +71,6 @@ int main() {
     std::printf("%10.4f %12.2e %12.2e %12.3f\n", power, p.data_ber,
                 p.side_ber, p.data_ber > 0 ? p.side_ber / p.data_ber : 0.0);
   }
+  bench::write_metrics("fig12_sidechannel");
   return 0;
 }

@@ -53,6 +53,10 @@ void run_modulation(Modulation mod, std::size_t bytes) {
   std::printf("overall: standard %.2e, RTE %.2e -> reduction %.0f%%\n",
               std_ber, rte_ber,
               std_ber > 0 ? (1.0 - rte_ber / std_ber) * 100.0 : 0.0);
+  const std::string prefix =
+      "fig13." + std::string(modulation_name(mod)) + '.';
+  bench::gauge(prefix + "ber_standard", std_ber);
+  bench::gauge(prefix + "ber_rte", rte_ber);
 }
 
 }  // namespace
@@ -63,5 +67,6 @@ int main() {
                 "reduced 65%% (QAM64) and 27%% (QAM16)");
   run_modulation(Modulation::kQam64, 4000);
   run_modulation(Modulation::kQam16, 4000);
+  bench::write_metrics("fig13_rte_bias");
   return 0;
 }

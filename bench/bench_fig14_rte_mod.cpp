@@ -60,5 +60,6 @@ int main() {
                   rte_ber > 0 ? std_ber / rte_ber : 0.0);
     }
   }
+  bench::write_metrics("fig14_rte_mod");
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mac/simulator.hpp"
 #include "traffic/generators.hpp"
 
@@ -59,5 +60,6 @@ int main() {
   std::printf("\nShape checks (paper): Carpool rises linearly; 802.11 "
               "collapses past the knee; MU-Aggregation falls below A-MPDU "
               "once frames are long; Carpool delay stays near zero.\n");
+  bench::write_metrics("fig15_voip");
   return 0;
 }

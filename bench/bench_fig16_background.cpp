@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mac/simulator.hpp"
 #include "traffic/generators.hpp"
 
@@ -79,5 +80,6 @@ int main() {
                 "30 STAs (paper: 1.12x-3.2x from 20 to 30 STAs)\n",
                 carpool_20 / ampdu_20, carpool_30 / ampdu_30);
   }
+  bench::write_metrics("fig16_background");
   return 0;
 }

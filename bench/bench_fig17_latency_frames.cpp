@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mac/simulator.hpp"
 #include "traffic/generators.hpp"
 
@@ -93,5 +94,6 @@ int main() {
                     : 0.0);
   }
   std::printf("(paper: 2.8x-3.6x over A-MPDU, 5x-6.4x over 802.11)\n");
+  bench::write_metrics("fig17_latency_frames");
   return 0;
 }

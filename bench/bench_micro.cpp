@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "carpool/bloom.hpp"
 #include "carpool/side_channel.hpp"
 #include "carpool/transceiver.hpp"
@@ -152,4 +154,11 @@ BENCHMARK(BM_Scrambler);
 }  // namespace
 }  // namespace carpool
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  carpool::bench::write_metrics("micro");
+  return 0;
+}

@@ -51,5 +51,6 @@ int main() {
   std::printf("\nSec. 3 example: address headers %.1f us vs payload %.1f us "
               "(paper: 59 us vs 20 us)\n",
               addr_time * 1e6, payload_time * 1e6);
+  bench::write_metrics("sec4_bloom");
   return 0;
 }

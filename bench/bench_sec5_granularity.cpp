@@ -78,5 +78,6 @@ int main() {
                 best->mod == PhaseMod::kOneBit ? "1-bit" : "2-bit",
                 best->group);
   }
+  bench::write_metrics("sec5_granularity");
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/stats.hpp"
+#include "bench_util.hpp"
 #include "mac/simulator.hpp"
 #include "traffic/generators.hpp"
 
@@ -76,5 +77,6 @@ int main() {
   // Idle-dominance check used by the paper's argument.
   std::printf("idle share of STA energy budget (Carpool): %.0f%%\n",
               100.0 * carpool_idle.mean() * 1.22 / carpool_j.mean());
+  bench::write_metrics("sec8_energy");
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "carpool/mumimo.hpp"
 
 using namespace carpool;
@@ -43,5 +44,6 @@ int main() {
 
   std::printf("\nAirtime structure: Carpool shares one legacy preamble + "
               "A-HDR across stream groups (Fig. 18(b)).\n");
+  bench::write_metrics("sec8_mumimo");
   return 0;
 }

@@ -15,10 +15,31 @@
 #include "channel/fading.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "obs/registry.hpp"
 #include "phy/frame.hpp"
 #include "sim/testbed.hpp"
 
 namespace carpool::bench {
+
+/// Unified machine-readable output: every bench binary ends by dumping the
+/// global obs::Registry — its own gauges plus the counters and per-stage
+/// latency histograms (Viterbi, FFT/OFDM, equalizer, A-HDR) accumulated by
+/// the instrumented hot paths — as BENCH_<name>.json (schema_version 1,
+/// see docs/OBSERVABILITY.md). The printed tables stay the human-readable
+/// view; the JSON is what tooling and perf regressions diff.
+inline void write_metrics(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  if (obs::Registry::global().write_json(path, name)) {
+    std::printf("\nmetrics: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+/// Record a bench result in the registry so it lands in the JSON export.
+inline void gauge(const std::string& name, double value) {
+  obs::Registry::global().set_gauge(name, value);
+}
 
 inline void banner(const char* figure, const char* what,
                    const char* paper_says) {

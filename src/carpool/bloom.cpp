@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/hash.hpp"
+#include "obs/timer.hpp"
 
 namespace carpool {
 
@@ -45,6 +46,7 @@ void AggregationBloomFilter::insert(const MacAddress& receiver,
   if (subframe_index >= kMaxReceivers) {
     throw std::invalid_argument("insert: subframe index out of range");
   }
+  OBS_SCOPED_TIMER("carpool.ahdr_encode");
   for (std::size_t j = 0; j < num_hashes_; ++j) {
     filter_ |= std::uint64_t{1} << position(receiver, subframe_index, j);
   }
@@ -62,6 +64,7 @@ bool AggregationBloomFilter::matches(const MacAddress& mac,
 
 std::vector<std::size_t> AggregationBloomFilter::matched_subframes(
     const MacAddress& mac) const {
+  OBS_SCOPED_TIMER("carpool.ahdr_test");
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < kMaxReceivers; ++i) {
     if (matches(mac, i)) out.push_back(i);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace carpool {
 namespace {
 
@@ -145,6 +147,11 @@ SideChannelDecoder::SymbolOutcome SideChannelDecoder::next_symbol(
     group_bits_.clear();
     received_crc_ = 0;
     symbol_in_group_ = 0;
+    static obs::Counter& verified =
+        obs::Registry::global().counter("carpool.side_groups_verified");
+    static obs::Counter& failed =
+        obs::Registry::global().counter("carpool.side_groups_failed");
+    (*outcome.group_verified ? verified : failed).add();
   }
   return outcome;
 }

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "fec/interleaver.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
 #include "phy/equalizer.hpp"
 
 namespace carpool {
@@ -203,6 +205,10 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
   const auto bloom =
       AggregationBloomFilter::from_bits(ahdr_bits, config_.bloom_hashes);
   result.matched = bloom.matched_subframes(config_.self);
+  OBS_TRACE(config_.trace,
+            obs_ts.event("phy.ahdr")
+                .f("matched",
+                   static_cast<std::uint64_t>(result.matched.size())));
   if (result.matched.empty()) return result;  // drop without decoding
   const std::size_t last_wanted = result.matched.back();
 
@@ -249,10 +255,20 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
     side.set_reference_phase(prev_phase);
     std::vector<PendingPilot> pending;
 
-    auto handle_side = [&](const SideChannelDecoder::SymbolOutcome& outcome) {
-      if (!outcome.group_verified.has_value()) return;
+    auto handle_side = [&](const SideChannelDecoder::SymbolOutcome& outcome,
+                           std::size_t group_end_sym) {
+      if (!outcome.group_verified.has_value()) {
+        static_cast<void>(group_end_sym);  // only read by tracing
+        return;
+      }
       sub.group_verified.push_back(*outcome.group_verified);
+      OBS_TRACE(config_.trace,
+                obs_ts.event("phy.side_crc")
+                    .f("sym", static_cast<std::uint64_t>(group_end_sym))
+                    .f("subframe", static_cast<std::uint64_t>(k))
+                    .f("ok", *outcome.group_verified));
       if (*outcome.group_verified && config_.use_rte) {
+        std::size_t applied = 0;
         for (const PendingPilot& pilot : pending) {
           if (config_.pilot_evm_gate > 0.0 &&
               pilot.evm > config_.pilot_evm_gate) {
@@ -260,7 +276,18 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
           }
           rte_update(h, pilot, config_.rte_alpha);
           ++sub.rte_updates;
+          ++applied;
         }
+        if (applied > 0) {
+          static obs::Counter& rte_total =
+              obs::Registry::global().counter("phy.rte_updates");
+          rte_total.add(applied);
+        }
+        OBS_TRACE(config_.trace,
+                  obs_ts.event("phy.rte_update")
+                      .f("sym", static_cast<std::uint64_t>(group_end_sym))
+                      .f("subframe", static_cast<std::uint64_t>(k))
+                      .f("pilots", static_cast<std::uint64_t>(applied)));
       }
       pending.clear();
     };
@@ -273,7 +300,13 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
       const double sig_evm = evm(sig_eq.data, sig_ref);
       pending.push_back(PendingPilot{sig_bins, std::move(sig_ref),
                                      sig_eq.phase_offset, sym_idx, sig_evm});
-      handle_side(outcome);
+      OBS_TRACE(config_.trace,
+                obs_ts.event("phy.symbol")
+                    .f("sym", static_cast<std::uint64_t>(sym_idx))
+                    .f("subframe", static_cast<std::uint64_t>(k))
+                    .f("kind", "sig")
+                    .f("evm", sig_evm));
+      handle_side(outcome, sym_idx);
     }
     prev_phase = sig_eq.phase_offset;
 
@@ -295,7 +328,14 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
         pending.push_back(PendingPilot{bins, std::move(ref),
                                        eq.phase_offset, sym_idx + 1 + j,
                                        sym_evm});
-        handle_side(outcome);
+        OBS_TRACE(config_.trace,
+                  obs_ts.event("phy.symbol")
+                      .f("sym", static_cast<std::uint64_t>(sym_idx + 1 + j))
+                      .f("subframe", static_cast<std::uint64_t>(k))
+                      .f("data_sym", static_cast<std::uint64_t>(j))
+                      .f("kind", "data")
+                      .f("evm", sym_evm));
+        handle_side(outcome, sym_idx + 1 + j);
       }
       prev_phase = eq.phase_offset;
     }
@@ -306,6 +346,20 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
       sub.psdu = std::move(*psdu);
       sub.fcs_ok = check_fcs(sub.psdu);
     }
+    static obs::Counter& subframes_decoded =
+        obs::Registry::global().counter("phy.subframes_decoded");
+    static obs::Counter& fcs_failures =
+        obs::Registry::global().counter("phy.fcs_failures");
+    subframes_decoded.add();
+    if (!sub.fcs_ok) fcs_failures.add();
+    OBS_TRACE(config_.trace,
+              obs_ts.event("phy.subframe")
+                  .f("subframe", static_cast<std::uint64_t>(k))
+                  .f("symbols", static_cast<std::uint64_t>(1 + n_sym))
+                  .f("decoded", sub.decoded)
+                  .f("fcs_ok", sub.fcs_ok)
+                  .f("rte_updates",
+                     static_cast<std::uint64_t>(sub.rte_updates)));
     result.symbols_full_decoded += 1 + n_sym;
     result.subframes.push_back(std::move(sub));
 

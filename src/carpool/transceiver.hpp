@@ -20,6 +20,7 @@
 #include "carpool/ahdr.hpp"
 #include "carpool/side_channel.hpp"
 #include "common/mac_address.hpp"
+#include "obs/trace.hpp"
 #include "phy/frame.hpp"
 
 namespace carpool {
@@ -76,6 +77,12 @@ struct CarpoolRxConfig {
   /// H~ = (1-a) H~ + a H^. The paper uses a = 0.5; the ablation bench
   /// sweeps it.
   double rte_alpha = 0.5;
+
+  /// Optional JSONL event sink: per-symbol EVM (`phy.symbol`), side-channel
+  /// CRC verdicts (`phy.side_crc`), RTE updates (`phy.rte_update`), and
+  /// A-HDR match outcomes (`phy.ahdr`). Only consulted when the binary was
+  /// built with CARPOOL_ENABLE_TRACE=ON; not owned by the receiver.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Decode outcome of one matched subframe.

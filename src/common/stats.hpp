@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -42,10 +43,15 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Stores samples; offers percentiles and the empirical CDF.
+/// Stores samples; offers percentiles, the empirical CDF, and histograms.
+/// The sorted order is computed lazily and cached (invalidated by add), so
+/// extracting several percentiles sorts once, not per query.
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_dirty_ = true;
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
@@ -61,29 +67,74 @@ class SampleSet {
   [[nodiscard]] double percentile(double p) const {
     if (samples_.empty()) throw std::logic_error("percentile of empty set");
     if (p < 0.0 || p > 1.0) throw std::invalid_argument("percentile range");
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
+    const std::vector<double>& s = sorted();
     const auto rank = static_cast<std::size_t>(
-        p * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(rank, sorted.size() - 1)];
+        p * static_cast<double>(s.size() - 1) + 0.5);
+    return s[std::min(rank, s.size() - 1)];
   }
 
   /// Empirical CDF value at x: fraction of samples <= x.
   [[nodiscard]] double cdf(double x) const {
     if (samples_.empty()) return 0.0;
-    std::size_t below = 0;
+    const std::vector<double>& s = sorted();
+    const auto below = static_cast<std::size_t>(
+        std::distance(s.begin(), std::upper_bound(s.begin(), s.end(), x)));
+    return static_cast<double>(below) / static_cast<double>(s.size());
+  }
+
+  /// Equal-width histogram over [lo, hi): counts[i] holds the samples in
+  /// [lo + i*w, lo + (i+1)*w); values outside the range clamp to the first
+  /// or last bin. The obs:: exporters reuse this to serialize delay CDFs.
+  [[nodiscard]] std::vector<std::size_t> histogram(std::size_t bins,
+                                                   double lo,
+                                                   double hi) const {
+    if (bins == 0) throw std::invalid_argument("histogram: zero bins");
+    if (!(lo < hi)) throw std::invalid_argument("histogram: empty range");
+    std::vector<std::size_t> counts(bins, 0);
+    const double width = (hi - lo) / static_cast<double>(bins);
     for (const double s : samples_) {
-      if (s <= x) ++below;
+      const auto idx = static_cast<std::size_t>(
+          std::clamp((s - lo) / width, 0.0, static_cast<double>(bins - 1)));
+      ++counts[idx];
     }
-    return static_cast<double>(below) / static_cast<double>(samples_.size());
+    return counts;
+  }
+
+  /// Histogram auto-ranged to [min, max] of the samples.
+  [[nodiscard]] std::vector<std::size_t> histogram(std::size_t bins) const {
+    if (samples_.empty()) return std::vector<std::size_t>(bins, 0);
+    const std::vector<double>& s = sorted();
+    const double lo = s.front();
+    const double hi = s.back();
+    if (lo == hi) {
+      // All samples identical: everything lands in the first bin.
+      std::vector<std::size_t> counts(bins, 0);
+      if (bins > 0) counts[0] = s.size();
+      return counts;
+    }
+    return histogram(bins, lo, std::nextafter(hi, kDoubleMax));
   }
 
   [[nodiscard]] const std::vector<double>& samples() const noexcept {
     return samples_;
   }
 
+  /// Cached ascending order of the samples.
+  [[nodiscard]] const std::vector<double>& sorted() const {
+    if (sorted_dirty_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_dirty_ = false;
+    }
+    return sorted_;
+  }
+
  private:
+  static constexpr double kDoubleMax = std::numeric_limits<double>::max();
+
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_dirty_ = false;
 };
 
 /// Counts successes over trials; reports a ratio (e.g. BER, PER, FPR).

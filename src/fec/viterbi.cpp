@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/timer.hpp"
+
 namespace carpool {
 namespace {
 
@@ -35,6 +37,7 @@ Bits ViterbiDecoder::decode(std::span<const double> soft,
   if (soft.size() % 2 != 0) {
     throw std::invalid_argument("ViterbiDecoder: soft size must be even");
   }
+  OBS_SCOPED_TIMER("fec.viterbi_decode");
   const std::size_t steps = soft.size() / 2;
   constexpr unsigned kStates = ConvolutionalCode::kNumStates;
 

@@ -198,8 +198,14 @@ SimResult Simulator::run() {
     // Expire overdue downlink frames.
     if (std::isfinite(config_.delivery_deadline)) {
       sample_queue_depth(now);
-      result.dl_frames_dropped +=
+      const std::uint64_t expired =
           ap_queues.drop_expired(now, config_.delivery_deadline);
+      result.dl_frames_dropped += expired;
+      if (expired > 0) {
+        OBS_TRACE(config_.trace, obs_ts.event("mac.deadline_drop")
+                                     .f("t", now)
+                                     .f("frames", expired));
+      }
     }
 
     // 2. active contenders.
@@ -221,6 +227,12 @@ SimResult Simulator::run() {
       BackoffState& b = node == kApNode ? ap_backoff : sta_backoff[node];
       if (b.counter < 0) {
         b.draw(backoff_rng, node == kApNode ? effective_ap_cw() : b.cw);
+        OBS_TRACE(config_.trace,
+                  obs_ts.event("mac.backoff_draw")
+                      .f("t", now)
+                      .f("node", static_cast<std::uint64_t>(node))
+                      .f("cw", static_cast<std::uint64_t>(b.cw))
+                      .f("counter", static_cast<std::int64_t>(b.counter)));
       }
     }
 
@@ -322,6 +334,12 @@ SimResult Simulator::run() {
       }
       busy += p.sifs + p.ack_duration();  // timeout
       result.airtime_collision += busy;
+      OBS_TRACE(config_.trace,
+                obs_ts.event("mac.collision")
+                    .f("t", now)
+                    .f("kind", "slot_tie")
+                    .f("winners", static_cast<std::uint64_t>(n_winners))
+                    .f("busy_s", busy));
 
       for (std::size_t w = 0; w < n_winners; ++w) {
         const NodeId node = winners[w];
@@ -371,6 +389,19 @@ SimResult Simulator::run() {
     const double ctrl = control_time(tx);
     const double sequence = ctrl + tx.total_duration();
     const bool is_downlink = src == kApNode;
+    if (obs::trace_compiled_in() && config_.trace != nullptr) {
+      std::uint64_t n_frames = 0;
+      for (const SubUnit& su : tx.subunits) n_frames += su.frames.size();
+      OBS_TRACE(config_.trace,
+                obs_ts.event("mac.tx_start")
+                    .f("t", now)
+                    .f("src", static_cast<std::uint64_t>(src))
+                    .f("downlink", is_downlink)
+                    .f("subunits",
+                       static_cast<std::uint64_t>(tx.subunits.size()))
+                    .f("frames", n_frames)
+                    .f("duration_s", sequence));
+    }
 
     // Hidden terminals: an active STA that cannot sense `src` keeps
     // counting down and fires into the ongoing transmission. With RTS/CTS
@@ -394,6 +425,13 @@ SimResult Simulator::run() {
         const double busy =
             vulnerable + p.sifs + p.ack_duration();  // timeout
         result.airtime_collision += busy;
+        OBS_TRACE(config_.trace,
+                  obs_ts.event("mac.collision")
+                      .f("t", now)
+                      .f("kind", "hidden_terminal")
+                      .f("src", static_cast<std::uint64_t>(src))
+                      .f("intruder", static_cast<std::uint64_t>(intruder))
+                      .f("busy_s", busy));
         energy[src].add_tx(vulnerable);
         // Both parties lose their frames (retry accounting).
         auto requeue_loser = [&](NodeId node, Transmission& lost) {
@@ -446,6 +484,8 @@ SimResult Simulator::run() {
       const bool ack_ok = !phy_rng.bernoulli(phy.control_error_prob(snr));
 
       bool any_delivered = false;
+      std::uint64_t frames_ok = 0;
+      std::uint64_t frames_dropped = 0;
       std::vector<MacFrame> failed;
       // Per-frame symbol spans within the subunit, at this link's rate.
       const double link_rate = rate_of(is_downlink ? su.dst : src);
@@ -471,6 +511,7 @@ SimResult Simulator::run() {
             !phy_rng.bernoulli(phy.subframe_error_prob(query));
         if (data_ok && ack_ok) {
           any_delivered = true;
+          ++frames_ok;
           const double delay = now + sequence - f.enqueue_time;
           if (is_downlink) {
             ++result.dl_frames_delivered;
@@ -488,13 +529,28 @@ SimResult Simulator::run() {
           ++result.subframe_failures;
           if (++f.retries <= retry_limit) {
             failed.push_back(std::move(f));
-          } else if (is_downlink) {
-            ++result.dl_frames_dropped;
           } else {
-            ++result.ul_frames_dropped;
+            ++frames_dropped;
+            if (is_downlink) {
+              ++result.dl_frames_dropped;
+            } else {
+              ++result.ul_frames_dropped;
+            }
           }
         }
       }
+      // Sequential-ACK outcome for this receiver (paper Sec. 4.2): which
+      // of its frames got through, and whether the ACK itself survived.
+      OBS_TRACE(config_.trace,
+                obs_ts.event("mac.ack")
+                    .f("t", now + sequence)
+                    .f("receiver", static_cast<std::uint64_t>(peer))
+                    .f("ack_ok", ack_ok)
+                    .f("delivered", any_delivered)
+                    .f("frames_ok", frames_ok)
+                    .f("frames_failed",
+                       static_cast<std::uint64_t>(failed.size()))
+                    .f("frames_dropped", frames_dropped));
       if (any_delivered) {
         ++ok_subunits;
         // Receiver ACK transmission energy.
@@ -505,6 +561,14 @@ SimResult Simulator::run() {
             p.payload_duration(8 * static_cast<std::uint64_t>(su.bytes));
       }
       if (!failed.empty()) {
+        // Partial-ACK selective retransmission: only the failed MPDUs
+        // return to the head of their queue.
+        OBS_TRACE(config_.trace,
+                  obs_ts.event("mac.retransmit")
+                      .f("t", now + sequence)
+                      .f("receiver", static_cast<std::uint64_t>(peer))
+                      .f("frames",
+                         static_cast<std::uint64_t>(failed.size())));
         SubUnit back = su;
         back.frames = std::move(failed);
         if (is_downlink) {
@@ -517,6 +581,14 @@ SimResult Simulator::run() {
         }
       }
     }
+
+    OBS_TRACE(config_.trace,
+              obs_ts.event("mac.tx_end")
+                  .f("t", now + sequence)
+                  .f("src", static_cast<std::uint64_t>(src))
+                  .f("ok_subunits",
+                     static_cast<std::uint64_t>(ok_subunits))
+                  .f("delivered_bits", delivered_payload_bits));
 
     BackoffState& b = src == kApNode ? ap_backoff : sta_backoff[src];
     if (ok_subunits > 0) {

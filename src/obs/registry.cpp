@@ -1,0 +1,252 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace carpool::obs {
+namespace {
+
+/// JSON-safe number: non-finite doubles have no JSON literal, map to null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void atomic_fetch_min(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fetch_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds, std::string unit)
+    : bounds_(std::move(upper_bounds)),
+      unit_(std::move(unit)),
+      buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be sorted ascending");
+  }
+}
+
+void Histogram::record(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_fetch_min(min_, v);
+  atomic_fetch_max(max_, v);
+}
+
+double Histogram::percentile(double p) const {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Histogram::percentile: p outside [0, 1]");
+  }
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(n - 1) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += bucket_count(i);
+    if (seen > rank) {
+      return i < bounds_.size() ? bounds_[i] : max();
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds, std::string unit) {
+  const std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(
+                                             std::move(bounds),
+                                             std::move(unit)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::latency_histogram(std::string_view name) {
+  // 250 ns .. 1 s in 1-2.5-5 decades: fine enough to separate a cache miss
+  // from a Viterbi decode, coarse enough that every export stays small.
+  static const std::vector<double> kLatencyBoundsNs{
+      250.0, 500.0, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5,
+      2.5e5, 5e5,   1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8, 1e9};
+  return histogram(name, kLatencyBoundsNs, "ns");
+}
+
+std::string Registry::to_json(std::string_view bench) const {
+  const std::scoped_lock lock(mutex_);
+  std::ostringstream os;
+  os << "{\n  \"schema_version\": 1";
+  if (!bench.empty()) {
+    os << ",\n  \"bench\": \"" << json_escape(bench) << '"';
+  }
+  os << ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "}" : "\n  }");
+  os << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << json_number(g->value());
+    first = false;
+  }
+  os << (first ? "}" : "\n  }");
+  os << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {";
+    if (!h->unit().empty()) {
+      os << "\"unit\": \"" << json_escape(h->unit()) << "\", ";
+    }
+    os << "\"count\": " << h->count() << ", \"sum\": "
+       << json_number(h->sum()) << ", \"min\": " << json_number(h->min())
+       << ", \"max\": " << json_number(h->max())
+       << ", \"mean\": " << json_number(h->mean())
+       << ", \"p50\": " << json_number(h->percentile(0.5))
+       << ", \"p99\": " << json_number(h->percentile(0.99))
+       << ", \"buckets\": [";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": "
+         << (i < bounds.size() ? json_number(bounds[i])
+                               : std::string("\"+Inf\""))
+         << ", \"count\": " << h->bucket_count(i) << '}';
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "}" : "\n  }");
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string Registry::to_text() const {
+  const std::scoped_lock lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " = " << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << ": count=" << h->count() << " mean=" << h->mean()
+       << " p50=" << h->percentile(0.5) << " p99=" << h->percentile(0.99)
+       << " max=" << (h->count() ? h->max() : 0.0);
+    if (!h->unit().empty()) os << ' ' << h->unit();
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool Registry::write_json(const std::string& path,
+                          std::string_view bench) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json(bench);
+  return static_cast<bool>(out);
+}
+
+void Registry::reset_values() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace carpool::obs

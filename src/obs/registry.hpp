@@ -1,0 +1,147 @@
+#pragma once
+
+// carpool::obs — process-wide metrics registry.
+//
+// Named counters, gauges, and fixed-bucket histograms, safe for concurrent
+// writers. Writers pay one relaxed atomic RMW per update; name lookup is a
+// mutex-guarded map access, so hot paths should resolve their handle once
+// (function-local static reference) and update through it. Handles stay
+// valid for the life of the registry: reset_values() zeroes metrics but
+// never removes registrations.
+//
+// Exporters: to_json() produces the unified BENCH_*.json schema shared by
+// every bench binary (see docs/OBSERVABILITY.md), to_text() a human
+// summary.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace carpool::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. a bench result or a configuration knob).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts samples <= bounds[i], plus one
+/// overflow bucket. Also tracks count/sum/min/max for mean extraction.
+class Histogram {
+ public:
+  /// `upper_bounds` must be sorted ascending; `unit` is advisory and only
+  /// surfaces in exports (e.g. "ns" for latency histograms).
+  explicit Histogram(std::vector<double> upper_bounds, std::string unit = {});
+
+  void record(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  [[nodiscard]] double min() const noexcept {
+    return min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// i in [0, bounds().size()]; the last index is the overflow bucket.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& unit() const noexcept { return unit_; }
+
+  /// Nearest-rank percentile estimated from the bucket upper bounds.
+  [[nodiscard]] double percentile(double p) const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::string unit_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+class Registry {
+ public:
+  /// The process-wide registry used by OBS_SCOPED_TIMER and the built-in
+  /// instrumentation. Tests may construct private registries.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. References remain valid until the registry dies.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       std::string unit = {});
+
+  /// Histogram with the canonical latency buckets (nanoseconds, log-ish
+  /// spacing 250 ns .. 1 s). All OBS_SCOPED_TIMER stages use this shape so
+  /// exports are comparable across runs.
+  Histogram& latency_histogram(std::string_view name);
+
+  void set_gauge(std::string_view name, double v) { gauge(name).set(v); }
+
+  /// Unified JSON export (schema_version 1). `bench` labels the run.
+  [[nodiscard]] std::string to_json(std::string_view bench = {}) const;
+  /// Aligned human-readable summary.
+  [[nodiscard]] std::string to_text() const;
+  /// to_json() to a file; returns false if the file cannot be written.
+  bool write_json(const std::string& path, std::string_view bench = {}) const;
+
+  /// Zero every metric but keep all registrations (handles stay valid).
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace carpool::obs

@@ -1,0 +1,64 @@
+#pragma once
+
+// carpool::obs — RAII latency profiling hooks.
+//
+// OBS_SCOPED_TIMER("phy.equalize") records the enclosing scope's wall time
+// (nanoseconds, steady clock) into a canonical latency histogram in the
+// global registry. The histogram handle is resolved once per call site
+// (function-local static), so steady-state cost is two clock reads plus a
+// few relaxed atomic RMWs — cheap against the stages it wraps (Viterbi,
+// FFT, equalization), but do not wrap single-digit-nanosecond code.
+//
+// The CMake option CARPOOL_ENABLE_PROFILING (default ON) compiles the
+// hooks out entirely when OFF (it defines CARPOOL_PROFILING_ENABLED=0).
+
+#include <chrono>
+
+#include "obs/registry.hpp"
+
+#ifndef CARPOOL_PROFILING_ENABLED
+#define CARPOOL_PROFILING_ENABLED 1
+#endif
+
+namespace carpool::obs {
+
+/// True when OBS_SCOPED_TIMER call sites are compiled into this binary.
+constexpr bool profiling_compiled_in() noexcept {
+  return CARPOOL_PROFILING_ENABLED != 0;
+}
+
+/// Records elapsed nanoseconds into `hist` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) noexcept
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_.record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  Histogram& hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace carpool::obs
+
+#define OBS_CONCAT_INNER(a, b) a##b
+#define OBS_CONCAT(a, b) OBS_CONCAT_INNER(a, b)
+
+#if CARPOOL_PROFILING_ENABLED
+#define OBS_SCOPED_TIMER(name)                                           \
+  static ::carpool::obs::Histogram& OBS_CONCAT(obs_scoped_hist_,         \
+                                               __LINE__) =              \
+      ::carpool::obs::Registry::global().latency_histogram(name);        \
+  const ::carpool::obs::ScopedTimer OBS_CONCAT(obs_scoped_timer_,        \
+                                               __LINE__)(               \
+      OBS_CONCAT(obs_scoped_hist_, __LINE__))
+#else
+#define OBS_SCOPED_TIMER(name) static_cast<void>(0)
+#endif

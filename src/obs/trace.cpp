@@ -1,0 +1,138 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace carpool::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceEvent::TraceEvent(TraceSink& sink, std::string_view type)
+    : sink_(&sink) {
+  buf_.reserve(96);
+  buf_ += "{\"type\":\"";
+  append_escaped(buf_, type);
+  buf_ += '"';
+}
+
+TraceEvent::TraceEvent(TraceEvent&& other) noexcept
+    : sink_(other.sink_), buf_(std::move(other.buf_)) {
+  other.sink_ = nullptr;
+}
+
+TraceEvent::~TraceEvent() {
+  if (sink_ == nullptr) return;
+  buf_ += '}';
+  sink_->write_line(buf_);
+}
+
+TraceEvent& TraceEvent::f(std::string_view key, double v) {
+  buf_ += ",\"";
+  append_escaped(buf_, key);
+  buf_ += "\":";
+  if (std::isfinite(v)) {
+    char num[32];
+    std::snprintf(num, sizeof(num), "%.9g", v);
+    buf_ += num;
+  } else {
+    buf_ += "null";
+  }
+  return *this;
+}
+
+TraceEvent& TraceEvent::f(std::string_view key, std::uint64_t v) {
+  buf_ += ",\"";
+  append_escaped(buf_, key);
+  buf_ += "\":";
+  buf_ += std::to_string(v);
+  return *this;
+}
+
+TraceEvent& TraceEvent::f(std::string_view key, std::int64_t v) {
+  buf_ += ",\"";
+  append_escaped(buf_, key);
+  buf_ += "\":";
+  buf_ += std::to_string(v);
+  return *this;
+}
+
+TraceEvent& TraceEvent::f(std::string_view key, bool v) {
+  buf_ += ",\"";
+  append_escaped(buf_, key);
+  buf_ += "\":";
+  buf_ += v ? "true" : "false";
+  return *this;
+}
+
+TraceEvent& TraceEvent::f(std::string_view key, std::string_view v) {
+  buf_ += ",\"";
+  append_escaped(buf_, key);
+  buf_ += "\":\"";
+  append_escaped(buf_, v);
+  buf_ += '"';
+  return *this;
+}
+
+TraceSink::TraceSink() = default;
+
+TraceSink::TraceSink(const std::string& path)
+    : file_(path, std::ios::trunc), to_file_(true) {
+  if (!file_) {
+    throw std::runtime_error("TraceSink: cannot open " + path);
+  }
+}
+
+void TraceSink::write_line(std::string_view line) {
+  const std::scoped_lock lock(mutex_);
+  if (to_file_) {
+    file_ << line << '\n';
+  } else {
+    buffer_.append(line);
+    buffer_ += '\n';
+  }
+  events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceSink::flush() {
+  const std::scoped_lock lock(mutex_);
+  if (to_file_) file_.flush();
+}
+
+std::string TraceSink::str() const {
+  const std::scoped_lock lock(mutex_);
+  return buffer_;
+}
+
+}  // namespace carpool::obs

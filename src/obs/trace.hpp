@@ -1,0 +1,124 @@
+#pragma once
+
+// carpool::obs — structured JSONL event tracing.
+//
+// A TraceSink appends one JSON object per line, either to a file or to an
+// in-memory buffer (tests). Events are built with a fluent TraceEvent that
+// commits on destruction, so a call site reads:
+//
+//   OBS_TRACE(sink, obs_ts.event("mac.collision").f("t", now).f("n", k));
+//
+// Emission call sites are compiled in only when the CMake option
+// CARPOOL_ENABLE_TRACE is ON (it defines CARPOOL_TRACE_ENABLED=1); with
+// the gate off OBS_TRACE expands to a no-op and the event-building code
+// vanishes from the binary. The TraceSink type itself always exists so
+// configs carrying a sink pointer compile under both settings.
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#ifndef CARPOOL_TRACE_ENABLED
+#define CARPOOL_TRACE_ENABLED 0
+#endif
+
+namespace carpool::obs {
+
+/// True when OBS_TRACE call sites are compiled into this binary.
+constexpr bool trace_compiled_in() noexcept {
+  return CARPOOL_TRACE_ENABLED != 0;
+}
+
+class TraceSink;
+
+/// One JSONL event under construction; writes itself to the sink when it
+/// goes out of scope. Move-only, meant to live for a single statement.
+class TraceEvent {
+ public:
+  TraceEvent(TraceSink& sink, std::string_view type);
+  TraceEvent(const TraceEvent&) = delete;
+  TraceEvent& operator=(const TraceEvent&) = delete;
+  TraceEvent(TraceEvent&& other) noexcept;
+  TraceEvent& operator=(TraceEvent&&) = delete;
+  ~TraceEvent();
+
+  TraceEvent& f(std::string_view key, double v);
+  TraceEvent& f(std::string_view key, std::uint64_t v);
+  TraceEvent& f(std::string_view key, std::int64_t v);
+  TraceEvent& f(std::string_view key, int v) {
+    return f(key, static_cast<std::int64_t>(v));
+  }
+  TraceEvent& f(std::string_view key, unsigned v) {
+    return f(key, static_cast<std::uint64_t>(v));
+  }
+  TraceEvent& f(std::string_view key, bool v);
+  TraceEvent& f(std::string_view key, std::string_view v);
+  TraceEvent& f(std::string_view key, const char* v) {
+    return f(key, std::string_view(v));
+  }
+
+ private:
+  TraceSink* sink_;  ///< null after move-from
+  std::string buf_;
+};
+
+/// Thread-safe JSONL writer. File mode truncates the target on open.
+class TraceSink {
+ public:
+  /// In-memory sink; lines are retrievable via str().
+  TraceSink();
+  /// File sink. Throws std::runtime_error if the file cannot be opened.
+  explicit TraceSink(const std::string& path);
+
+  [[nodiscard]] TraceEvent event(std::string_view type) {
+    return TraceEvent(*this, type);
+  }
+
+  [[nodiscard]] std::uint64_t events_written() const noexcept {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+  void flush();
+
+  /// In-memory mode only: every line written so far.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  friend class TraceEvent;
+  void write_line(std::string_view line);
+
+  mutable std::mutex mutex_;
+  std::ofstream file_;
+  bool to_file_ = false;
+  std::string buffer_;
+  std::atomic<std::uint64_t> events_{0};
+};
+
+}  // namespace carpool::obs
+
+#if CARPOOL_TRACE_ENABLED
+/// Emit a trace event iff `sink` (a TraceSink*) is non-null. Inside `stmt`
+/// the sink is available by reference as `obs_ts`.
+#define OBS_TRACE(sink, stmt)                   \
+  do {                                          \
+    if ((sink) != nullptr) {                    \
+      ::carpool::obs::TraceSink& obs_ts = *(sink); \
+      stmt;                                     \
+    }                                           \
+  } while (0)
+#else
+// Gate off: the statement is still type-checked (so both configurations
+// stay compilable and trace-only variables count as used) but sits behind
+// a constant-false branch the optimizer deletes — no events are ever
+// written and release binaries carry no emission code.
+#define OBS_TRACE(sink, stmt)                      \
+  do {                                             \
+    if (false) {                                   \
+      ::carpool::obs::TraceSink& obs_ts = *(sink); \
+      stmt;                                        \
+    }                                              \
+  } while (0)
+#endif

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/timer.hpp"
+
 namespace carpool {
 
 SymbolEqualization equalize_symbol(std::span<const Cx> bins,
@@ -11,6 +13,7 @@ SymbolEqualization equalize_symbol(std::span<const Cx> bins,
   if (bins.size() != kFftSize || h.size() != kFftSize) {
     throw std::invalid_argument("equalize_symbol: need 64-bin inputs");
   }
+  OBS_SCOPED_TIMER("phy.equalize");
   // Pilot phase estimate: correlate equalized pilots against expectation.
   const double polarity = pilot_polarity(symbol_index);
   const auto pbins = pilot_bins();

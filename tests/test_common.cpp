@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/bits.hpp"
 #include "common/crc.hpp"
@@ -246,6 +248,105 @@ TEST(Stats, SampleSetPercentilesAndCdf) {
   EXPECT_DOUBLE_EQ(s.cdf(50.0), 0.5);
   EXPECT_DOUBLE_EQ(s.cdf(0.0), 0.0);
   EXPECT_DOUBLE_EQ(s.cdf(100.0), 1.0);
+}
+
+TEST(Stats, WelfordMatchesClosedForm) {
+  Rng rng(31);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.gaussian() * 7.0 + 3.0;
+    xs.push_back(x);
+    s.add(x);
+  }
+  // Two-pass closed form: mean, then sum of squared deviations / (n - 1).
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (const double x : xs) m2 += (x - mean) * (x - mean);
+  const double variance = m2 / static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9 * std::abs(mean));
+  EXPECT_NEAR(s.variance(), variance, 1e-9 * variance);
+}
+
+TEST(Stats, RunningStatsDegenerateCounts) {
+  RunningStats empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  RunningStats one;
+  one.add(4.0);
+  EXPECT_DOUBLE_EQ(one.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);  // n-1 denominator undefined at n=1
+  EXPECT_DOUBLE_EQ(one.min(), 4.0);
+  EXPECT_DOUBLE_EQ(one.max(), 4.0);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  SampleSet single;
+  single.add(42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(1.0), 42.0);
+
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 10.0);
+
+  const SampleSet empty;
+  EXPECT_THROW((void)empty.percentile(0.5), std::logic_error);
+  EXPECT_THROW((void)s.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(1.1), std::invalid_argument);
+}
+
+TEST(Stats, SortedCacheInvalidatedByAdd) {
+  SampleSet s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);  // forces the sort
+  s.add(9.0);                                 // must invalidate the cache
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 9.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_TRUE(std::is_sorted(s.sorted().begin(), s.sorted().end()));
+  // Insertion order of samples() is untouched by sorting.
+  EXPECT_DOUBLE_EQ(s.samples().front(), 5.0);
+}
+
+TEST(Stats, HistogramFixedRange) {
+  SampleSet s;
+  for (const double x : {0.5, 1.5, 1.6, 2.5, -3.0, 99.0}) s.add(x);
+  const auto counts = s.histogram(3, 0.0, 3.0);  // bins [0,1) [1,2) [2,3)
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);  // 0.5 plus the clamped -3.0
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);  // 2.5 plus the clamped 99.0
+  EXPECT_THROW((void)s.histogram(0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)s.histogram(3, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Stats, HistogramAutoRange) {
+  SampleSet s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i % 10));
+  const auto counts = s.histogram(10);
+  ASSERT_EQ(counts.size(), 10u);
+  std::size_t total = 0;
+  for (const std::size_t c : counts) {
+    EXPECT_EQ(c, 10u);  // values 0..9, uniform
+    total += c;
+  }
+  EXPECT_EQ(total, s.size());  // max sample lands in the last bin, not lost
+
+  SampleSet constant;
+  for (int i = 0; i < 7; ++i) constant.add(3.14);
+  const auto identical = constant.histogram(4);
+  EXPECT_EQ(identical[0], 7u);
+  EXPECT_EQ(identical[1] + identical[2] + identical[3], 0u);
+
+  const SampleSet empty;
+  const auto none = empty.histogram(5);
+  ASSERT_EQ(none.size(), 5u);
+  for (const std::size_t c : none) EXPECT_EQ(c, 0u);
 }
 
 TEST(Stats, RatioCounter) {

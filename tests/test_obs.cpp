@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "carpool/transceiver.hpp"
+#include "channel/fading.hpp"
+#include "common/rng.hpp"
+#include "mac/simulator.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "phy/frame.hpp"
+#include "traffic/generators.hpp"
+
+namespace carpool {
+namespace {
+
+/// Minimal structural JSON check: first/last character, balanced braces
+/// and brackets outside strings, terminated strings, no stray escapes.
+bool json_balanced(std::string_view text) {
+  if (text.empty()) return false;
+  long braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+        ++braces;
+        break;
+      case '}':
+        --braces;
+        break;
+      case '[':
+        ++brackets;
+        break;
+      case ']':
+        --brackets;
+        break;
+      default:
+        break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+bool valid_jsonl_object(std::string_view line) {
+  return !line.empty() && line.front() == '{' && line.back() == '}' &&
+         json_balanced(line);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(Registry, FindOrCreateReturnsSameHandle) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Registry, ConcurrentCounterIncrements) {
+  obs::Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      obs::Counter& c = reg.counter("concurrent");
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("concurrent").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, ConcurrentHistogramRecords) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("h", {1.0, 2.0, 3.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 10000; ++i) h.record(1.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 40000u);
+  EXPECT_EQ(h.bucket_count(1), 40000u);  // (1, 2] bucket
+  EXPECT_DOUBLE_EQ(h.min(), 1.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1.5);
+}
+
+TEST(Registry, HistogramBucketingAndStats) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("lat", {10.0, 100.0, 1000.0}, "ns");
+  h.record(5.0);     // <= 10
+  h.record(10.0);    // <= 10 (inclusive upper bound)
+  h.record(50.0);    // <= 100
+  h.record(5000.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5000.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 5065.0);
+  EXPECT_EQ(h.unit(), "ns");
+  EXPECT_THROW((void)h.percentile(1.5), std::invalid_argument);
+  EXPECT_LE(h.percentile(0.5), 100.0);
+}
+
+TEST(Registry, ResetValuesKeepsHandlesValid) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("c");
+  obs::Histogram& h = reg.histogram("h", {1.0});
+  c.add(7);
+  h.record(0.5);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.add();  // handle still usable after reset
+  EXPECT_EQ(reg.counter("c").value(), 1u);
+}
+
+TEST(Registry, JsonExportWellFormed) {
+  obs::Registry reg;
+  reg.counter("a.count").add(2);
+  reg.set_gauge("b.value", 1.25);
+  reg.histogram("c.lat", {1.0, 10.0}, "ns").record(3.0);
+  const std::string json = reg.to_json("unit_test");
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"c.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+}
+
+TEST(Registry, EmptyRegistryExportsWellFormedJson) {
+  const obs::Registry reg;
+  EXPECT_TRUE(json_balanced(reg.to_json()));
+}
+
+TEST(Registry, TextExportMentionsEveryMetric) {
+  obs::Registry reg;
+  reg.counter("ctr").add();
+  reg.set_gauge("ggg", 2.0);
+  reg.histogram("hhh", {1.0}).record(0.5);
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("ctr"), std::string::npos);
+  EXPECT_NE(text.find("ggg"), std::string::npos);
+  EXPECT_NE(text.find("hhh"), std::string::npos);
+}
+
+TEST(Registry, WriteJsonToFile) {
+  obs::Registry reg;
+  reg.counter("file.count").add(5);
+  const std::string path = testing::TempDir() + "obs_registry.json";
+  ASSERT_TRUE(reg.write_json(path, "file_test"));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(json_balanced(buf.str()));
+  EXPECT_NE(buf.str().find("\"file.count\": 5"), std::string::npos);
+}
+
+TEST(TraceSink, MemorySinkWritesValidJsonl) {
+  obs::TraceSink sink;
+  sink.event("alpha").f("t", 1.5).f("n", std::uint64_t{3}).f("ok", true);
+  sink.event("beta").f("s", "quote\"and\\slash").f("neg", -2);
+  EXPECT_EQ(sink.events_written(), 2u);
+  const auto lines = split_lines(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(valid_jsonl_object(line)) << line;
+  }
+  EXPECT_NE(lines[0].find("\"type\":\"alpha\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\\\"and\\\\slash"), std::string::npos);
+}
+
+TEST(TraceSink, FileSinkRoundTrip) {
+  const std::string path = testing::TempDir() + "obs_trace.jsonl";
+  {
+    obs::TraceSink sink(path);
+    sink.event("one").f("i", 1);
+    sink.event("two").f("i", 2);
+    sink.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(valid_jsonl_object(line)) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(TraceSink, ConcurrentWritersProduceIntactLines) {
+  obs::TraceSink sink;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < 500; ++i) {
+        sink.event("thread").f("t", t).f("i", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto lines = split_lines(sink.str());
+  EXPECT_EQ(lines.size(), 2000u);
+  for (const auto& line : lines) {
+    ASSERT_TRUE(valid_jsonl_object(line)) << line;
+  }
+}
+
+TEST(TraceGate, MacroMatchesCompileTimeFlag) {
+  obs::TraceSink sink;
+  obs::TraceSink* maybe = &sink;
+  OBS_TRACE(maybe, obs_ts.event("gated").f("x", 1));
+  if (obs::trace_compiled_in()) {
+    EXPECT_EQ(sink.events_written(), 1u);
+  } else {
+    // Gate off: the call site compiles to nothing and emits nothing.
+    EXPECT_EQ(sink.events_written(), 0u);
+    EXPECT_TRUE(sink.str().empty());
+  }
+  obs::TraceSink* null_sink = nullptr;
+  OBS_TRACE(null_sink, obs_ts.event("never").f("x", 0));  // must not crash
+}
+
+void timed_helper() { OBS_SCOPED_TIMER("obs_test.helper"); }
+
+TEST(Profiling, ScopedTimerFeedsGlobalRegistry) {
+  obs::Histogram& h =
+      obs::Registry::global().latency_histogram("obs_test.helper");
+  const std::uint64_t before = h.count();
+  for (int i = 0; i < 5; ++i) timed_helper();
+  if (obs::profiling_compiled_in()) {
+    EXPECT_EQ(h.count(), before + 5);
+    EXPECT_GE(h.min(), 0.0);
+  } else {
+    EXPECT_EQ(h.count(), before);
+  }
+}
+
+#if CARPOOL_TRACE_ENABLED
+
+/// Acceptance scenario: a 20-STA Carpool simulator run plus one PHY-layer
+/// decode share a sink; the JSONL must parse and carry tx/ACK/collision
+/// and side-channel CRC events (docs/OBSERVABILITY.md schema).
+TEST(TraceIntegration, CarpoolRunEmitsParseableTrace) {
+  obs::TraceSink sink;
+
+  mac::SimConfig cfg;
+  cfg.scheme = mac::Scheme::kCarpool;
+  cfg.num_stas = 20;
+  cfg.duration = 5.0;
+  cfg.seed = 7;
+  cfg.trace = &sink;
+  mac::Simulator sim(cfg);
+  for (mac::NodeId sta = 1; sta <= 20; ++sta) {
+    for (auto& flow :
+         traffic::make_voip_call(sta, traffic::VoipParams::near_peak())) {
+      sim.add_flow(std::move(flow));
+    }
+  }
+  const mac::SimResult result = sim.run();
+  EXPECT_GT(result.dl_frames_delivered, 0u);
+  EXPECT_GT(result.collisions, 0u);
+
+  // PHY leg: decode one Carpool frame with the same sink attached.
+  Rng rng(3);
+  Bytes psdu(400);
+  for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  const std::vector<SubframeSpec> subframes{
+      SubframeSpec{MacAddress::for_station(1), append_fcs(psdu), 4}};
+  const CarpoolTransmitter tx;
+  FadingConfig ch;
+  ch.snr_db = 30.0;
+  ch.seed = 11;
+  FadingChannel channel(ch);
+  CarpoolRxConfig rxcfg;
+  rxcfg.self = MacAddress::for_station(1);
+  rxcfg.trace = &sink;
+  const CarpoolReceiver rx(rxcfg);
+  const CarpoolRxResult phy = rx.receive(channel.transmit(tx.build(subframes)));
+  ASSERT_FALSE(phy.subframes.empty());
+
+  const auto lines = split_lines(sink.str());
+  ASSERT_GT(lines.size(), 100u);
+  bool saw_tx = false, saw_ack = false, saw_collision = false;
+  bool saw_side_crc = false, saw_backoff = false, saw_symbol = false;
+  for (const auto& line : lines) {
+    ASSERT_TRUE(valid_jsonl_object(line)) << line;
+    saw_tx = saw_tx || line.find("\"type\":\"mac.tx_start\"") != std::string::npos;
+    saw_ack = saw_ack || line.find("\"type\":\"mac.ack\"") != std::string::npos;
+    saw_collision =
+        saw_collision || line.find("\"type\":\"mac.collision\"") != std::string::npos;
+    saw_side_crc =
+        saw_side_crc || line.find("\"type\":\"phy.side_crc\"") != std::string::npos;
+    saw_backoff =
+        saw_backoff || line.find("\"type\":\"mac.backoff_draw\"") != std::string::npos;
+    saw_symbol =
+        saw_symbol || line.find("\"type\":\"phy.symbol\"") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_tx);
+  EXPECT_TRUE(saw_ack);
+  EXPECT_TRUE(saw_collision);
+  EXPECT_TRUE(saw_side_crc);
+  EXPECT_TRUE(saw_backoff);
+  EXPECT_TRUE(saw_symbol);
+}
+
+#else
+
+TEST(TraceIntegration, SimulatorWithSinkEmitsNothingWhenGateOff) {
+  obs::TraceSink sink;
+  mac::SimConfig cfg;
+  cfg.scheme = mac::Scheme::kCarpool;
+  cfg.num_stas = 5;
+  cfg.duration = 1.0;
+  cfg.trace = &sink;
+  mac::Simulator sim(cfg);
+  for (mac::NodeId sta = 1; sta <= 5; ++sta) {
+    for (auto& flow : traffic::make_voip_call(sta)) {
+      sim.add_flow(std::move(flow));
+    }
+  }
+  const mac::SimResult result = sim.run();
+  EXPECT_GT(result.dl_frames_delivered, 0u);
+  EXPECT_EQ(sink.events_written(), 0u);
+}
+
+#endif  // CARPOOL_TRACE_ENABLED
+
+}  // namespace
+}  // namespace carpool
