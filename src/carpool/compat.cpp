@@ -14,6 +14,7 @@ FrameKind classify_waveform(std::span<const Cx> waveform) {
       waveform.first(std::min(waveform.size(), kPreambleLen)));
   if (!sync || sync->frame_start > 32) return FrameKind::kUndecodable;
   const Frontend fe = receive_frontend(waveform);
+  if (!fe.ok()) return FrameKind::kUndecodable;
   const std::span<const Cx> wave(fe.corrected);
 
   // Hypothesis 1: legacy — the first symbol is a valid SIG.

@@ -74,6 +74,7 @@ CarpoolRtsResult receive_carpool_rts(std::span<const Cx> waveform,
   CarpoolRtsResult result;
   if (waveform.size() < kPreambleLen + 3 * kSymbolLen) return result;
   const Frontend fe = receive_frontend(waveform);
+  if (!fe.ok()) return result;  // jammed preamble: no NAV, no slots
   const std::span<const Cx> wave(fe.corrected);
 
   std::size_t pos = fe.data_start;

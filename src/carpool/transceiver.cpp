@@ -83,17 +83,30 @@ struct PendingPilot {
 };
 
 /// Eq. (3): fold a data-pilot estimate into the running channel estimate
-/// (alpha = 0.5 reproduces the paper's 50/50 average).
-void rte_update(CxVec& h, const PendingPilot& pilot, double alpha) {
+/// (alpha = 0.5 reproduces the paper's 50/50 average). `max_delta` bounds
+/// the per-bin move (relative to the current magnitude): a CRC false
+/// accept can hand us an arbitrarily wrong estimate, and an unbounded
+/// update would poison every later symbol's equalization. Returns the
+/// number of bins skipped by the bound.
+std::size_t rte_update(CxVec& h, const PendingPilot& pilot, double alpha,
+                       double max_delta) {
   const CxVec ref = reference_bins(pilot.points, pilot.symbol_index, 0.0);
   const Cx derotate = cx_exp(-pilot.phase);
+  std::size_t clamped = 0;
   auto update_bin = [&](std::size_t bin) {
     if (ref[bin] == Cx{}) return;
     const Cx estimate = pilot.bins[bin] * derotate / ref[bin];
+    if (max_delta > 0.0 &&
+        std::abs(estimate - h[bin]) >
+            max_delta * std::max(std::abs(h[bin]), 1e-3)) {
+      ++clamped;
+      return;
+    }
     h[bin] = (1.0 - alpha) * h[bin] + alpha * estimate;
   };
   for (const std::size_t bin : data_bins()) update_bin(bin);
   for (const std::size_t bin : pilot_bins()) update_bin(bin);
+  return clamped;
 }
 
 }  // namespace
@@ -172,21 +185,60 @@ CxVec CarpoolTransmitter::build(std::span<const SubframeSpec> subframes) const {
   return wave;
 }
 
-CarpoolReceiver::CarpoolReceiver(CarpoolRxConfig config)
+CarpoolReceiver::CarpoolReceiver(CarpoolRxConfig config) noexcept
     : config_(config) {
-  if (config.crc_scheme.group_symbols == 0) {
-    throw std::invalid_argument("CarpoolReceiver: empty CRC group");
+  // Config problems are diagnosed here (once) instead of throwing: the
+  // receiver stays constructible so callers can surface config_error()
+  // through their own error path, and receive() reports kBadConfig.
+  if (config_.crc_scheme.group_symbols == 0) {
+    config_error_ = "empty side-channel CRC group";
+  } else if (config_.bloom_hashes == 0 ||
+             config_.bloom_hashes > kAhdrBits) {
+    config_error_ = "Bloom hash count out of range";
+  } else if (config_.rte_alpha < 0.0 || config_.rte_alpha > 1.0) {
+    config_error_ = "rte_alpha outside [0, 1]";
   }
 }
 
 CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
+  // Backstop: no exception may escape a decode. Anything the structured
+  // paths missed is contained here and reported as kInternalError.
+  try {
+    return receive_impl(waveform);
+  } catch (...) {
+    static obs::Counter& exceptions =
+        obs::Registry::global().counter("phy.decode_exceptions");
+    exceptions.add();
+    CarpoolRxResult result;
+    result.status = DecodeStatus::kInternalError;
+    return result;
+  }
+}
+
+CarpoolRxResult CarpoolReceiver::receive_impl(
+    std::span<const Cx> waveform) const {
   CarpoolRxResult result;
+  if (!config_error_.empty()) {
+    result.status = DecodeStatus::kBadConfig;
+    return result;
+  }
   if (waveform.size() < kPreambleLen + kAhdrSymbols * kSymbolLen) {
+    result.status = DecodeStatus::kTruncated;
     return result;
   }
   const Frontend fe = receive_frontend(waveform);
+  result.sync_quality = fe.sync_quality;
+  if (!fe.ok()) {
+    result.status = fe.status;
+    return result;
+  }
   const std::span<const Cx> wave(fe.corrected);
   CxVec h = fe.h;  // running channel estimate H~
+
+  // Poisoning guard state (spans subframes; see CarpoolRxConfig).
+  CxVec h_last_good = h;       // estimate before the last verified group
+  std::size_t failed_groups = 0;  // consecutive failed CRC groups
+  bool rte_frozen = false;
 
   std::size_t pos = fe.data_start;
   std::size_t sym_idx = 0;
@@ -209,25 +261,50 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
             obs_ts.event("phy.ahdr")
                 .f("matched",
                    static_cast<std::uint64_t>(result.matched.size())));
-  if (result.matched.empty()) return result;  // drop without decoding
+  if (result.matched.empty()) {
+    result.status = DecodeStatus::kAhdrMiss;
+    return result;  // drop without decoding
+  }
   const std::size_t last_wanted = result.matched.back();
 
   double prev_phase = eq1.phase_offset;
   std::size_t k = 0;  // subframe index while walking
 
-  while (pos + kSymbolLen <= wave.size() && k <= last_wanted) {
+  while (k <= last_wanted) {
+    if (pos + kSymbolLen > wave.size()) {
+      // Frame ended before this subframe's SIG. Subframes already decoded
+      // stay in `result`; only the walk past this point is lost.
+      result.status = DecodeStatus::kTruncated;
+      break;
+    }
     const CxVec sig_bins = extract_symbol(wave.subspan(pos, kSymbolLen));
     const SymbolEqualization sig_eq = equalize_symbol(sig_bins, h, sym_idx);
     const auto sig = decode_sig(sig_eq.data, sig_eq.gains);
-    if (!sig) break;  // cannot locate further subframes
+    if (!sig) {
+      // A corrupted SIG breaks the length chain: later subframes cannot
+      // be located, but earlier decodes survive untouched.
+      result.status = DecodeStatus::kSigCorrupt;
+      static obs::Counter& sig_failures =
+          obs::Registry::global().counter("phy.sig_failures");
+      sig_failures.add();
+      break;
+    }
     ++result.subframes_walked;
 
     const Mcs& m = mcs(sig->mcs_index);
     const std::size_t n_sym = num_data_symbols(m, sig->length_bytes);
-    if (pos + (1 + n_sym) * kSymbolLen > wave.size()) break;  // truncated
+    const bool truncated = pos + (1 + n_sym) * kSymbolLen > wave.size();
+    // Data symbols actually present when the capture ends mid-subframe.
+    const std::size_t n_avail =
+        truncated ? (wave.size() - pos) / kSymbolLen - 1 : n_sym;
 
     const bool mine = std::find(result.matched.begin(), result.matched.end(),
                                 k) != result.matched.end();
+    if (truncated && !mine) {
+      // Nothing of ours is reachable past the cut.
+      result.status = DecodeStatus::kTruncated;
+      break;
+    }
     if (!mine) {
       // Skip: track the common phase only (cheap, keeps the side-channel
       // reference chain alive and mirrors the paper's sampling-without-
@@ -267,14 +344,49 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
                     .f("sym", static_cast<std::uint64_t>(group_end_sym))
                     .f("subframe", static_cast<std::uint64_t>(k))
                     .f("ok", *outcome.group_verified));
-      if (*outcome.group_verified && config_.use_rte) {
+      if (!*outcome.group_verified) {
+        ++failed_groups;
+        if (config_.use_rte && config_.rte_freeze_after > 0 &&
+            !rte_frozen && failed_groups >= config_.rte_freeze_after) {
+          // A failure run this long often starts with a false-accepted
+          // group (CRC-2 passes ~25% of corrupted symbols) whose updates
+          // poisoned H~ — undo the last applied group and stop touching
+          // the estimate until a group verifies again.
+          h = h_last_good;
+          rte_frozen = true;
+          ++result.rte_freezes;
+          ++result.rte_rollbacks;
+          static obs::Counter& freezes =
+              obs::Registry::global().counter("phy.rte_freeze");
+          static obs::Counter& rollbacks =
+              obs::Registry::global().counter("phy.rte_rollback");
+          freezes.add();
+          rollbacks.add();
+          OBS_TRACE(config_.trace,
+                    obs_ts.event("phy.rte_freeze")
+                        .f("sym", static_cast<std::uint64_t>(group_end_sym))
+                        .f("subframe", static_cast<std::uint64_t>(k))
+                        .f("failed_groups",
+                           static_cast<std::uint64_t>(failed_groups)));
+        }
+        pending.clear();
+        return;
+      }
+      failed_groups = 0;
+      rte_frozen = false;  // a verified group re-arms the estimator
+      if (config_.use_rte) {
+        // Snapshot BEFORE applying: if the next rte_freeze_after groups
+        // all fail, this group is the rollback suspect.
+        h_last_good = h;
         std::size_t applied = 0;
+        std::size_t clamped = 0;
         for (const PendingPilot& pilot : pending) {
           if (config_.pilot_evm_gate > 0.0 &&
               pilot.evm > config_.pilot_evm_gate) {
             continue;  // likely a CRC false accept; do not touch H~
           }
-          rte_update(h, pilot, config_.rte_alpha);
+          clamped +=
+              rte_update(h, pilot, config_.rte_alpha, config_.rte_max_delta);
           ++sub.rte_updates;
           ++applied;
         }
@@ -282,6 +394,11 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
           static obs::Counter& rte_total =
               obs::Registry::global().counter("phy.rte_updates");
           rte_total.add(applied);
+        }
+        if (clamped > 0) {
+          static obs::Counter& delta_clamped =
+              obs::Registry::global().counter("phy.rte_delta_clamped");
+          delta_clamped.add(clamped);
         }
         OBS_TRACE(config_.trace,
                   obs_ts.event("phy.rte_update")
@@ -311,8 +428,8 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
     prev_phase = sig_eq.phase_offset;
 
     SoftBits soft;
-    soft.reserve(n_sym * m.n_cbps);
-    for (std::size_t j = 0; j < n_sym; ++j) {
+    soft.reserve(n_avail * m.n_cbps);
+    for (std::size_t j = 0; j < n_avail; ++j) {
       const std::size_t off = pos + (1 + j) * kSymbolLen;
       const CxVec bins = extract_symbol(wave.subspan(off, kSymbolLen));
       const SymbolEqualization eq = equalize_symbol(bins, h, sym_idx + 1 + j);
@@ -340,12 +457,18 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
       prev_phase = eq.phase_offset;
     }
 
+    // A truncated subframe is still worth the attempt: short PSDUs can
+    // survive losing tail pad symbols, and a partial decode feeds the
+    // retransmission decision either way.
     auto psdu = decode_data_bits(soft, m, sig->length_bytes);
     if (psdu) {
       sub.decoded = true;
       sub.psdu = std::move(*psdu);
       sub.fcs_ok = check_fcs(sub.psdu);
     }
+    sub.status = truncated ? DecodeStatus::kTruncated
+                 : sub.fcs_ok ? DecodeStatus::kOk
+                              : DecodeStatus::kFcsFail;
     static obs::Counter& subframes_decoded =
         obs::Registry::global().counter("phy.subframes_decoded");
     static obs::Counter& fcs_failures =
@@ -355,13 +478,18 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
     OBS_TRACE(config_.trace,
               obs_ts.event("phy.subframe")
                   .f("subframe", static_cast<std::uint64_t>(k))
-                  .f("symbols", static_cast<std::uint64_t>(1 + n_sym))
+                  .f("symbols", static_cast<std::uint64_t>(1 + n_avail))
                   .f("decoded", sub.decoded)
                   .f("fcs_ok", sub.fcs_ok)
+                  .f("status", to_string(sub.status))
                   .f("rte_updates",
                      static_cast<std::uint64_t>(sub.rte_updates)));
-    result.symbols_full_decoded += 1 + n_sym;
+    result.symbols_full_decoded += 1 + n_avail;
     result.subframes.push_back(std::move(sub));
+    if (truncated) {
+      result.status = DecodeStatus::kTruncated;
+      break;
+    }
 
     pos += (1 + n_sym) * kSymbolLen;
     sym_idx += 1 + n_sym;

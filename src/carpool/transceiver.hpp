@@ -78,6 +78,18 @@ struct CarpoolRxConfig {
   /// sweeps it.
   double rte_alpha = 0.5;
 
+  /// RTE poisoning guard (docs/ROBUSTNESS.md). After this many consecutive
+  /// failed CRC groups the estimate rolls back to the snapshot taken
+  /// before the last verified group's updates (a burst that defeats the
+  /// side-channel CRC right after a false accept is the poisoning vector)
+  /// and freezes until a group verifies again. 0 disables the guard.
+  std::size_t rte_freeze_after = 3;
+  /// Per-bin update bound: a data-pilot estimate that moves a bin by more
+  /// than this factor of its current magnitude is discarded (counter
+  /// `phy.rte_delta_clamped`). Bounds the damage of any single false
+  /// accept. 0 disables the bound.
+  double rte_max_delta = 4.0;
+
   /// Optional JSONL event sink: per-symbol EVM (`phy.symbol`), side-channel
   /// CRC verdicts (`phy.side_crc`), RTE updates (`phy.rte_update`), and
   /// A-HDR match outcomes (`phy.ahdr`). Only consulted when the binary was
@@ -89,6 +101,10 @@ struct CarpoolRxConfig {
 struct DecodedSubframe {
   std::size_t index = 0;
   SigInfo sig;
+  /// kOk, kTruncated (frame ended mid-subframe; partial decode attempted)
+  /// or kFcsFail. A bad subframe never aborts its siblings: every matched
+  /// subframe the walk reaches gets its own entry and verdict.
+  DecodeStatus status = DecodeStatus::kOk;
   bool decoded = false;  ///< PSDU extracted
   bool fcs_ok = false;
   Bytes psdu;
@@ -100,27 +116,55 @@ struct DecodedSubframe {
 };
 
 struct CarpoolRxResult {
+  /// Frame-level verdict. kOk even when individual subframes failed their
+  /// FCS — per-subframe outcomes live in DecodedSubframe::status; this
+  /// field reports conditions that stopped the walk itself (kTruncated,
+  /// kSyncLost, kSigCorrupt, kAhdrMiss, kBadConfig, kInternalError).
+  DecodeStatus status = DecodeStatus::kOk;
+  double sync_quality = 0.0;             ///< from the preamble front end
   bool ahdr_decoded = false;
   std::vector<std::size_t> matched;      ///< Bloom-matched subframe indices
   std::vector<DecodedSubframe> subframes;///< decodes of reachable matches
   std::size_t subframes_walked = 0;      ///< SIGs read while scanning
   std::size_t symbols_full_decoded = 0;  ///< payload symbols demodulated
   std::size_t symbols_pilot_only = 0;    ///< skipped (pilot tracking only)
+  std::size_t rte_freezes = 0;           ///< poisoning-guard freezes
+  std::size_t rte_rollbacks = 0;         ///< estimate rollbacks performed
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == DecodeStatus::kOk;
+  }
 };
 
 class CarpoolReceiver {
  public:
-  explicit CarpoolReceiver(CarpoolRxConfig config);
+  /// Never throws: an invalid configuration (e.g. a zero-symbol CRC group)
+  /// is recorded and every receive() reports kBadConfig. Callers that
+  /// build configs from untrusted input check config_error() up front.
+  explicit CarpoolReceiver(CarpoolRxConfig config) noexcept;
 
-  /// Decode a received Carpool waveform starting at sample 0.
+  /// Decode a received Carpool waveform starting at sample 0. Never
+  /// throws: malformed input maps to CarpoolRxResult::status and anything
+  /// unexpected is contained as kInternalError (counter
+  /// `phy.decode_exceptions`).
   [[nodiscard]] CarpoolRxResult receive(std::span<const Cx> waveform) const;
 
   [[nodiscard]] const CarpoolRxConfig& config() const noexcept {
     return config_;
   }
 
+  /// Empty when the configuration is valid; otherwise a description of
+  /// what is wrong (receive() then reports kBadConfig).
+  [[nodiscard]] std::string_view config_error() const noexcept {
+    return config_error_;
+  }
+
  private:
+  [[nodiscard]] CarpoolRxResult receive_impl(
+      std::span<const Cx> waveform) const;
+
   CarpoolRxConfig config_;
+  std::string_view config_error_;  ///< static-duration message or empty
 };
 
 /// The side-channel bits a transmitter injects for one subframe (SIG

@@ -1,0 +1,260 @@
+#include "impair/impair.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "obs/registry.hpp"
+#include "phy/ofdm.hpp"
+#include "phy/preamble.hpp"
+
+namespace carpool::impair {
+namespace {
+
+/// Per-dimension sigma for complex Gaussian noise of total power `power`.
+double noise_sigma(double power) { return std::sqrt(power / 2.0); }
+
+class GilbertElliottInterference final : public ImpairmentStage {
+ public:
+  explicit GilbertElliottInterference(const GilbertElliottConfig& config)
+      : config_(config) {
+    if (config_.period_samples == 0) config_.period_samples = 1;
+  }
+
+  void apply(CxVec& wave, Rng& rng) const override {
+    const double sigma = noise_sigma(config_.bad_noise_power);
+    bool bad = rng.bernoulli(config_.p_good_to_bad);  // stationary-ish start
+    std::uint64_t bad_periods = 0;
+    for (std::size_t start = 0; start < wave.size();
+         start += config_.period_samples) {
+      if (bad) {
+        ++bad_periods;
+        const std::size_t end =
+            std::min(wave.size(), start + config_.period_samples);
+        for (std::size_t n = start; n < end; ++n) {
+          wave[n] += Cx{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+        }
+      }
+      bad = bad ? !rng.bernoulli(config_.p_bad_to_good)
+                : rng.bernoulli(config_.p_good_to_bad);
+    }
+    if (bad_periods > 0) {
+      static obs::Counter& periods =
+          obs::Registry::global().counter("impair.ge_bad_periods");
+      periods.add(bad_periods);
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "gilbert_elliott";
+  }
+
+ private:
+  GilbertElliottConfig config_;
+};
+
+class SnrCollapse final : public ImpairmentStage {
+ public:
+  explicit SnrCollapse(const SnrCollapseConfig& config) : config_(config) {}
+
+  void apply(CxVec& wave, Rng&) const override {
+    const double gain = std::pow(10.0, -config_.attenuation_db / 20.0);
+    for (std::size_t n = config_.start_sample; n < wave.size(); ++n) {
+      wave[n] *= gain;
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "snr_collapse";
+  }
+
+ private:
+  SnrCollapseConfig config_;
+};
+
+class Truncation final : public ImpairmentStage {
+ public:
+  explicit Truncation(const TruncationConfig& config) : config_(config) {}
+
+  void apply(CxVec& wave, Rng&) const override {
+    if (wave.size() > config_.keep_samples) {
+      wave.resize(config_.keep_samples);
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "truncation";
+  }
+
+ private:
+  TruncationConfig config_;
+};
+
+class SampleErasure final : public ImpairmentStage {
+ public:
+  explicit SampleErasure(const SampleErasureConfig& config)
+      : config_(config) {}
+
+  void apply(CxVec& wave, Rng&) const override {
+    const std::size_t start = std::min(config_.start_sample, wave.size());
+    const std::size_t end =
+        std::min(wave.size(), start + config_.num_samples);
+    std::fill(wave.begin() + static_cast<long>(start),
+              wave.begin() + static_cast<long>(end), Cx{});
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sample_erasure";
+  }
+
+ private:
+  SampleErasureConfig config_;
+};
+
+class ImpulsiveNoise final : public ImpairmentStage {
+ public:
+  explicit ImpulsiveNoise(const ImpulsiveNoiseConfig& config)
+      : config_(config) {}
+
+  void apply(CxVec& wave, Rng& rng) const override {
+    const double sigma = noise_sigma(config_.impulse_power);
+    for (Cx& s : wave) {
+      if (rng.bernoulli(config_.impulse_prob)) {
+        s += Cx{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+      }
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "impulsive_noise";
+  }
+
+ private:
+  ImpulsiveNoiseConfig config_;
+};
+
+class SamplingClockDrift final : public ImpairmentStage {
+ public:
+  explicit SamplingClockDrift(const ClockDriftConfig& config)
+      : config_(config) {}
+
+  void apply(CxVec& wave, Rng&) const override {
+    if (config_.ppm == 0.0 || wave.size() < 2) return;
+    const double rate = 1.0 + config_.ppm * 1e-6;
+    CxVec out;
+    out.reserve(wave.size());
+    // The receiver's n-th sample lands at transmitter time n * rate.
+    for (std::size_t n = 0; n < wave.size(); ++n) {
+      const double t = static_cast<double>(n) * rate;
+      const auto i = static_cast<std::size_t>(t);
+      if (i + 1 >= wave.size()) break;
+      const double frac = t - static_cast<double>(i);
+      out.push_back(wave[i] * (1.0 - frac) + wave[i + 1] * frac);
+    }
+    wave = std::move(out);
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "clock_drift";
+  }
+
+ private:
+  ClockDriftConfig config_;
+};
+
+class HeaderBitCorruption final : public ImpairmentStage {
+ public:
+  explicit HeaderBitCorruption(const HeaderCorruptionConfig& config)
+      : config_(config) {}
+
+  void apply(CxVec& wave, Rng& rng) const override {
+    const std::size_t start =
+        kPreambleLen + config_.symbol_index * kSymbolLen;
+    if (start + kSymbolLen > wave.size()) return;  // symbol not present
+    // FFT the symbol's useful part, negate chosen data subcarriers (a sign
+    // flip survives any channel scaling, so for BPSK headers each negated
+    // bin is exactly one flipped coded bit), then rebuild time domain and
+    // a consistent cyclic prefix.
+    CxVec bins(wave.begin() + static_cast<long>(start + kCpLen),
+               wave.begin() + static_cast<long>(start + kSymbolLen));
+    fft_inplace(bins);
+    const std::span<const std::size_t> data = data_bins();
+    // Seeded partial Fisher-Yates draw of `flip_bins` distinct bins.
+    std::vector<std::size_t> order(data.begin(), data.end());
+    const std::size_t flips = std::min(config_.flip_bins, order.size());
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t j = i + rng.uniform_int(order.size() - i);
+      std::swap(order[i], order[j]);
+      bins[order[i]] = -bins[order[i]];
+    }
+    CxVec time = ifft(bins);
+    std::copy(time.end() - static_cast<long>(kCpLen), time.end(),
+              wave.begin() + static_cast<long>(start));
+    std::copy(time.begin(), time.end(),
+              wave.begin() + static_cast<long>(start + kCpLen));
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "header_corruption";
+  }
+
+ private:
+  HeaderCorruptionConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<ImpairmentStage> make_gilbert_elliott(
+    const GilbertElliottConfig& config) {
+  return std::make_unique<GilbertElliottInterference>(config);
+}
+std::unique_ptr<ImpairmentStage> make_snr_collapse(
+    const SnrCollapseConfig& config) {
+  return std::make_unique<SnrCollapse>(config);
+}
+std::unique_ptr<ImpairmentStage> make_truncation(
+    const TruncationConfig& config) {
+  return std::make_unique<Truncation>(config);
+}
+std::unique_ptr<ImpairmentStage> make_sample_erasure(
+    const SampleErasureConfig& config) {
+  return std::make_unique<SampleErasure>(config);
+}
+std::unique_ptr<ImpairmentStage> make_impulsive_noise(
+    const ImpulsiveNoiseConfig& config) {
+  return std::make_unique<ImpulsiveNoise>(config);
+}
+std::unique_ptr<ImpairmentStage> make_clock_drift(
+    const ClockDriftConfig& config) {
+  return std::make_unique<SamplingClockDrift>(config);
+}
+std::unique_ptr<ImpairmentStage> make_header_corruption(
+    const HeaderCorruptionConfig& config) {
+  return std::make_unique<HeaderBitCorruption>(config);
+}
+
+ImpairmentChain& ImpairmentChain::add(
+    std::unique_ptr<ImpairmentStage> stage) {
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+CxVec ImpairmentChain::run(std::span<const Cx> tx) {
+  CxVec wave(tx.begin(), tx.end());
+  // Derive (frame, stage)-addressed streams so every stage sees the same
+  // randomness no matter what its neighbours consume.
+  std::uint64_t sm = seed_ ^ (0x9e3779b97f4a7c15ULL * (frame_ + 1));
+  const std::uint64_t frame_key = splitmix64(sm);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    std::uint64_t stage_sm = frame_key ^ (0xbf58476d1ce4e5b9ULL * (i + 1));
+    Rng rng(splitmix64(stage_sm));
+    stages_[i]->apply(wave, rng);
+  }
+  ++frame_;
+  static obs::Counter& frames =
+      obs::Registry::global().counter("impair.frames");
+  frames.add();
+  return wave;
+}
+
+}  // namespace carpool::impair

@@ -1,0 +1,163 @@
+#pragma once
+
+// carpool::impair — deterministic, seedable fault injection for received
+// waveforms.
+//
+// Stages mutate a waveform in place and compose into an ImpairmentChain
+// that sits between the channel/ pipeline and a receiver:
+//
+//   FadingChannel channel(ch_cfg);
+//   impair::ImpairmentChain chain(seed);
+//   chain.add(impair::make_gilbert_elliott({.p_good_to_bad = 0.05}));
+//   chain.add(impair::make_impulsive_noise({.impulse_prob = 1e-3}));
+//   const CxVec rx_wave = chain.run(channel.transmit(tx_wave));
+//
+// Determinism: every stage draws from its own RNG stream derived from
+// (chain seed, frame index, stage index), so two chains constructed with
+// the same seed and stage list produce bit-identical waveforms frame by
+// frame, regardless of how much randomness the other stages consume.
+// reset() rewinds the frame counter so a chain can replay its sequence.
+//
+// These are the failure regimes the clean simulator never produces —
+// bursty co-channel interference, mid-frame shadowing, truncated captures,
+// impulsive noise, sampling-clock drift, and targeted A-HDR/SIG bit
+// corruption — and the regimes the hardened receivers (DecodeStatus paths,
+// RTE poisoning guard, MAC aggregation backoff) are built to survive.
+// bench_robustness sweeps them against goodput; docs/ROBUSTNESS.md has the
+// model details.
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/complex_vec.hpp"
+
+namespace carpool::impair {
+
+/// One composable fault injector. Stages are stateless across frames: all
+/// randomness comes from the per-frame `rng` the chain hands to apply(),
+/// so a stage object may be shared between chains.
+class ImpairmentStage {
+ public:
+  virtual ~ImpairmentStage() = default;
+
+  /// Mutate `wave` in place. May change its length (truncation). `rng` is
+  /// this stage's private per-frame stream.
+  virtual void apply(CxVec& wave, Rng& rng) const = 0;
+
+  /// Stable identifier used in obs counters ("impair.<name>") and traces.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+// --------------------------------------------------------------- configs
+
+/// Two-state Markov (Gilbert–Elliott) bursty interference: the channel
+/// alternates between a good state (clean) and a bad state in which
+/// Gaussian interference of `bad_noise_power` is added. State transitions
+/// are evaluated every `period_samples` (default one OFDM symbol), so a
+/// burst corrupts whole symbols the way a colliding transmission would.
+struct GilbertElliottConfig {
+  double p_good_to_bad = 0.05;  ///< per-period entry probability
+  double p_bad_to_good = 0.3;   ///< per-period exit (mean burst ~3 periods)
+  double bad_noise_power = 1.0; ///< interference power in the bad state
+                                ///< (1.0 = 0 dB SIR against unit signal)
+  std::size_t period_samples = 80;  ///< state-update granularity
+};
+
+/// Mid-frame SNR collapse: a shadowing step that attenuates every sample
+/// from `start_sample` onward by `attenuation_db`. Models a person/door
+/// blocking the LOS path mid-frame — the preamble estimate is suddenly
+/// wrong for the remainder of the frame.
+struct SnrCollapseConfig {
+  std::size_t start_sample = 0;
+  double attenuation_db = 10.0;
+};
+
+/// Keep only the first `keep_samples` samples (capture cut short: AGC
+/// glitch, buffer overrun, co-channel preemption).
+struct TruncationConfig {
+  std::size_t keep_samples = 0;
+};
+
+/// Zero out `num_samples` starting at `start_sample` (ADC dropout /
+/// sample erasure). Spans past the end are clipped.
+struct SampleErasureConfig {
+  std::size_t start_sample = 0;
+  std::size_t num_samples = 80;
+};
+
+/// Impulsive (Middleton class-A style) noise: each sample independently
+/// receives a large Gaussian impulse with probability `impulse_prob`.
+struct ImpulsiveNoiseConfig {
+  double impulse_prob = 1e-3;
+  double impulse_power = 50.0;  ///< mean impulse power (unit-power signal)
+};
+
+/// Sampling-clock offset between transmitter and receiver: the waveform is
+/// resampled (linear interpolation) at rate (1 + ppm * 1e-6), modelling a
+/// receiver ADC running fast (positive) or slow (negative). Deterministic;
+/// draws no randomness.
+struct ClockDriftConfig {
+  double ppm = 20.0;  ///< parts-per-million clock offset
+};
+
+/// Targeted A-HDR/SIG corruption: negate `flip_bins` randomly chosen data
+/// subcarriers of the OFDM symbol at `symbol_index` (counted after the
+/// preamble: 0-1 = A-HDR, 2 = first subframe's SIG). For BPSK header
+/// symbols a negated subcarrier is exactly one flipped coded bit, so this
+/// injects bit errors at configurable symbol positions without touching
+/// the rest of the frame.
+struct HeaderCorruptionConfig {
+  std::size_t symbol_index = 2;
+  std::size_t flip_bins = 12;  ///< of the 48 data subcarriers
+};
+
+// -------------------------------------------------------------- factories
+
+std::unique_ptr<ImpairmentStage> make_gilbert_elliott(
+    const GilbertElliottConfig& config);
+std::unique_ptr<ImpairmentStage> make_snr_collapse(
+    const SnrCollapseConfig& config);
+std::unique_ptr<ImpairmentStage> make_truncation(
+    const TruncationConfig& config);
+std::unique_ptr<ImpairmentStage> make_sample_erasure(
+    const SampleErasureConfig& config);
+std::unique_ptr<ImpairmentStage> make_impulsive_noise(
+    const ImpulsiveNoiseConfig& config);
+std::unique_ptr<ImpairmentStage> make_clock_drift(
+    const ClockDriftConfig& config);
+std::unique_ptr<ImpairmentStage> make_header_corruption(
+    const HeaderCorruptionConfig& config);
+
+// ------------------------------------------------------------------ chain
+
+/// Ordered, seedable composition of stages. Each run() processes one frame
+/// and advances the frame counter; see the determinism note above.
+class ImpairmentChain {
+ public:
+  explicit ImpairmentChain(std::uint64_t seed = 1) noexcept : seed_(seed) {}
+
+  ImpairmentChain& add(std::unique_ptr<ImpairmentStage> stage);
+
+  /// Copy `tx`, apply every stage in order, return the impaired waveform.
+  [[nodiscard]] CxVec run(std::span<const Cx> tx);
+
+  /// Rewind the frame counter: the next run() reproduces the chain's
+  /// first frame exactly.
+  void reset() noexcept { frame_ = 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return stages_.size(); }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::uint64_t frames_processed() const noexcept {
+    return frame_;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t frame_ = 0;
+  std::vector<std::unique_ptr<ImpairmentStage>> stages_;
+};
+
+}  // namespace carpool::impair

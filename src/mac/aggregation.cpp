@@ -60,20 +60,6 @@ std::size_t ApQueues::drop_expired(double now, double max_age) {
   return dropped;
 }
 
-long ApQueues::oldest_sta() const {
-  long best = -1;
-  double best_time = 0.0;
-  for (std::size_t sta = 0; sta < queues_.size(); ++sta) {
-    if (queues_[sta].empty()) continue;
-    const double t = queues_[sta].front().enqueue_time;
-    if (best < 0 || t < best_time) {
-      best = static_cast<long>(sta);
-      best_time = t;
-    }
-  }
-  return best;
-}
-
 void ApQueues::requeue_front(const SubUnit& subunit) {
   if (subunit.frames.empty()) return;
   auto& queue = queues_[subunit.dst];
@@ -88,10 +74,24 @@ Transmission ApQueues::build(Scheme scheme, const MacParams& params,
                              const AggregationPolicy& policy, double now,
                              std::span<const double> airtime_occupancy,
                              std::span<const double> rates_bps,
-                             std::span<const std::uint8_t> carpool_capable) {
+                             std::span<const std::uint8_t> carpool_capable,
+                             std::span<const std::uint8_t> blocked) {
   Transmission tx;
   tx.src = kApNode;
-  const long first = oldest_sta();
+  auto is_blocked = [&](std::size_t sta) {
+    return sta < blocked.size() && blocked[sta] != 0;
+  };
+  // STA with the oldest head-of-line frame among schedulable stations.
+  long first = -1;
+  double first_time = 0.0;
+  for (std::size_t sta = 0; sta < queues_.size(); ++sta) {
+    if (queues_[sta].empty() || is_blocked(sta)) continue;
+    const double t = queues_[sta].front().enqueue_time;
+    if (first < 0 || t < first_time) {
+      first = static_cast<long>(sta);
+      first_time = t;
+    }
+  }
   if (first < 0) return tx;
 
   auto capable = [&](NodeId sta) {
@@ -117,6 +117,7 @@ Transmission ApQueues::build(Scheme scheme, const MacParams& params,
   if (is_multi_receiver(scheme)) {
     std::vector<std::pair<double, NodeId>> heads;
     for (std::size_t sta = 0; sta < queues_.size(); ++sta) {
+      if (is_blocked(sta)) continue;
       if (!queues_[sta].empty()) {
         double key = queues_[sta].front().enqueue_time;
         if (policy.time_fairness && sta < airtime_occupancy.size()) {

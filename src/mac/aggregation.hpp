@@ -60,19 +60,21 @@ class ApQueues {
   /// negotiated Carpool at association (Sec. 4.3); others always get
   /// legacy single-destination transmissions, even under a multi-receiver
   /// scheme.
+  /// `blocked[sta]` (optional, 0/1 flags) removes stations from scheduling
+  /// entirely: their queues are held back until the flag clears. The MAC
+  /// link-quality gate uses this to stop burning airtime on a dead link
+  /// between probes (docs/ROBUSTNESS.md).
   Transmission build(Scheme scheme, const MacParams& params,
                      const AggregationPolicy& policy, double now,
                      std::span<const double> airtime_occupancy = {},
                      std::span<const double> rates_bps = {},
-                     std::span<const std::uint8_t> carpool_capable = {});
+                     std::span<const std::uint8_t> carpool_capable = {},
+                     std::span<const std::uint8_t> blocked = {});
 
   /// Put a failed subunit's frames back at the head of their queue.
   void requeue_front(const SubUnit& subunit);
 
  private:
-  /// STA with the oldest head-of-line frame; -1 when empty.
-  [[nodiscard]] long oldest_sta() const;
-
   std::vector<std::deque<MacFrame>> queues_;  // index = dst NodeId
   std::size_t total_frames_ = 0;
   std::size_t total_bytes_ = 0;

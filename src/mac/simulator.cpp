@@ -7,6 +7,7 @@
 
 #include "carpool/bloom.hpp"
 #include "mac/rate_adaptation.hpp"
+#include "obs/registry.hpp"
 
 namespace carpool::mac {
 namespace {
@@ -109,6 +110,22 @@ SimResult Simulator::run() {
          ++sta) {
       carpool_capable[sta] = 0;
     }
+  }
+
+  // Link-quality gate: suspended STAs are blocked out of downlink
+  // scheduling entirely (no aggregate membership, no legacy fallback
+  // burning airtime on a dead link) until their timeout expires, then
+  // probed again. docs/ROBUSTNESS.md describes the policy.
+  const SimConfig::LinkQualityConfig& lq = config_.link_quality;
+  std::vector<std::uint8_t> lq_blocked;
+  std::vector<double> lq_suspended_until;
+  std::vector<double> lq_timeout;
+  std::vector<std::size_t> lq_failures;
+  if (lq.enabled) {
+    lq_blocked.assign(config_.num_stas + 1, 0);
+    lq_suspended_until.assign(config_.num_stas + 1, 0.0);
+    lq_timeout.assign(config_.num_stas + 1, lq.initial_timeout);
+    lq_failures.assign(config_.num_stas + 1, 0);
   }
 
   // Hidden-terminal map: hidden[a][b] = STAs a and b cannot sense each
@@ -300,9 +317,27 @@ SimResult Simulator::run() {
     for (const NodeId node : winners) {
       if (node == kApNode) {
         sample_queue_depth(now);
+        if (lq.enabled) {
+          for (NodeId sta = 1; sta <= config_.num_stas; ++sta) {
+            if (lq_suspended_until[sta] > 0.0 &&
+                now >= lq_suspended_until[sta]) {
+              // Timeout expired: probe the STA by scheduling it again.
+              lq_suspended_until[sta] = 0.0;
+              ++result.lq_probes;
+              static obs::Counter& probes =
+                  obs::Registry::global().counter("mac.lq_probe");
+              probes.add();
+              OBS_TRACE(config_.trace,
+                        obs_ts.event("mac.lq_probe")
+                            .f("t", now)
+                            .f("sta", static_cast<std::uint64_t>(sta)));
+            }
+            lq_blocked[sta] = now < lq_suspended_until[sta] ? 1 : 0;
+          }
+        }
         txs.push_back(ap_queues.build(config_.scheme, p, config_.aggregation,
                                       now, airtime_occupancy, node_rates,
-                                      carpool_capable));
+                                      carpool_capable, lq_blocked));
       } else {
         txs.push_back(
             build_single_frame(uplink[node].front(), p, rate_of(node)));
@@ -555,6 +590,29 @@ SimResult Simulator::run() {
         ++ok_subunits;
         // Receiver ACK transmission energy.
         energy[peer].add_tx(p.ack_duration());
+      }
+      if (lq.enabled && is_downlink) {
+        if (any_delivered) {
+          lq_failures[su.dst] = 0;
+          lq_timeout[su.dst] = lq.initial_timeout;
+        } else if (++lq_failures[su.dst] >= lq.suspend_after) {
+          // Repeated sequential-ACK failures: pull the STA out of
+          // downlink scheduling for a while (doubling on every
+          // re-suspension until a delivery resets the timeout).
+          lq_suspended_until[su.dst] = now + sequence + lq_timeout[su.dst];
+          lq_timeout[su.dst] = std::min(2.0 * lq_timeout[su.dst],
+                                        lq.max_timeout);
+          lq_failures[su.dst] = 0;
+          ++result.lq_suspensions;
+          static obs::Counter& suspensions =
+              obs::Registry::global().counter("mac.lq_suspend");
+          suspensions.add();
+          OBS_TRACE(config_.trace,
+                    obs_ts.event("mac.lq_suspend")
+                        .f("t", now + sequence)
+                        .f("sta", static_cast<std::uint64_t>(su.dst))
+                        .f("until", lq_suspended_until[su.dst]));
+        }
       }
       if (is_downlink && su.dst < airtime_occupancy.size()) {
         airtime_occupancy[su.dst] +=

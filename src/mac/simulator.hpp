@@ -77,6 +77,20 @@ struct SimConfig {
   double wifox_cw_scale = 0.25;
   std::size_t wifox_backlog_threshold = 4;
 
+  /// Per-STA link-quality gate on aggregation membership (see
+  /// docs/ROBUSTNESS.md). A STA whose subunits keep failing their
+  /// sequential ACK drags every frame it shares an aggregate with:
+  /// after `suspend_after` consecutive failures the AP serves it with
+  /// plain legacy frames only (same mechanism as a Carpool-incapable
+  /// STA), retrying aggregation after an exponentially growing timeout.
+  struct LinkQualityConfig {
+    bool enabled = false;          ///< off preserves pre-gate behaviour
+    std::size_t suspend_after = 3; ///< consecutive subunit failures
+    double initial_timeout = 20e-3;///< first suspension length (seconds)
+    double max_timeout = 320e-3;   ///< exponential backoff cap
+  };
+  LinkQualityConfig link_quality;
+
   std::shared_ptr<const PhyErrorModel> phy;  ///< defaults to Analytic
 
   /// Optional JSONL event sink for per-event MAC visibility: tx start/end,
@@ -111,6 +125,8 @@ struct SimResult {
   std::uint64_t collisions = 0;
   std::uint64_t subframe_failures = 0;   ///< FCS failures (PHY losses)
   std::uint64_t false_positive_decodes = 0;
+  std::uint64_t lq_suspensions = 0;      ///< aggregation-membership backoffs
+  std::uint64_t lq_probes = 0;           ///< suspensions that timed out
 
   double airtime_payload = 0.0;     ///< useful payload airtime
   double airtime_overhead = 0.0;    ///< PLCP/headers/SIFS/ACKs

@@ -35,6 +35,28 @@ const ViterbiDecoder& viterbi() {
 
 }  // namespace
 
+std::string_view to_string(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kTruncated:
+      return "truncated";
+    case DecodeStatus::kSyncLost:
+      return "sync_lost";
+    case DecodeStatus::kSigCorrupt:
+      return "sig_corrupt";
+    case DecodeStatus::kAhdrMiss:
+      return "ahdr_miss";
+    case DecodeStatus::kFcsFail:
+      return "fcs_fail";
+    case DecodeStatus::kBadConfig:
+      return "bad_config";
+    case DecodeStatus::kInternalError:
+      return "internal_error";
+  }
+  return "unknown";
+}
+
 Bytes append_fcs(std::span<const std::uint8_t> body) {
   Bytes out(body.begin(), body.end());
   const std::uint32_t crc = crc32(body);
@@ -162,10 +184,14 @@ CxVec LegacyTransmitter::build(std::span<const std::uint8_t> psdu,
 }
 
 Frontend receive_frontend(std::span<const Cx> waveform) {
-  if (waveform.size() < kPreambleLen) {
-    throw std::invalid_argument("receive_frontend: waveform too short");
-  }
   Frontend fe;
+  if (waveform.size() < kPreambleLen) {
+    // Length is checked up front so the STF/LTF estimators below always
+    // see full spans; a short capture reports kTruncated instead of the
+    // std::invalid_argument the estimators reserve for contract misuse.
+    fe.status = DecodeStatus::kTruncated;
+    return fe;
+  }
   fe.corrected.assign(waveform.begin(), waveform.end());
 
   const double coarse =
@@ -177,6 +203,27 @@ Frontend receive_frontend(std::span<const Cx> waveform) {
   apply_cfo_correction(fe.corrected, fine);
 
   fe.cfo_radians_per_sample = coarse + fine;
+
+  // Post-correction LTF repeat correlation: the two 64-sample FFT windows
+  // are identical on the air, so |corr| / power ~ S/(S+N). Pure noise or a
+  // grossly mistimed capture scores near zero — below the threshold there
+  // is no preamble to estimate a channel from.
+  const std::span<const Cx> ltf(fe.corrected.data() + kStfLen, kLtfLen);
+  Cx corr{};
+  double power = 0.0;
+  for (std::size_t n = kLtfCpLen; n < kLtfCpLen + kFftSize; ++n) {
+    corr += std::conj(ltf[n]) * ltf[n + kFftSize];
+    power += 0.5 * (std::norm(ltf[n]) + std::norm(ltf[n + kFftSize]));
+  }
+  fe.sync_quality = power > 0.0 ? std::abs(corr) / power : 0.0;
+  // Pure noise scores ~1/sqrt(64) ≈ 0.12 on this 64-lag statistic, so the
+  // threshold sits well above the noise floor. 0.3 corresponds to roughly
+  // -4 dB SNR — frames that weak cannot be decoded anyway.
+  if (fe.sync_quality < 0.3) {
+    fe.status = DecodeStatus::kSyncLost;
+    return fe;
+  }
+
   fe.h = estimate_channel_from_ltf(
       std::span<const Cx>(fe.corrected).subspan(kStfLen, kLtfLen));
   return fe;
@@ -184,8 +231,15 @@ Frontend receive_frontend(std::span<const Cx> waveform) {
 
 LegacyRxResult LegacyReceiver::receive(std::span<const Cx> waveform) const {
   LegacyRxResult result;
-  if (waveform.size() < kPreambleLen + kSymbolLen) return result;
+  if (waveform.size() < kPreambleLen + kSymbolLen) {
+    result.status = DecodeStatus::kTruncated;
+    return result;
+  }
   const Frontend fe = receive_frontend(waveform);
+  if (!fe.ok()) {
+    result.status = fe.status;
+    return result;
+  }
   const std::span<const Cx> wave(fe.corrected);
 
   // SIG.
@@ -193,7 +247,10 @@ LegacyRxResult LegacyReceiver::receive(std::span<const Cx> waveform) const {
       extract_symbol(wave.subspan(fe.data_start, kSymbolLen));
   const SymbolEqualization sig_eq = equalize_symbol(sig_bins, fe.h, 0);
   const auto sig = decode_sig(sig_eq.data, sig_eq.gains);
-  if (!sig) return result;
+  if (!sig) {
+    result.status = DecodeStatus::kSigCorrupt;
+    return result;
+  }
   result.sig_ok = true;
   result.sig = *sig;
 
@@ -201,7 +258,10 @@ LegacyRxResult LegacyReceiver::receive(std::span<const Cx> waveform) const {
   const std::size_t n_sym = num_data_symbols(m, sig->length_bytes);
   const std::size_t frame_end =
       fe.data_start + kSymbolLen + n_sym * kSymbolLen;
-  if (waveform.size() < frame_end) return result;
+  if (waveform.size() < frame_end) {
+    result.status = DecodeStatus::kTruncated;
+    return result;
+  }
 
   SoftBits soft;
   soft.reserve(n_sym * m.n_cbps);
@@ -215,10 +275,14 @@ LegacyRxResult LegacyReceiver::receive(std::span<const Cx> waveform) const {
   }
 
   auto psdu = decode_data_bits(soft, m, sig->length_bytes);
-  if (!psdu) return result;
+  if (!psdu) {
+    result.status = DecodeStatus::kFcsFail;
+    return result;
+  }
   result.decoded = true;
   result.psdu = std::move(*psdu);
   result.fcs_ok = check_fcs(result.psdu);
+  if (!result.fcs_ok) result.status = DecodeStatus::kFcsFail;
   return result;
 }
 

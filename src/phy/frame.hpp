@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -23,6 +24,23 @@ namespace carpool {
 /// seed from the SERVICE field; fixing it keeps simulations deterministic
 /// without changing any error behaviour).
 inline constexpr std::uint8_t kScramblerSeed = 0x5D;
+
+/// Structured decode outcome for the reception paths. Real captures are
+/// truncated, jammed, and corrupted; receivers report what went wrong
+/// instead of throwing, so one bad (sub)frame never takes down a decode
+/// loop (see docs/ROBUSTNESS.md).
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,      ///< waveform shorter than the span a field required
+  kSyncLost,       ///< preamble unusable (no LTF periodicity to lock to)
+  kSigCorrupt,     ///< a SIG failed parity/rate checks; cannot walk past it
+  kAhdrMiss,       ///< A-HDR decoded but no Bloom match for this receiver
+  kFcsFail,        ///< payload demodulated but its FCS (or Viterbi) failed
+  kBadConfig,      ///< receiver configuration invalid (see config_error())
+  kInternalError,  ///< unexpected exception contained by the decode path
+};
+
+[[nodiscard]] std::string_view to_string(DecodeStatus status) noexcept;
 
 /// MAC-level FCS helpers (CRC-32 appended little-endian).
 Bytes append_fcs(std::span<const std::uint8_t> body);
@@ -75,12 +93,25 @@ struct Frontend {
   CxVec h;          ///< initial channel estimate (64 bins)
   double cfo_radians_per_sample = 0.0;
   std::size_t data_start = kPreambleLen;  ///< index of the first symbol
+  DecodeStatus status = DecodeStatus::kOk;
+  /// Normalised correlation of the two LTF repeats (1 = textbook
+  /// preamble, ~0 = noise). Diagnostic behind the kSyncLost verdict.
+  double sync_quality = 0.0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == DecodeStatus::kOk;
+  }
 };
 
 /// Run STF/LTF processing on a received waveform that starts at sample 0.
+/// Never throws on malformed input: a waveform shorter than the preamble
+/// comes back as kTruncated (with empty estimates) and a destroyed
+/// preamble as kSyncLost; callers check Frontend::ok() before using the
+/// estimates.
 Frontend receive_frontend(std::span<const Cx> waveform);
 
 struct LegacyRxResult {
+  DecodeStatus status = DecodeStatus::kOk;
   bool sig_ok = false;
   SigInfo sig;
   bool decoded = false;  ///< PSDU extracted (correctness judged by FCS)

@@ -1,0 +1,231 @@
+// carpool::impair — determinism, stage behaviour, and chain addressing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "impair/impair.hpp"
+#include "phy/constellation.hpp"
+#include "phy/ofdm.hpp"
+#include "phy/preamble.hpp"
+
+namespace carpool::impair {
+namespace {
+
+CxVec test_wave(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  CxVec wave(n);
+  for (Cx& s : wave) {
+    s = Cx{rng.gaussian(0.0, 0.7), rng.gaussian(0.0, 0.7)};
+  }
+  return wave;
+}
+
+ImpairmentChain noisy_chain(std::uint64_t seed) {
+  ImpairmentChain chain(seed);
+  chain.add(make_gilbert_elliott({.p_good_to_bad = 0.2,
+                                  .p_bad_to_good = 0.3,
+                                  .bad_noise_power = 0.5}));
+  chain.add(make_impulsive_noise({.impulse_prob = 5e-3}));
+  return chain;
+}
+
+TEST(ImpairChain, SameSeedSameWaveforms) {
+  const CxVec tx = test_wave(2000, 3);
+  ImpairmentChain a = noisy_chain(99);
+  ImpairmentChain b = noisy_chain(99);
+  for (int frame = 0; frame < 5; ++frame) {
+    const CxVec wa = a.run(tx);
+    const CxVec wb = b.run(tx);
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t n = 0; n < wa.size(); ++n) {
+      ASSERT_EQ(wa[n], wb[n]) << "frame " << frame << " sample " << n;
+    }
+  }
+}
+
+TEST(ImpairChain, DifferentSeedsDiffer) {
+  const CxVec tx = test_wave(2000, 3);
+  ImpairmentChain a = noisy_chain(1);
+  ImpairmentChain b = noisy_chain(2);
+  const CxVec wa = a.run(tx);
+  const CxVec wb = b.run(tx);
+  bool any_diff = false;
+  for (std::size_t n = 0; n < wa.size() && !any_diff; ++n) {
+    any_diff = wa[n] != wb[n];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ImpairChain, FramesDifferWithinOneChain) {
+  const CxVec tx = test_wave(2000, 3);
+  ImpairmentChain chain = noisy_chain(7);
+  const CxVec f0 = chain.run(tx);
+  const CxVec f1 = chain.run(tx);
+  EXPECT_EQ(chain.frames_processed(), 2u);
+  bool any_diff = false;
+  for (std::size_t n = 0; n < f0.size() && !any_diff; ++n) {
+    any_diff = f0[n] != f1[n];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ImpairChain, ResetReplaysFirstFrame) {
+  const CxVec tx = test_wave(1500, 5);
+  ImpairmentChain chain = noisy_chain(13);
+  const CxVec first = chain.run(tx);
+  (void)chain.run(tx);
+  chain.reset();
+  EXPECT_EQ(chain.frames_processed(), 0u);
+  const CxVec replay = chain.run(tx);
+  ASSERT_EQ(first.size(), replay.size());
+  for (std::size_t n = 0; n < first.size(); ++n) {
+    ASSERT_EQ(first[n], replay[n]) << "sample " << n;
+  }
+}
+
+TEST(ImpairChain, StageStreamsIndependentOfNeighbourConsumption) {
+  // Stage RNG streams are addressed by (seed, frame, stage index): a
+  // predecessor that consumes a different amount of randomness must not
+  // change what a later stage does. Zero-power impulses fire the RNG
+  // without altering the waveform, so both chains' outputs must match.
+  const CxVec tx = test_wave(2000, 11);
+  ImpairmentChain heavy(31);
+  heavy.add(make_impulsive_noise({.impulse_prob = 0.9, .impulse_power = 0.0}));
+  heavy.add(make_gilbert_elliott({.bad_noise_power = 0.8}));
+  ImpairmentChain light(31);
+  light.add(make_impulsive_noise({.impulse_prob = 0.0}));
+  light.add(make_gilbert_elliott({.bad_noise_power = 0.8}));
+  const CxVec wa = heavy.run(tx);
+  const CxVec wb = light.run(tx);
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t n = 0; n < wa.size(); ++n) {
+    ASSERT_EQ(wa[n], wb[n]) << "sample " << n;
+  }
+}
+
+// ------------------------------------------------------------- stages
+
+TEST(ImpairStages, TruncationShortens) {
+  const CxVec tx = test_wave(1000, 1);
+  ImpairmentChain chain(1);
+  chain.add(make_truncation({.keep_samples = 320}));
+  const CxVec out = chain.run(tx);
+  ASSERT_EQ(out.size(), 320u);
+  for (std::size_t n = 0; n < out.size(); ++n) EXPECT_EQ(out[n], tx[n]);
+}
+
+TEST(ImpairStages, ErasureZeroesExactRange) {
+  const CxVec tx = test_wave(1000, 2);
+  ImpairmentChain chain(1);
+  chain.add(make_sample_erasure({.start_sample = 100, .num_samples = 50}));
+  const CxVec out = chain.run(tx);
+  ASSERT_EQ(out.size(), tx.size());
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    if (n >= 100 && n < 150) {
+      EXPECT_EQ(out[n], Cx{}) << "sample " << n;
+    } else {
+      EXPECT_EQ(out[n], tx[n]) << "sample " << n;
+    }
+  }
+}
+
+TEST(ImpairStages, ErasurePastEndIsClipped) {
+  const CxVec tx = test_wave(120, 2);
+  ImpairmentChain chain(1);
+  chain.add(make_sample_erasure({.start_sample = 100, .num_samples = 500}));
+  const CxVec out = chain.run(tx);
+  ASSERT_EQ(out.size(), 120u);
+  EXPECT_EQ(out[119], Cx{});
+  EXPECT_EQ(out[99], tx[99]);
+}
+
+TEST(ImpairStages, SnrCollapseAttenuatesTail) {
+  const CxVec tx = test_wave(400, 3);
+  ImpairmentChain chain(1);
+  chain.add(make_snr_collapse({.start_sample = 200, .attenuation_db = 20.0}));
+  const CxVec out = chain.run(tx);
+  EXPECT_EQ(out[100], tx[100]);
+  EXPECT_NEAR(std::abs(out[300]), 0.1 * std::abs(tx[300]), 1e-12);
+}
+
+TEST(ImpairStages, ClockDriftPreservesApproximateLength) {
+  const CxVec tx = test_wave(10000, 4);
+  ImpairmentChain chain(1);
+  chain.add(make_clock_drift({.ppm = 100.0}));
+  const CxVec out = chain.run(tx);
+  // A 100 ppm fast clock loses about n * ppm * 1e-6 samples (plus the
+  // final interpolation sample).
+  EXPECT_LE(out.size(), tx.size());
+  EXPECT_GE(out.size(), tx.size() - 4);
+}
+
+TEST(ImpairStages, ZeroDriftIsIdentity) {
+  const CxVec tx = test_wave(500, 5);
+  ImpairmentChain chain(1);
+  chain.add(make_clock_drift({.ppm = 0.0}));
+  const CxVec out = chain.run(tx);
+  ASSERT_EQ(out.size(), tx.size());
+  for (std::size_t n = 0; n < out.size(); ++n) EXPECT_EQ(out[n], tx[n]);
+}
+
+TEST(ImpairStages, HeaderCorruptionFlipsOnlyTargetBins) {
+  // Build a "frame": preamble + 4 OFDM symbols of known BPSK points.
+  Rng rng(6);
+  const Constellation& bpsk = constellation(Modulation::kBpsk);
+  CxVec wave = preamble_waveform();
+  std::vector<CxVec> tx_points;
+  for (std::size_t s = 0; s < 4; ++s) {
+    CxVec points(kNumDataSubcarriers);
+    for (Cx& p : points) p = bpsk.points()[rng.uniform_int(bpsk.size())];
+    tx_points.push_back(points);
+    const CxVec sym = assemble_symbol(points, s);
+    wave.insert(wave.end(), sym.begin(), sym.end());
+  }
+
+  constexpr std::size_t kTarget = 2;
+  constexpr std::size_t kFlips = 12;
+  ImpairmentChain chain(17);
+  chain.add(make_header_corruption(
+      {.symbol_index = kTarget, .flip_bins = kFlips}));
+  const CxVec out = chain.run(wave);
+  ASSERT_EQ(out.size(), wave.size());
+
+  // Samples outside the target symbol are untouched.
+  const std::size_t start = kPreambleLen + kTarget * kSymbolLen;
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    if (n < start || n >= start + kSymbolLen) {
+      ASSERT_EQ(out[n], wave[n]) << "sample " << n;
+    }
+  }
+
+  // Exactly kFlips data bins are negated in the target symbol.
+  for (std::size_t s = 0; s < 4; ++s) {
+    const CxVec bins = extract_symbol(std::span<const Cx>(out).subspan(
+        kPreambleLen + s * kSymbolLen, kSymbolLen));
+    const CxVec ref_bins = extract_symbol(std::span<const Cx>(wave).subspan(
+        kPreambleLen + s * kSymbolLen, kSymbolLen));
+    std::size_t flipped = 0;
+    for (const std::size_t bin : data_bins()) {
+      if (std::abs(bins[bin] + ref_bins[bin]) < 1e-9) {
+        ++flipped;  // negated
+      } else {
+        EXPECT_NEAR(std::abs(bins[bin] - ref_bins[bin]), 0.0, 1e-9);
+      }
+    }
+    EXPECT_EQ(flipped, s == kTarget ? kFlips : 0u) << "symbol " << s;
+  }
+}
+
+TEST(ImpairStages, HeaderCorruptionBeyondFrameIsNoop) {
+  const CxVec tx = test_wave(kPreambleLen + kSymbolLen, 7);
+  ImpairmentChain chain(1);
+  chain.add(make_header_corruption({.symbol_index = 5, .flip_bins = 10}));
+  const CxVec out = chain.run(tx);
+  ASSERT_EQ(out.size(), tx.size());
+  for (std::size_t n = 0; n < out.size(); ++n) EXPECT_EQ(out[n], tx[n]);
+}
+
+}  // namespace
+}  // namespace carpool::impair

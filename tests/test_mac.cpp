@@ -647,6 +647,62 @@ TEST(RateAdaptation, SimulatorRunsWithHeterogeneousLinks) {
   EXPECT_NEAR(r.downlink_goodput_bps, 8 * 500 * 8 / 0.02, 2e5);
 }
 
+// ---------------------------------------------- link-quality backoff
+
+TEST(LinkQuality, DeadStaGetsSuspendedAndProbed) {
+  // STA 1's link is unusable: with the gate on, the AP should repeatedly
+  // suspend it from aggregation and probe it back after each timeout.
+  SimConfig cfg = base_config(Scheme::kCarpool, 6, 5.0);
+  cfg.sta_snr_db = {-10, 30, 30, 30, 30, 30};
+  cfg.link_quality.enabled = true;
+  Simulator sim(cfg);
+  for (NodeId sta = 1; sta <= 6; ++sta) {
+    sim.add_flow(traffic::make_cbr_flow(sta, 500, 0.02));
+  }
+  const SimResult r = sim.run();
+  EXPECT_GT(r.lq_suspensions, 2u);
+  EXPECT_GT(r.lq_probes, 1u);
+  // Healthy STAs keep their goodput despite the dead sibling.
+  EXPECT_GT(r.per_sta_goodput_bps[2], 100e3);
+}
+
+TEST(LinkQuality, DisabledGateChangesNothing) {
+  auto run = [](bool enabled) {
+    SimConfig cfg = base_config(Scheme::kCarpool, 4, 3.0);
+    cfg.link_quality.enabled = enabled;
+    Simulator sim(cfg);
+    for (NodeId sta = 1; sta <= 4; ++sta) {
+      sim.add_flow(traffic::make_voip_flow(sta));
+    }
+    return sim.run();
+  };
+  const SimResult off = run(false);
+  EXPECT_EQ(off.lq_suspensions, 0u);
+  EXPECT_EQ(off.lq_probes, 0u);
+  // Healthy 30 dB links never trip the gate, so enabling it is a no-op.
+  const SimResult on = run(true);
+  EXPECT_EQ(on.lq_suspensions, 0u);
+  EXPECT_DOUBLE_EQ(on.downlink_goodput_bps, off.downlink_goodput_bps);
+}
+
+TEST(LinkQuality, SuspensionShieldsAggregatePeers) {
+  // Aggregating a dead receiver wastes the whole aggregate's airtime on
+  // retries; the gate should recover siblings' goodput.
+  auto run = [](bool enabled) {
+    SimConfig cfg = base_config(Scheme::kCarpool, 8, 5.0);
+    cfg.sta_snr_db = {-10, -10, 30, 30, 30, 30, 30, 30};
+    cfg.link_quality.enabled = enabled;
+    Simulator sim(cfg);
+    for (NodeId sta = 1; sta <= 8; ++sta) {
+      sim.add_flow(traffic::make_cbr_flow(sta, 800, 0.01));
+    }
+    return sim.run();
+  };
+  const SimResult gated = run(true);
+  const SimResult ungated = run(false);
+  EXPECT_GE(gated.downlink_goodput_bps, ungated.downlink_goodput_bps);
+}
+
 TEST(RateAdaptation, SlowLinksConsumeMoreAirtime) {
   auto run = [](double snr) {
     SimConfig cfg = base_config(Scheme::kDcf80211, 4, 4.0);
