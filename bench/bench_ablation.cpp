@@ -164,7 +164,7 @@ void ablate_rate_adaptation() {
     cfg.duration = 8.0;
     cfg.seed = 6;
     cfg.sta_snr_db = snrs;
-    cfg.rate_adaptation = adapt;
+    cfg.link_policy.rate_adaptation = adapt;
     cfg.params.data_rate_bps = fixed_rate;
     Simulator sim(cfg);
     for (NodeId sta = 1; sta <= 24; ++sta) {
@@ -249,6 +249,60 @@ void ablate_hidden_terminals() {
   }
 }
 
+void ablate_link_policy_bursts() {
+  bench::banner("Ablation I", "link policy under Gilbert-Elliott bursts",
+                "static SNR thresholds cannot see correlated fades coming; "
+                "ACK-feedback hysteresis sheds rate instead of suspending "
+                "degraded links outright (docs/LINK_STATE.md)");
+  using namespace mac;
+
+  auto run = [&](bool feedback) {
+    SimConfig cfg;
+    cfg.scheme = Scheme::kCarpool;
+    cfg.num_stas = 16;
+    cfg.duration = 10.0;
+    cfg.seed = 14;
+    cfg.sta_snr_db.assign(16, 24.0);
+    cfg.link_policy.rate_adaptation = true;
+    cfg.link_policy.suspension = true;
+    cfg.link_policy.feedback = feedback;
+    GilbertElliottPhyModel::Params ge;
+    ge.p_good_to_bad = 0.08;
+    ge.p_bad_to_good = 0.25;
+    ge.bad_snr_penalty_db = 14.0;  // 24 dB -> 10 dB: deep but not dead
+    ge.period = 10e-3;
+    ge.seed = 14;
+    cfg.phy = std::make_shared<GilbertElliottPhyModel>(
+        std::make_shared<AnalyticPhyModel>(), ge);
+    Simulator sim(cfg);
+    for (NodeId sta = 1; sta <= 16; ++sta) {
+      sim.add_flow(traffic::make_cbr_flow(sta, 800, 0.01));
+    }
+    return sim.run();
+  };
+
+  const SimResult fixed = run(false);
+  const SimResult hysteresis = run(true);
+  std::printf("%22s %12s %12s %10s %10s %8s\n", "policy", "goodput",
+              "PHY losses", "suspends", "downs", "ups");
+  auto row = [](const char* name, const SimResult& r) {
+    std::printf("%22s %10.2fMb %12lu %10lu %10lu %8lu\n", name,
+                r.downlink_goodput_bps / 1e6,
+                static_cast<unsigned long>(r.subframe_failures),
+                static_cast<unsigned long>(r.lq_suspensions),
+                static_cast<unsigned long>(r.ls_rate_downgrades),
+                static_cast<unsigned long>(r.ls_rate_upgrades));
+  };
+  row("static threshold", fixed);
+  row("feedback hysteresis", hysteresis);
+  bench::gauge("ablation.ge_static_goodput_bps", fixed.downlink_goodput_bps);
+  bench::gauge("ablation.ge_feedback_goodput_bps",
+               hysteresis.downlink_goodput_bps);
+  if (hysteresis.downlink_goodput_bps < fixed.downlink_goodput_bps) {
+    std::printf("  WARNING: hysteresis below static under bursts\n");
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -260,6 +314,7 @@ int main() {
   ablate_rate_adaptation();
   ablate_coexistence();
   ablate_hidden_terminals();
+  ablate_link_policy_bursts();
   bench::write_metrics("ablation");
   return 0;
 }

@@ -2,9 +2,17 @@
 // (scheme, station count, seed) and emit machine-readable rows — the shape
 // downstream users need for plotting their own Fig. 15-style curves.
 //
-//   ./parameter_sweep [out.csv]          (default: stdout)
+//   ./parameter_sweep [out.csv]                (default: stdout)
+//   ./parameter_sweep --link-policy [out.csv]
+//
+// The --link-policy mode sweeps the LinkPolicyConfig hysteresis axes
+// instead (down_after x up_after x probe backoff, docs/LINK_STATE.md)
+// under Gilbert-Elliott bursts, and appends a per-STA MCS decision trace —
+// every link-state transition with the rate in force after it — so policy
+// tuning can be eyeballed from one CSV.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "mac/simulator.hpp"
@@ -13,16 +21,9 @@
 using namespace carpool;
 using namespace carpool::mac;
 
-int main(int argc, char** argv) {
-  std::FILE* out = stdout;
-  if (argc > 1) {
-    out = std::fopen(argv[1], "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
-      return 1;
-    }
-  }
+namespace {
 
+void sweep_schemes(std::FILE* out) {
   std::fprintf(out,
                "scheme,stas,seed,goodput_mbps,mean_delay_s,p95_delay_s,"
                "collisions,tx_attempts,subframe_failures,delivered,dropped,"
@@ -65,6 +66,117 @@ int main(int argc, char** argv) {
             r.airtime_overhead, r.airtime_collision, r.airtime_idle);
       }
     }
+  }
+}
+
+void sweep_link_policy(std::FILE* out) {
+  // Bursty links with a mixed SNR population: the regime where the
+  // hysteresis knobs actually move the outcome.
+  constexpr std::size_t kStas = 12;
+
+  std::fprintf(out,
+               "down_after,up_after,initial_timeout_s,goodput_mbps,"
+               "mean_delay_s,subframe_failures,suspensions,probes,"
+               "rate_downgrades,rate_upgrades,transitions\n");
+
+  struct TraceRow {
+    std::size_t down, up;
+    double timeout;
+    std::vector<LinkTransition> log;
+  };
+  std::vector<TraceRow> traces;
+
+  for (const std::size_t down_after : {1u, 3u, 6u}) {
+    for (const std::size_t up_after : {4u, 10u, 20u}) {
+      for (const double initial_timeout : {10e-3, 40e-3}) {
+        SimConfig cfg;
+        cfg.scheme = Scheme::kCarpool;
+        cfg.num_stas = kStas;
+        cfg.duration = 6.0;
+        cfg.seed = 21;
+        for (std::size_t i = 0; i < kStas; ++i) {
+          cfg.sta_snr_db.push_back(i % 2 == 0 ? 27.0 : 16.0);
+        }
+        cfg.link_policy.rate_adaptation = true;
+        cfg.link_policy.feedback = true;
+        cfg.link_policy.suspension = true;
+        cfg.link_policy.down_after = down_after;
+        cfg.link_policy.up_after = up_after;
+        cfg.link_policy.initial_timeout = initial_timeout;
+        cfg.link_policy.max_timeout = 16.0 * initial_timeout;
+        cfg.link_policy.record_transitions = true;
+        GilbertElliottPhyModel::Params ge;
+        ge.p_good_to_bad = 0.08;
+        ge.p_bad_to_good = 0.25;
+        ge.bad_snr_penalty_db = 12.0;
+        ge.period = 10e-3;
+        ge.seed = 21;
+        cfg.phy = std::make_shared<GilbertElliottPhyModel>(
+            std::make_shared<AnalyticPhyModel>(), ge);
+        Simulator sim(cfg);
+        for (NodeId sta = 1; sta <= kStas; ++sta) {
+          sim.add_flow(traffic::make_cbr_flow(sta, 700, 0.01));
+        }
+        const SimResult r = sim.run();
+        std::fprintf(out, "%zu,%zu,%.3f,%.4f,%.5f,%llu,%llu,%llu,%llu,%llu,"
+                          "%llu\n",
+                     down_after, up_after, initial_timeout,
+                     r.downlink_goodput_bps / 1e6, r.mean_delay_s,
+                     static_cast<unsigned long long>(r.subframe_failures),
+                     static_cast<unsigned long long>(r.lq_suspensions),
+                     static_cast<unsigned long long>(r.lq_probes),
+                     static_cast<unsigned long long>(r.ls_rate_downgrades),
+                     static_cast<unsigned long long>(r.ls_rate_upgrades),
+                     static_cast<unsigned long long>(r.ls_transitions));
+        traces.push_back(
+            TraceRow{down_after, up_after, initial_timeout,
+                     r.link_transitions});
+      }
+    }
+  }
+
+  // Per-STA MCS decision trace: one row per recorded transition, tagged
+  // with the policy point that produced it.
+  std::fprintf(out,
+               "\ntrace:down_after,up_after,initial_timeout_s,t,sta,from,to,"
+               "rate_mbps\n");
+  for (const TraceRow& row : traces) {
+    for (const LinkTransition& tr : row.log) {
+      std::fprintf(out, "trace:%zu,%zu,%.3f,%.5f,%u,%s,%s,%.1f\n", row.down,
+                   row.up, row.timeout, tr.time,
+                   static_cast<unsigned>(tr.sta),
+                   link_health_name(tr.from).data(),
+                   link_health_name(tr.to).data(), tr.rate_bps / 1e6);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool link_policy = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--link-policy") == 0) {
+      link_policy = true;
+    } else {
+      path = argv[i];
+    }
+  }
+
+  std::FILE* out = stdout;
+  if (path != nullptr) {
+    out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+  }
+
+  if (link_policy) {
+    sweep_link_policy(out);
+  } else {
+    sweep_schemes(out);
   }
   if (out != stdout) std::fclose(out);
   return 0;

@@ -73,13 +73,14 @@ void ApQueues::requeue_front(const SubUnit& subunit) {
 Transmission ApQueues::build(Scheme scheme, const MacParams& params,
                              const AggregationPolicy& policy, double now,
                              std::span<const double> airtime_occupancy,
-                             std::span<const double> rates_bps,
-                             std::span<const std::uint8_t> carpool_capable,
-                             std::span<const std::uint8_t> blocked) {
+                             const LinkSnapshot& links,
+                             std::span<const std::uint8_t> carpool_capable) {
   Transmission tx;
   tx.src = kApNode;
+  // Queue slot 0 belongs to the AP and is never a destination; the
+  // snapshot is only ever consulted for real stations (it throws on 0).
   auto is_blocked = [&](std::size_t sta) {
-    return sta < blocked.size() && blocked[sta] != 0;
+    return sta != kApNode && links.blocked(static_cast<NodeId>(sta));
   };
   // STA with the oldest head-of-line frame among schedulable stations.
   long first = -1;
@@ -179,10 +180,8 @@ Transmission ApQueues::build(Scheme scheme, const MacParams& params,
       duration += MacParams::symbol_duration;  // per-subframe SIG
       offset += MacParams::symbol_duration;
     }
-    double rate = params.data_rate_bps;
-    if (su.dst < rates_bps.size() && rates_bps[su.dst] > 0.0) {
-      rate = rates_bps[su.dst];
-    }
+    const double link_rate = links.rate_bps(su.dst);
+    const double rate = link_rate > 0.0 ? link_rate : params.data_rate_bps;
     const double payload_time =
         8.0 * static_cast<double>(su.bytes) / rate;
     su.start_symbol = symbols_for(offset);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "mac/frame.hpp"
+#include "mac/link_state.hpp"
 #include "mac/params.hpp"
 #include "mac/scheme.hpp"
 
@@ -53,23 +54,22 @@ class ApQueues {
   /// transmission if nothing is queued. Frames leave the queues; failed
   /// subunits must be returned via requeue_front().
   /// `airtime_occupancy[sta]` (optional) feeds the time-fairness policy.
-  /// `rates_bps[sta]` (optional) selects each receiver's PHY rate (the
-  /// Carpool format allows a different MCS per subframe); stations beyond
-  /// the table use params.data_rate_bps.
+  /// `links` is the per-STA LinkStateMachine decision snapshot
+  /// (docs/LINK_STATE.md): it supplies both each receiver's PHY rate (the
+  /// Carpool format allows a different MCS per subframe; 0 = use
+  /// params.data_rate_bps) and the blocked mask that holds suspended
+  /// stations out of scheduling entirely until the machine probes them
+  /// again. An empty snapshot means no policy: default rate, nobody
+  /// blocked.
   /// `carpool_capable[sta]` (optional, 0/1 flags) marks stations that
   /// negotiated Carpool at association (Sec. 4.3); others always get
   /// legacy single-destination transmissions, even under a multi-receiver
   /// scheme.
-  /// `blocked[sta]` (optional, 0/1 flags) removes stations from scheduling
-  /// entirely: their queues are held back until the flag clears. The MAC
-  /// link-quality gate uses this to stop burning airtime on a dead link
-  /// between probes (docs/ROBUSTNESS.md).
   Transmission build(Scheme scheme, const MacParams& params,
                      const AggregationPolicy& policy, double now,
                      std::span<const double> airtime_occupancy = {},
-                     std::span<const double> rates_bps = {},
-                     std::span<const std::uint8_t> carpool_capable = {},
-                     std::span<const std::uint8_t> blocked = {});
+                     const LinkSnapshot& links = {},
+                     std::span<const std::uint8_t> carpool_capable = {});
 
   /// Put a failed subunit's frames back at the head of their queue.
   void requeue_front(const SubUnit& subunit);

@@ -60,4 +60,57 @@ double AnalyticPhyModel::control_error_prob(double snr_db) const {
   return 1.0 - std::pow(1.0 - per_symbol, 4.0);
 }
 
+namespace {
+
+/// splitmix64: one hashed uniform per (seed, Markov step).
+double step_uniform(std::uint64_t seed, std::uint64_t step) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (step + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+GilbertElliottPhyModel::GilbertElliottPhyModel(
+    std::shared_ptr<const PhyErrorModel> inner, const Params& params)
+    : inner_(std::move(inner)), params_(params) {
+  if (!inner_) inner_ = std::make_shared<AnalyticPhyModel>();
+  if (params_.period <= 0.0) params_.period = 5e-3;
+}
+
+bool GilbertElliottPhyModel::state_at_step(std::uint64_t step) const {
+  if (step < cursor_step_) {
+    // Backward query: replay the chain from its (good) start state.
+    cursor_step_ = 0;
+    cursor_bad_ = false;
+  }
+  while (cursor_step_ < step) {
+    const double u = step_uniform(params_.seed, cursor_step_);
+    cursor_bad_ = cursor_bad_ ? u >= params_.p_bad_to_good
+                              : u < params_.p_good_to_bad;
+    ++cursor_step_;
+  }
+  return cursor_bad_;
+}
+
+bool GilbertElliottPhyModel::bad_at(double time) const {
+  const double step = std::max(0.0, time) / params_.period;
+  return state_at_step(static_cast<std::uint64_t>(step));
+}
+
+double GilbertElliottPhyModel::subframe_error_prob(
+    const SubframeChannelQuery& query) const {
+  SubframeChannelQuery faded = query;
+  if (bad_at(query.time)) faded.snr_db -= params_.bad_snr_penalty_db;
+  return inner_->subframe_error_prob(faded);
+}
+
+double GilbertElliottPhyModel::control_error_prob(double snr_db) const {
+  const double snr =
+      cursor_bad_ ? snr_db - params_.bad_snr_penalty_db : snr_db;
+  return inner_->control_error_prob(snr);
+}
+
 }  // namespace carpool::mac

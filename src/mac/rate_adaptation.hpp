@@ -1,9 +1,15 @@
 #pragma once
 
-// Per-station rate selection. The Carpool frame format lets every subframe
-// use its own MCS (paper Sec. 4.1: "Different subframes can adopt
-// different MCSs"); the MAC picks each receiver's PHY rate from its link
-// SNR with a standard threshold table (802.11n single-stream rates).
+// Per-station rate selection primitives. The Carpool frame format lets
+// every subframe use its own MCS (paper Sec. 4.1: "Different subframes can
+// adopt different MCSs"); this header holds the 802.11n single-stream
+// threshold table and the pure SNR→rate lookup.
+//
+// Scheduling decisions no longer consume these tables directly: the
+// per-STA LinkStateMachine (mac/link_state.hpp, docs/LINK_STATE.md) uses
+// them as the static ceiling of its feedback hysteresis and hands
+// ApQueues::build an explicit LinkSnapshot, whose accessors throw on the
+// AP slot instead of silently returning a pinned placeholder rate.
 
 #include <cstddef>
 #include <span>
@@ -22,8 +28,12 @@ inline constexpr double kHtThresholds[] = {5, 8, 11, 14, 18, 22, 26, 28};
 /// Highest rate whose threshold the SNR clears; never below the base rate.
 double rate_for_snr(double snr_db);
 
-/// Rate table for a set of stations (index 0 = the AP placeholder, kept at
-/// the max rate; index i = STA i).
+/// Rate table for a set of stations, addressed by NodeId: index i = STA i
+/// (sta_snr_db[i - 1]). Index 0 is the AP and NOT a rate decision — it is
+/// a placeholder kept only so NodeId indexes directly, and is pinned to
+/// the max rate. Never feed rates[0] into airtime math; schedulers should
+/// consume a LinkSnapshot instead, which enforces this contract by
+/// throwing std::logic_error on the AP slot.
 std::vector<double> rates_for_snrs(std::span<const double> sta_snr_db);
 
 }  // namespace carpool::mac

@@ -6,7 +6,6 @@
 #include <stdexcept>
 
 #include "carpool/bloom.hpp"
-#include "mac/rate_adaptation.hpp"
 #include "obs/registry.hpp"
 
 namespace carpool::mac {
@@ -86,18 +85,20 @@ SimResult Simulator::run() {
   std::vector<EnergyAccumulator> energy(config_.num_stas + 1);
   std::vector<double> airtime_occupancy(config_.num_stas + 1, 0.0);
 
-  // Per-node PHY rates (index = NodeId); empty span disables adaptation.
-  std::vector<double> node_rates;
-  if (config_.rate_adaptation) {
-    node_rates.resize(config_.num_stas + 1, p.data_rate_bps);
-    for (NodeId sta = 1; sta <= config_.num_stas; ++sta) {
-      node_rates[sta] = rate_for_snr(sta_snr(sta));
-    }
+  // Per-STA link-state machine: one place decides every station's PHY
+  // rate and whether it is schedulable at all (docs/LINK_STATE.md). The
+  // machine is seeded with the configured link SNRs and fed every
+  // sequential-ACK outcome below; it consumes no randomness.
+  LinkStateMachine links(config_.link_policy, config_.num_stas,
+                         p.data_rate_bps);
+  links.set_trace(config_.trace);
+  for (NodeId sta = 1; sta <= config_.num_stas; ++sta) {
+    links.observe_snr(sta, sta_snr(sta));
   }
   auto rate_of = [&](NodeId node) {
-    return node < node_rates.size() && node_rates[node] > 0.0
-               ? node_rates[node]
-               : p.data_rate_bps;
+    if (node == kApNode) return p.data_rate_bps;
+    const double rate = links.rate_bps(node);
+    return rate > 0.0 ? rate : p.data_rate_bps;
   };
 
   // Carpool capability table (Sec. 4.3 backward compatibility).
@@ -110,22 +111,6 @@ SimResult Simulator::run() {
          ++sta) {
       carpool_capable[sta] = 0;
     }
-  }
-
-  // Link-quality gate: suspended STAs are blocked out of downlink
-  // scheduling entirely (no aggregate membership, no legacy fallback
-  // burning airtime on a dead link) until their timeout expires, then
-  // probed again. docs/ROBUSTNESS.md describes the policy.
-  const SimConfig::LinkQualityConfig& lq = config_.link_quality;
-  std::vector<std::uint8_t> lq_blocked;
-  std::vector<double> lq_suspended_until;
-  std::vector<double> lq_timeout;
-  std::vector<std::size_t> lq_failures;
-  if (lq.enabled) {
-    lq_blocked.assign(config_.num_stas + 1, 0);
-    lq_suspended_until.assign(config_.num_stas + 1, 0.0);
-    lq_timeout.assign(config_.num_stas + 1, lq.initial_timeout);
-    lq_failures.assign(config_.num_stas + 1, 0);
   }
 
   // Hidden-terminal map: hidden[a][b] = STAs a and b cannot sense each
@@ -314,30 +299,17 @@ SimResult Simulator::run() {
 
     // Build the transmissions of all winners.
     std::vector<Transmission> txs;
+    LinkSnapshot ap_snapshot;  ///< decisions the AP's build() used
     for (const NodeId node : winners) {
       if (node == kApNode) {
         sample_queue_depth(now);
-        if (lq.enabled) {
-          for (NodeId sta = 1; sta <= config_.num_stas; ++sta) {
-            if (lq_suspended_until[sta] > 0.0 &&
-                now >= lq_suspended_until[sta]) {
-              // Timeout expired: probe the STA by scheduling it again.
-              lq_suspended_until[sta] = 0.0;
-              ++result.lq_probes;
-              static obs::Counter& probes =
-                  obs::Registry::global().counter("mac.lq_probe");
-              probes.add();
-              OBS_TRACE(config_.trace,
-                        obs_ts.event("mac.lq_probe")
-                            .f("t", now)
-                            .f("sta", static_cast<std::uint64_t>(sta)));
-            }
-            lq_blocked[sta] = now < lq_suspended_until[sta] ? 1 : 0;
-          }
-        }
+        // Move suspended links whose timeout expired into Probing, then
+        // freeze this TXOP's decisions: per-subframe rates + blocked mask.
+        links.advance(now);
+        ap_snapshot = links.snapshot();
         txs.push_back(ap_queues.build(config_.scheme, p, config_.aggregation,
-                                      now, airtime_occupancy, node_rates,
-                                      carpool_capable, lq_blocked));
+                                      now, airtime_occupancy, ap_snapshot,
+                                      carpool_capable));
       } else {
         txs.push_back(
             build_single_frame(uplink[node].front(), p, rate_of(node)));
@@ -522,8 +494,14 @@ SimResult Simulator::run() {
       std::uint64_t frames_ok = 0;
       std::uint64_t frames_dropped = 0;
       std::vector<MacFrame> failed;
-      // Per-frame symbol spans within the subunit, at this link's rate.
-      const double link_rate = rate_of(is_downlink ? su.dst : src);
+      // Per-frame symbol spans within the subunit, at this link's rate —
+      // for downlink, the rate the AP's build() actually used (frozen in
+      // ap_snapshot; feedback during this judging loop must not shift it).
+      double link_rate = rate_of(src);
+      if (is_downlink) {
+        const double decided = ap_snapshot.rate_bps(su.dst);
+        link_rate = decided > 0.0 ? decided : p.data_rate_bps;
+      }
       const double bytes_per_symbol =
           link_rate * MacParams::symbol_duration / 8.0;
       double byte_offset = 0.0;
@@ -540,6 +518,7 @@ SimResult Simulator::run() {
         query.rte = uses_rte(config_.scheme);
         query.coherence_time = config_.coherence_time;
         query.rate_bps = link_rate;
+        query.time = now;
         byte_offset += static_cast<double>(f.on_air_bytes());
 
         const bool data_ok =
@@ -591,28 +570,19 @@ SimResult Simulator::run() {
         // Receiver ACK transmission energy.
         energy[peer].add_tx(p.ack_duration());
       }
-      if (lq.enabled && is_downlink) {
-        if (any_delivered) {
-          lq_failures[su.dst] = 0;
-          lq_timeout[su.dst] = lq.initial_timeout;
-        } else if (++lq_failures[su.dst] >= lq.suspend_after) {
-          // Repeated sequential-ACK failures: pull the STA out of
-          // downlink scheduling for a while (doubling on every
-          // re-suspension until a delivery resets the timeout).
-          lq_suspended_until[su.dst] = now + sequence + lq_timeout[su.dst];
-          lq_timeout[su.dst] = std::min(2.0 * lq_timeout[su.dst],
-                                        lq.max_timeout);
-          lq_failures[su.dst] = 0;
-          ++result.lq_suspensions;
-          static obs::Counter& suspensions =
-              obs::Registry::global().counter("mac.lq_suspend");
-          suspensions.add();
-          OBS_TRACE(config_.trace,
-                    obs_ts.event("mac.lq_suspend")
-                        .f("t", now + sequence)
-                        .f("sta", static_cast<std::uint64_t>(su.dst))
-                        .f("until", lq_suspended_until[su.dst]));
-        }
+      if (is_downlink) {
+        // Every sequential-ACK outcome feeds the link-state machine —
+        // the same interface trace-driven PHY tables and real decodes
+        // (feedback_from_decode) report through, so every PhyErrorModel
+        // exercises identical policy code.
+        AckFeedback fb;
+        fb.time = now + sequence;
+        fb.ack_ok = ack_ok;
+        fb.frames_ok = static_cast<std::uint32_t>(frames_ok);
+        fb.frames_failed = static_cast<std::uint32_t>(failed.size()) +
+                           static_cast<std::uint32_t>(frames_dropped);
+        fb.snr_db = snr;
+        links.on_feedback(su.dst, fb);
       }
       if (is_downlink && su.dst < airtime_occupancy.size()) {
         airtime_occupancy[su.dst] +=
@@ -714,6 +684,13 @@ SimResult Simulator::run() {
   sample_queue_depth(std::min(now, config_.duration));
 
   // --- finalize metrics ---
+  result.lq_suspensions = links.suspensions();
+  result.lq_probes = links.probes();
+  result.ls_transitions = links.transition_count();
+  result.ls_rate_downgrades = links.rate_downgrades();
+  result.ls_rate_upgrades = links.rate_upgrades();
+  result.link_transitions = links.transitions();
+
   const double T = config_.duration;
   result.downlink_goodput_bps = static_cast<double>(dl_bytes) * 8.0 / T;
   result.uplink_goodput_bps = static_cast<double>(ul_bytes) * 8.0 / T;

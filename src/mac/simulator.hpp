@@ -21,6 +21,7 @@
 #include "mac/aggregation.hpp"
 #include "mac/energy.hpp"
 #include "mac/frame.hpp"
+#include "mac/link_state.hpp"
 #include "mac/params.hpp"
 #include "mac/phy_model.hpp"
 #include "mac/scheme.hpp"
@@ -63,9 +64,13 @@ struct SimConfig {
   double default_snr_db = 25.0;
   double coherence_time = 5e-3;
 
-  /// SNR-driven per-STA rate selection (Carpool subframes may use
-  /// different MCSs). Off by default: every link uses params.data_rate_bps.
-  bool rate_adaptation = false;
+  /// The single link-policy entry point: per-STA rate selection (static
+  /// SNR thresholds and/or ACK-feedback hysteresis — Carpool subframes
+  /// may use different MCSs) plus suspend/probe gating of dead links, all
+  /// driven by one LinkStateMachine (docs/LINK_STATE.md). Defaults are
+  /// all-off: every link uses params.data_rate_bps and nothing is ever
+  /// suspended.
+  LinkPolicyConfig link_policy;
 
   /// Stations 1..num_legacy_stas do not support Carpool (Sec. 4.3): under
   /// a multi-receiver scheme the AP serves them with plain legacy frames
@@ -76,20 +81,6 @@ struct SimConfig {
   /// backlogged (priority boost).
   double wifox_cw_scale = 0.25;
   std::size_t wifox_backlog_threshold = 4;
-
-  /// Per-STA link-quality gate on aggregation membership (see
-  /// docs/ROBUSTNESS.md). A STA whose subunits keep failing their
-  /// sequential ACK drags every frame it shares an aggregate with:
-  /// after `suspend_after` consecutive failures the AP serves it with
-  /// plain legacy frames only (same mechanism as a Carpool-incapable
-  /// STA), retrying aggregation after an exponentially growing timeout.
-  struct LinkQualityConfig {
-    bool enabled = false;          ///< off preserves pre-gate behaviour
-    std::size_t suspend_after = 3; ///< consecutive subunit failures
-    double initial_timeout = 20e-3;///< first suspension length (seconds)
-    double max_timeout = 320e-3;   ///< exponential backoff cap
-  };
-  LinkQualityConfig link_quality;
 
   std::shared_ptr<const PhyErrorModel> phy;  ///< defaults to Analytic
 
@@ -125,8 +116,15 @@ struct SimResult {
   std::uint64_t collisions = 0;
   std::uint64_t subframe_failures = 0;   ///< FCS failures (PHY losses)
   std::uint64_t false_positive_decodes = 0;
-  std::uint64_t lq_suspensions = 0;      ///< aggregation-membership backoffs
+  std::uint64_t lq_suspensions = 0;      ///< scheduling suspensions
   std::uint64_t lq_probes = 0;           ///< suspensions that timed out
+  std::uint64_t ls_transitions = 0;      ///< link health-state changes
+  std::uint64_t ls_rate_downgrades = 0;  ///< feedback rate step-downs
+  std::uint64_t ls_rate_upgrades = 0;    ///< feedback rate step-ups
+
+  /// Per-transition link-state decision trace; populated only when
+  /// SimConfig::link_policy.record_transitions is set.
+  std::vector<LinkTransition> link_transitions;
 
   double airtime_payload = 0.0;     ///< useful payload airtime
   double airtime_overhead = 0.0;    ///< PLCP/headers/SIFS/ACKs

@@ -618,10 +618,11 @@ TEST(RateAdaptation, BuildUsesPerStaRates) {
   q.enqueue(make_frame(1, 1000, 0.0));
   q.enqueue(make_frame(2, 1000, 0.0));
   const MacParams p;
-  // STA 1 slow (6.5M), STA 2 fast (65M).
-  const std::vector<double> rates{65e6, 6.5e6, 65e6};
+  // STA 1 slow (6.5M), STA 2 fast (65M); slot 0 is the ignored AP slot.
+  const LinkSnapshot links(
+      {LinkDecision{}, LinkDecision{6.5e6, true}, LinkDecision{65e6, true}});
   const Transmission tx =
-      q.build(Scheme::kCarpool, p, {}, 1.0, {}, rates);
+      q.build(Scheme::kCarpool, p, {}, 1.0, {}, links);
   ASSERT_EQ(tx.subunits.size(), 2u);
   const SubUnit* slow = nullptr;
   const SubUnit* fast = nullptr;
@@ -635,7 +636,7 @@ TEST(RateAdaptation, BuildUsesPerStaRates) {
 
 TEST(RateAdaptation, SimulatorRunsWithHeterogeneousLinks) {
   SimConfig cfg = base_config(Scheme::kCarpool, 8, 4.0);
-  cfg.rate_adaptation = true;
+  cfg.link_policy.rate_adaptation = true;
   cfg.sta_snr_db = {30, 30, 30, 30, 6, 6, 6, 6};  // half near, half far
   Simulator sim(cfg);
   for (NodeId sta = 1; sta <= 8; ++sta) {
@@ -654,7 +655,7 @@ TEST(LinkQuality, DeadStaGetsSuspendedAndProbed) {
   // suspend it from aggregation and probe it back after each timeout.
   SimConfig cfg = base_config(Scheme::kCarpool, 6, 5.0);
   cfg.sta_snr_db = {-10, 30, 30, 30, 30, 30};
-  cfg.link_quality.enabled = true;
+  cfg.link_policy.suspension = true;
   Simulator sim(cfg);
   for (NodeId sta = 1; sta <= 6; ++sta) {
     sim.add_flow(traffic::make_cbr_flow(sta, 500, 0.02));
@@ -669,7 +670,7 @@ TEST(LinkQuality, DeadStaGetsSuspendedAndProbed) {
 TEST(LinkQuality, DisabledGateChangesNothing) {
   auto run = [](bool enabled) {
     SimConfig cfg = base_config(Scheme::kCarpool, 4, 3.0);
-    cfg.link_quality.enabled = enabled;
+    cfg.link_policy.suspension = enabled;
     Simulator sim(cfg);
     for (NodeId sta = 1; sta <= 4; ++sta) {
       sim.add_flow(traffic::make_voip_flow(sta));
@@ -691,7 +692,7 @@ TEST(LinkQuality, SuspensionShieldsAggregatePeers) {
   auto run = [](bool enabled) {
     SimConfig cfg = base_config(Scheme::kCarpool, 8, 5.0);
     cfg.sta_snr_db = {-10, -10, 30, 30, 30, 30, 30, 30};
-    cfg.link_quality.enabled = enabled;
+    cfg.link_policy.suspension = enabled;
     Simulator sim(cfg);
     for (NodeId sta = 1; sta <= 8; ++sta) {
       sim.add_flow(traffic::make_cbr_flow(sta, 800, 0.01));
@@ -706,7 +707,7 @@ TEST(LinkQuality, SuspensionShieldsAggregatePeers) {
 TEST(RateAdaptation, SlowLinksConsumeMoreAirtime) {
   auto run = [](double snr) {
     SimConfig cfg = base_config(Scheme::kDcf80211, 4, 4.0);
-    cfg.rate_adaptation = true;
+    cfg.link_policy.rate_adaptation = true;
     cfg.sta_snr_db = {snr, snr, snr, snr};
     Simulator sim(cfg);
     for (NodeId sta = 1; sta <= 4; ++sta) {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 #include "mac/phy_model.hpp"
+#include "mac/simulator.hpp"
 #include "sim/phy_trace.hpp"
 #include "sim/testbed.hpp"
 
@@ -112,6 +116,49 @@ TEST_F(TraceModelTest, HigherSnrLowersPer) {
 
 TEST_F(TraceModelTest, ControlFramesReliableAtHighSnr) {
   EXPECT_LT(model().control_error_prob(26.0), 0.2);
+}
+
+TEST_F(TraceModelTest, LinkPolicyRunsOnTraceDrivenPhy) {
+  // The trace-driven PHY reports decode outcomes through the same
+  // sequential-ACK feedback interface as the analytic model, so the
+  // link-state machine (docs/LINK_STATE.md) drives MCS and gating
+  // decisions identically — and deterministically — on both backends.
+  auto run = [](std::shared_ptr<const mac::PhyErrorModel> phy) {
+    mac::SimConfig cfg;
+    cfg.scheme = mac::Scheme::kCarpool;
+    cfg.num_stas = 4;
+    cfg.duration = 2.0;
+    cfg.seed = 5;
+    cfg.sta_snr_db = {26, 22, 18, 18};
+    cfg.coherence_time = 3e-3;
+    cfg.link_policy.rate_adaptation = true;
+    cfg.link_policy.feedback = true;
+    cfg.link_policy.suspension = true;
+    cfg.phy = std::move(phy);
+    mac::Simulator sim(cfg);
+    for (mac::NodeId sta = 1; sta <= 4; ++sta) {
+      sim.add_flow(mac::FlowSpec{
+          mac::kApNode, sta, [](double now, Rng&) {
+            return std::make_pair(now + 0.005, std::size_t{400});
+          }});
+    }
+    return sim.run();
+  };
+
+  const auto trace_phy =
+      std::shared_ptr<const mac::PhyErrorModel>(&model(),
+                                                [](const auto*) {});
+  const mac::SimResult a = run(trace_phy);
+  const mac::SimResult b = run(trace_phy);
+  EXPECT_GT(a.dl_frames_delivered, 0u);
+  EXPECT_DOUBLE_EQ(a.downlink_goodput_bps, b.downlink_goodput_bps);
+  EXPECT_EQ(a.ls_transitions, b.ls_transitions);
+  EXPECT_EQ(a.ls_rate_downgrades, b.ls_rate_downgrades);
+
+  // Same policy code on the analytic backend: runs and delivers too.
+  const mac::SimResult c =
+      run(std::make_shared<mac::AnalyticPhyModel>());
+  EXPECT_GT(c.dl_frames_delivered, 0u);
 }
 
 TEST_F(TraceModelTest, AgreesWithAnalyticModelDirectionally) {

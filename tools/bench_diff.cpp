@@ -1,0 +1,315 @@
+// bench_diff — compare two directories of BENCH_*.json metric exports
+// (schema_version 1, written by bench::write_metrics / obs::Registry).
+//
+//   bench_diff <baseline_dir> <current_dir> [--threshold <pct>]
+//
+// For every BENCH_<name>.json present in the baseline directory the tool
+// loads the matching file from the current directory and prints per-metric
+// deltas (counters, gauges, and the mean/p99 of every histogram). Exit
+// status is nonzero when a *gated* metric regressed by more than the
+// threshold (default 10%):
+//
+//   - goodput/throughput metrics (name contains "goodput", "throughput")
+//     gate on decreases;
+//   - latency/delay metrics (name contains "latency", "delay", or a
+//     histogram's p99) gate on increases.
+//
+// Everything else is informational: counters like retry totals move with
+// scenario tweaks and should not fail CI. The CI workflow runs this as an
+// informational step (continue-on-error) against the committed baselines
+// in bench/baselines/; refresh those by copying the BENCH_*.json from a
+// trusted local run.
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------------ JSON
+// Minimal recursive-descent parser for the flat metrics schema. Values we
+// care about are numbers; everything else (strings, bools, null) is parsed
+// and discarded.
+
+struct JsonParser {
+  const std::string& text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  explicit JsonParser(const std::string& t) : text(t) {}
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      out.push_back(text[pos++]);
+    }
+    if (pos >= text.size()) {
+      failed = true;
+      return std::nullopt;
+    }
+    ++pos;  // closing quote
+    return out;
+  }
+
+  std::optional<double> parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            std::strchr("+-.eE", text[pos]) != nullptr)) {
+      ++pos;
+    }
+    if (pos == start) return std::nullopt;
+    try {
+      return std::stod(text.substr(start, pos - start));
+    } catch (...) {
+      failed = true;
+      return std::nullopt;
+    }
+  }
+
+  /// Parse any value; numeric leaves land in `out` under `prefix`.
+  void parse_value(const std::string& prefix,
+                   std::map<std::string, double>& out) {
+    const char c = peek();
+    if (c == '{') {
+      consume('{');
+      if (consume('}')) return;
+      do {
+        const auto key = parse_string();
+        if (!key || !consume(':')) {
+          failed = true;
+          return;
+        }
+        parse_value(prefix.empty() ? *key : prefix + "." + *key, out);
+        if (failed) return;
+      } while (consume(','));
+      if (!consume('}')) failed = true;
+    } else if (c == '[') {
+      consume('[');
+      if (consume(']')) return;
+      std::map<std::string, double> discard;  // bucket arrays: not diffed
+      do {
+        parse_value(prefix, discard);
+        if (failed) return;
+      } while (consume(','));
+      if (!consume(']')) failed = true;
+    } else if (c == '"') {
+      if (!parse_string()) failed = true;
+    } else if (c == 't' || c == 'f' || c == 'n') {
+      while (pos < text.size() &&
+             std::isalpha(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    } else {
+      const auto num = parse_number();
+      if (!num) {
+        failed = true;
+        return;
+      }
+      out[prefix] = *num;
+    }
+  }
+};
+
+/// Flatten one metrics file: "counters.x", "gauges.y",
+/// "histograms.z.mean", ... -> value.
+std::optional<std::map<std::string, double>> load_metrics(
+    const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  JsonParser parser(text);
+  std::map<std::string, double> flat;
+  parser.parse_value("", flat);
+  if (parser.failed) return std::nullopt;
+  flat.erase("schema_version");
+  return flat;
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+enum class Gate { kNone, kHigherBetter, kLowerBetter };
+
+Gate gate_for(const std::string& metric) {
+  if (contains(metric, "goodput") || contains(metric, "throughput")) {
+    return Gate::kHigherBetter;
+  }
+  if (contains(metric, "latency") || contains(metric, "delay") ||
+      (contains(metric, "histograms.") && contains(metric, ".p99"))) {
+    return Gate::kLowerBetter;
+  }
+  return Gate::kNone;
+}
+
+/// Keep the diff table readable: histogram internals other than mean/p99
+/// (count, sum, min, max, bucket edges) are noise.
+bool reportable(const std::string& metric) {
+  if (!contains(metric, "histograms.")) return true;
+  return contains(metric, ".mean") || contains(metric, ".p99");
+}
+
+struct Regression {
+  std::string file;
+  std::string metric;
+  double baseline;
+  double current;
+  double change_pct;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double threshold_pct = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      threshold_pct = std::stod(argv[++i]);
+    } else if (arg == "-h" || arg == "--help") {
+      std::printf(
+          "usage: bench_diff <baseline_dir> <current_dir> "
+          "[--threshold <pct>]\n");
+      return 0;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline_dir> <current_dir> "
+                 "[--threshold <pct>]\n");
+    return 2;
+  }
+  const fs::path baseline_dir = positional[0];
+  const fs::path current_dir = positional[1];
+  if (!fs::is_directory(baseline_dir) || !fs::is_directory(current_dir)) {
+    std::fprintf(stderr, "bench_diff: both arguments must be directories\n");
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(baseline_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "bench_diff: no BENCH_*.json in %s\n",
+                 baseline_dir.string().c_str());
+    return 2;
+  }
+
+  std::vector<Regression> regressions;
+  std::size_t compared_files = 0;
+  for (const fs::path& base_path : files) {
+    const std::string name = base_path.filename().string();
+    const fs::path cur_path = current_dir / name;
+    if (!fs::exists(cur_path)) {
+      std::printf("%s: missing from %s (skipped)\n", name.c_str(),
+                  current_dir.string().c_str());
+      continue;
+    }
+    const auto base = load_metrics(base_path);
+    const auto cur = load_metrics(cur_path);
+    if (!base || !cur) {
+      std::fprintf(stderr, "%s: parse failure (skipped)\n", name.c_str());
+      continue;
+    }
+    ++compared_files;
+    std::printf("\n== %s ==\n", name.c_str());
+    std::printf("%-52s %14s %14s %9s\n", "metric", "baseline", "current",
+                "delta");
+    for (const auto& [metric, base_value] : *base) {
+      if (!reportable(metric)) continue;
+      const auto it = cur->find(metric);
+      if (it == cur->end()) {
+        std::printf("%-52s %14.6g %14s\n", metric.c_str(), base_value,
+                    "(gone)");
+        continue;
+      }
+      const double cur_value = it->second;
+      const double denom = std::abs(base_value);
+      const double change_pct =
+          denom > 0.0 ? 100.0 * (cur_value - base_value) / denom
+                      : (cur_value == base_value ? 0.0 : 100.0);
+      const Gate gate = gate_for(metric);
+      const bool regressed =
+          (gate == Gate::kHigherBetter && change_pct < -threshold_pct) ||
+          (gate == Gate::kLowerBetter && change_pct > threshold_pct);
+      std::printf("%-52s %14.6g %14.6g %+8.2f%%%s\n", metric.c_str(),
+                  base_value, cur_value, change_pct,
+                  regressed            ? "  REGRESSION"
+                  : gate != Gate::kNone ? "  (gated)"
+                                        : "");
+      if (regressed) {
+        regressions.push_back(
+            Regression{name, metric, base_value, cur_value, change_pct});
+      }
+    }
+    for (const auto& [metric, cur_value] : *cur) {
+      if (reportable(metric) && base->find(metric) == base->end()) {
+        std::printf("%-52s %14s %14.6g\n", metric.c_str(), "(new)",
+                    cur_value);
+      }
+    }
+  }
+
+  if (compared_files == 0) {
+    std::fprintf(stderr, "bench_diff: nothing compared\n");
+    return 2;
+  }
+  if (!regressions.empty()) {
+    std::printf("\n%zu regression(s) beyond %.1f%%:\n", regressions.size(),
+                threshold_pct);
+    for (const Regression& r : regressions) {
+      std::printf("  %s %s: %.6g -> %.6g (%+.2f%%)\n", r.file.c_str(),
+                  r.metric.c_str(), r.baseline, r.current, r.change_pct);
+    }
+    return 1;
+  }
+  std::printf("\nno gated regressions beyond %.1f%% (%zu file(s))\n",
+              threshold_pct, compared_files);
+  return 0;
+}
