@@ -495,6 +495,12 @@ CarpoolRxResult CarpoolReceiver::receive_impl(
     sym_idx += 1 + n_sym;
     ++k;
   }
+  if (!h.empty()) {
+    double sum_sq = 0.0;
+    for (const Cx& bin : h) sum_sq += std::norm(bin);
+    result.rte_estimate_norm =
+        std::sqrt(sum_sq / static_cast<double>(h.size()));
+  }
   return result;
 }
 

@@ -130,6 +130,11 @@ struct CarpoolRxResult {
   std::size_t symbols_pilot_only = 0;    ///< skipped (pilot tracking only)
   std::size_t rte_freezes = 0;           ///< poisoning-guard freezes
   std::size_t rte_rollbacks = 0;         ///< estimate rollbacks performed
+  /// RMS magnitude of the running channel estimate when the walk finished
+  /// (0 when the front end never produced an estimate). A bounded, finite
+  /// value is a cross-layer invariant the chaos soak checks: RTE updates
+  /// must never drive the estimate to NaN/Inf or let it blow up.
+  double rte_estimate_norm = 0.0;
 
   [[nodiscard]] bool ok() const noexcept {
     return status == DecodeStatus::kOk;

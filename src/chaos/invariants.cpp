@@ -1,0 +1,246 @@
+#include "chaos/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "carpool/transceiver.hpp"
+#include "mac/params.hpp"
+
+namespace carpool::chaos {
+namespace {
+
+constexpr double kTimeEps = 1e-9;
+
+bool finite(double v) { return std::isfinite(v); }
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Violation StepInvariants::make(const mac::SimStepView& view,
+                               std::string invariant,
+                               std::string detail) const {
+  Violation v;
+  v.invariant = std::move(invariant);
+  v.detail = std::move(detail);
+  v.frame = frame_base_ + view.frames_judged;
+  v.time = time_base_ + view.now;
+  v.episode = episode_;
+  v.repeat = repeat_;
+  return v;
+}
+
+std::optional<Violation> StepInvariants::check(
+    const mac::SimStepView& view) {
+  if (tripped_) return std::nullopt;
+  const mac::SimResult& t = *view.totals;
+  const mac::MacParams& p = *view.params;
+
+  // accounting_balance: every generated frame is delivered, dropped, or
+  // still queued — nothing leaks between the traffic generators, the
+  // per-STA queues, and the reception judgements.
+  const std::uint64_t accounted = t.dl_frames_delivered +
+                                  t.ul_frames_delivered +
+                                  t.dl_frames_dropped + t.ul_frames_dropped +
+                                  view.frames_inflight;
+  if (accounted != view.frames_generated) {
+    tripped_ = true;
+    return make(view, "accounting_balance",
+                "generated " + std::to_string(view.frames_generated) +
+                    " != delivered+dropped+inflight " +
+                    std::to_string(accounted));
+  }
+
+  // nav_seq_ack: the resolved TXOP's ACK overhead must equal the
+  // sequential-ACK arithmetic, and Eq. (1)/(2) must stay mutually
+  // consistent: nav_data(p, D, N) - D == nav_i(p, N+1).
+  if (!view.txop.collision && view.txop.subunits > 0) {
+    const double single = p.sifs + p.ack_duration();
+    const double expected =
+        view.txop.sequential_ack
+            ? static_cast<double>(view.txop.subunits) * single
+            : single;
+    if (std::fabs(view.txop.ack_overhead - expected) > kTimeEps) {
+      tripped_ = true;
+      return make(view, "nav_seq_ack",
+                  "ack_overhead " + fmt(view.txop.ack_overhead) +
+                      " != expected " + fmt(expected) + " for " +
+                      std::to_string(view.txop.subunits) + " subunits");
+    }
+    if (view.txop.sequential_ack) {
+      const double nav_tail =
+          mac::nav_data(p, view.txop.data_duration, view.txop.subunits) -
+          view.txop.data_duration;
+      const double eq2_tail = mac::nav_i(p, view.txop.subunits + 1);
+      if (std::fabs(nav_tail - eq2_tail) > kTimeEps ||
+          std::fabs(nav_tail - view.txop.ack_overhead) > kTimeEps) {
+        tripped_ = true;
+        return make(view, "nav_seq_ack",
+                    "Eq.(1)/(2) mismatch: nav_data tail " + fmt(nav_tail) +
+                        ", nav_i(N+1) " + fmt(eq2_tail) +
+                        ", ack_overhead " + fmt(view.txop.ack_overhead));
+      }
+    }
+  }
+
+  // no_total_suspension: with suspension gating on, the machine may
+  // suspend every STA transiently, but some suspension must expire within
+  // the configured maximum backoff — otherwise downlink scheduling has
+  // deadlocked.
+  if (view.links != nullptr && view.links->policy().suspension &&
+      view.num_stas > 0) {
+    bool all_suspended = true;
+    double earliest_wake = std::numeric_limits<double>::infinity();
+    for (mac::NodeId sta = 1; sta <= view.num_stas; ++sta) {
+      const mac::StaLinkState& s = view.links->state(sta);
+      if (s.health != mac::LinkHealth::kSuspended) {
+        all_suspended = false;
+        break;
+      }
+      earliest_wake = std::min(earliest_wake, s.suspended_until);
+    }
+    if (all_suspended &&
+        earliest_wake >
+            view.now + view.links->policy().max_timeout + kTimeEps) {
+      tripped_ = true;
+      return make(view, "no_total_suspension",
+                  "all " + std::to_string(view.num_stas) +
+                      " STAs suspended; earliest wake " +
+                      fmt(earliest_wake) + " > now " + fmt(view.now) +
+                      " + max_timeout " +
+                      fmt(view.links->policy().max_timeout));
+    }
+  }
+
+  // sane_metrics: counters never run backwards, airtime stays inside
+  // elapsed time (one in-flight sequence of slack), nothing is NaN/Inf.
+  if (view.frames_generated < last_generated_ ||
+      view.frames_judged < last_judged_) {
+    tripped_ = true;
+    return make(view, "sane_metrics", "frame counters ran backwards");
+  }
+  last_generated_ = view.frames_generated;
+  last_judged_ = view.frames_judged;
+  const double busy_airtime =
+      t.airtime_payload + t.airtime_overhead + t.airtime_collision;
+  if (!finite(busy_airtime) || !finite(view.now)) {
+    tripped_ = true;
+    return make(view, "sane_metrics", "non-finite airtime or clock");
+  }
+  if (busy_airtime > view.now + kTimeEps) {
+    tripped_ = true;
+    return make(view, "sane_metrics",
+                "busy airtime " + fmt(busy_airtime) +
+                    " exceeds elapsed time " + fmt(view.now));
+  }
+  if (t.airtime_payload < 0.0 || t.airtime_overhead < 0.0 ||
+      t.airtime_collision < 0.0) {
+    tripped_ = true;
+    return make(view, "sane_metrics", "negative airtime bucket");
+  }
+
+  return std::nullopt;
+}
+
+std::optional<Violation> check_decode(const CarpoolRxResult& rx,
+                                      std::uint64_t frame, double time,
+                                      std::size_t episode,
+                                      std::size_t repeat,
+                                      double rte_norm_bound) {
+  auto make = [&](std::string invariant, std::string detail) {
+    Violation v;
+    v.invariant = std::move(invariant);
+    v.detail = std::move(detail);
+    v.frame = frame;
+    v.time = time;
+    v.episode = episode;
+    v.repeat = repeat;
+    return v;
+  };
+
+  // decode_no_throw: receive() promises containment; kInternalError means
+  // an exception escaped the decode walk and was caught at the boundary.
+  if (rx.status == DecodeStatus::kInternalError) {
+    return make("decode_no_throw",
+                "receive() reported kInternalError (contained exception)");
+  }
+
+  // decode_accounting: the decode walk can only produce subframe entries
+  // for Bloom-matched indices, an FCS pass implies a completed decode,
+  // and the symbol counters must be finite and consistent.
+  if (rx.subframes.size() > rx.matched.size()) {
+    return make("decode_accounting",
+                std::to_string(rx.subframes.size()) +
+                    " decoded subframes but only " +
+                    std::to_string(rx.matched.size()) + " matched");
+  }
+  for (const DecodedSubframe& sub : rx.subframes) {
+    if (sub.fcs_ok && !sub.decoded) {
+      return make("decode_accounting",
+                  "subframe " + std::to_string(sub.index) +
+                      " has fcs_ok without decoded");
+    }
+  }
+  if (!std::isfinite(rx.sync_quality)) {
+    return make("decode_accounting", "non-finite sync_quality");
+  }
+
+  // rte_bounded: RTE updates must never blow the running channel
+  // estimate up to NaN/Inf or an absurd magnitude — the failure mode the
+  // poisoning guard exists to prevent.
+  if (!std::isfinite(rx.rte_estimate_norm) ||
+      rx.rte_estimate_norm > rte_norm_bound ||
+      rx.rte_estimate_norm < 0.0) {
+    return make("rte_bounded",
+                "RTE estimate RMS " + fmt(rx.rte_estimate_norm) +
+                    " outside [0, " + fmt(rte_norm_bound) + "]");
+  }
+
+  return std::nullopt;
+}
+
+std::optional<Violation> check_goodput_cliffs(
+    const std::vector<EpisodeSummary>& episodes, double cliff_fraction) {
+  // Group by intensity rung; ignore rungs whose episodes judged nothing
+  // (an idle rung's zero goodput is not a cliff).
+  std::map<double, std::pair<double, std::size_t>> rungs;  // sum, count
+  for (const EpisodeSummary& e : episodes) {
+    if (e.frames_judged == 0) continue;
+    auto& [sum, n] = rungs[e.intensity];
+    sum += e.goodput_bps;
+    ++n;
+  }
+  if (rungs.size() < 2) return std::nullopt;
+
+  double prev_intensity = 0.0;
+  double prev_mean = 0.0;
+  bool have_prev = false;
+  for (const auto& [intensity, acc] : rungs) {
+    const double mean = acc.first / static_cast<double>(acc.second);
+    // Only flag a cliff when the gentler rung was actually carrying
+    // traffic; comparing two starved rungs is noise.
+    if (have_prev && prev_mean > 1e5 &&
+        mean < cliff_fraction * prev_mean) {
+      Violation v;
+      v.invariant = "goodput_cliff";
+      v.detail = "mean goodput fell from " + fmt(prev_mean) +
+                 " bps (intensity " + fmt(prev_intensity) + ") to " +
+                 fmt(mean) + " bps (intensity " + fmt(intensity) +
+                 "), below the " + fmt(cliff_fraction) +
+                 " adjacent-rung floor";
+      return v;
+    }
+    prev_intensity = intensity;
+    prev_mean = mean;
+    have_prev = true;
+  }
+  return std::nullopt;
+}
+
+}  // namespace carpool::chaos

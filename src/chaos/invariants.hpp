@@ -1,0 +1,114 @@
+#pragma once
+
+// carpool::chaos — cross-layer invariant checks the soak runner evaluates
+// at every simulator observation point, on every PHY decode probe, and
+// over the whole campaign (docs/SOAK.md lists them with their rationale):
+//
+//  step-level (SimStepView):
+//   - accounting_balance : frames_generated == delivered + dropped +
+//                          inflight (both directions combined)
+//   - nav_seq_ack        : the TXOP's ACK overhead matches the
+//                          sequential-ACK arithmetic of Eq. (1)/(2)
+//   - no_total_suspension: the link-state machine never wedges every STA
+//                          in kSuspended past the maximum backoff
+//   - sane_metrics       : counters monotone, airtime sums bounded by
+//                          elapsed time, no NaN/Inf anywhere
+//
+//  probe-level (CarpoolRxResult from a real decode):
+//   - decode_no_throw    : receive() contained everything (no
+//                          kInternalError)
+//   - decode_accounting  : matched/decoded/FCS counts are mutually
+//                          consistent
+//   - rte_bounded        : the running channel estimate stayed finite and
+//                          within a generous norm bound
+//
+//  campaign-level:
+//   - goodput_cliff      : mean goodput must not fall off a cliff
+//                          (> 90% loss) between adjacent interference
+//                          intensity rungs — degradation should be
+//                          gradual, the property the robustness work
+//                          (docs/ROBUSTNESS.md) is meant to buy.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mac/simulator.hpp"
+
+namespace carpool {
+struct CarpoolRxResult;  // carpool/transceiver.hpp
+}  // namespace carpool
+
+namespace carpool::chaos {
+
+/// One invariant violation, with enough coordinates to replay it:
+/// (scenario seed, `frame`) identifies the exact reception judgement /
+/// probe at which the condition first failed.
+struct Violation {
+  std::string invariant;   ///< stable name from the list above
+  std::string detail;      ///< human-readable diagnosis
+  std::uint64_t frame = 0; ///< campaign-wide judgement count when tripped
+  double time = 0.0;       ///< absolute scenario time
+  std::size_t episode = 0; ///< episode index within the repeat
+  std::size_t repeat = 0;  ///< timeline repeat the campaign was on
+};
+
+/// Per-episode rollup the campaign-level checks run over.
+struct EpisodeSummary {
+  std::size_t index = 0;       ///< episode index within its repeat
+  std::size_t repeat = 0;
+  double start = 0.0;          ///< absolute scenario time
+  double stop = 0.0;
+  double intensity = 0.0;      ///< max active interference intensity
+  double goodput_bps = 0.0;    ///< downlink + uplink goodput
+  std::uint64_t frames_judged = 0;
+};
+
+/// Stateful step checker: one instance per episode (monotonicity state
+/// resets with the simulator it watches).
+class StepInvariants {
+ public:
+  /// `frame_base` is the campaign-wide judgement count at episode start;
+  /// `time_base` the episode's absolute start time. Both only shift the
+  /// coordinates recorded in a Violation.
+  StepInvariants(std::uint64_t frame_base, double time_base,
+                 std::size_t episode, std::size_t repeat)
+      : frame_base_(frame_base),
+        time_base_(time_base),
+        episode_(episode),
+        repeat_(repeat) {}
+
+  /// Evaluate every step invariant; the first failure is returned and
+  /// latched (subsequent calls keep returning nothing new).
+  [[nodiscard]] std::optional<Violation> check(const mac::SimStepView& view);
+
+ private:
+  [[nodiscard]] Violation make(const mac::SimStepView& view,
+                               std::string invariant,
+                               std::string detail) const;
+
+  std::uint64_t frame_base_;
+  double time_base_;
+  std::size_t episode_;
+  std::size_t repeat_;
+  std::uint64_t last_generated_ = 0;
+  std::uint64_t last_judged_ = 0;
+  bool tripped_ = false;
+};
+
+/// Probe-level checks on a real CarpoolReceiver decode. `rte_norm_bound`
+/// is the generous ceiling on the running channel estimate's RMS
+/// magnitude (unit-power constellations put legitimate values near 1).
+[[nodiscard]] std::optional<Violation> check_decode(
+    const CarpoolRxResult& rx, std::uint64_t frame, double time,
+    std::size_t episode, std::size_t repeat, double rte_norm_bound = 1e3);
+
+/// Campaign-level cliff check over per-episode summaries grouped by
+/// interference intensity rung. A violation means mean goodput at some
+/// rung fell below `cliff_fraction` of the next-gentler rung's.
+[[nodiscard]] std::optional<Violation> check_goodput_cliffs(
+    const std::vector<EpisodeSummary>& episodes,
+    double cliff_fraction = 0.10);
+
+}  // namespace carpool::chaos

@@ -1,0 +1,517 @@
+#include "chaos/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "carpool/transceiver.hpp"
+#include "impair/impair.hpp"
+#include "mac/simulator.hpp"
+#include "obs/registry.hpp"
+#include "phy/frame.hpp"
+#include "traffic/generators.hpp"
+
+namespace carpool::chaos {
+namespace {
+
+constexpr double kBoundaryEps = 1e-9;
+
+/// One contiguous slice of the timeline with constant membership,
+/// traffic phase, and interference set.
+struct Episode {
+  double start = 0.0;
+  double stop = 0.0;
+  std::vector<bool> joined;  ///< indexed by NodeId; [0] unused
+  const TrafficPhase* phase = nullptr;  ///< nullptr = idle segment
+  double max_intensity = 0.0;  ///< strongest overlapping interference
+};
+
+/// Timeline -> episodes: split at churn, traffic, and interference
+/// boundaries so each slice runs under a constant configuration.
+std::vector<Episode> segment_timeline(const Scenario& s) {
+  std::vector<double> cuts{0.0, s.duration};
+  for (const ChurnEvent& e : s.churn) cuts.push_back(e.time);
+  for (const TrafficPhase& p : s.traffic) cuts.push_back(p.start);
+  for (const InterferenceEpisode& e : s.interference) {
+    cuts.push_back(e.start);
+    cuts.push_back(e.stop);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                         [](double a, double b) {
+                           return std::fabs(a - b) < kBoundaryEps;
+                         }),
+             cuts.end());
+
+  std::vector<Episode> out;
+  std::vector<bool> joined(s.num_stas + 1, true);
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double start = cuts[i];
+    const double stop = cuts[i + 1];
+    if (start < -kBoundaryEps || start >= s.duration - kBoundaryEps) {
+      continue;
+    }
+    // Membership in force at this slice: all churn up to its start.
+    for (const ChurnEvent& e : s.churn) {
+      if (e.time <= start + kBoundaryEps && e.sta < joined.size()) {
+        joined[e.sta] = e.join;
+      }
+    }
+    Episode ep;
+    ep.start = start;
+    ep.stop = std::min(stop, s.duration);
+    ep.joined = joined;
+    for (const TrafficPhase& p : s.traffic) {
+      if (p.start <= start + kBoundaryEps) ep.phase = &p;
+    }
+    for (const InterferenceEpisode& e : s.interference) {
+      if (e.start < ep.stop - kBoundaryEps &&
+          e.stop > ep.start + kBoundaryEps) {
+        ep.max_intensity = std::max(ep.max_intensity, e.intensity);
+      }
+    }
+    out.push_back(std::move(ep));
+  }
+  return out;
+}
+
+/// Flows for one episode under its traffic phase.
+std::vector<mac::FlowSpec> build_flows(const Episode& ep,
+                                       const Scenario& s) {
+  std::vector<mac::FlowSpec> flows;
+  if (ep.phase == nullptr) return flows;
+  const TrafficPhase& p = *ep.phase;
+  for (mac::NodeId sta = 1; sta <= s.num_stas; ++sta) {
+    if (!ep.joined[sta]) continue;
+    switch (p.kind) {
+      case TrafficKind::kCbr:
+        flows.push_back(traffic::make_cbr_flow(sta, p.frame_bytes,
+                                               p.interval));
+        break;
+      case TrafficKind::kVoip: {
+        auto call = traffic::make_voip_call(sta);
+        flows.insert(flows.end(), std::make_move_iterator(call.begin()),
+                     std::make_move_iterator(call.end()));
+        break;
+      }
+      case TrafficKind::kPoisson:
+        flows.push_back(traffic::make_poisson_flow(
+            sta, p.interval, traffic::TraceKind::kLibrary, false));
+        break;
+      case TrafficKind::kSigcomm: {
+        auto bg = traffic::make_sigcomm_background(sta);
+        flows.insert(flows.end(), std::make_move_iterator(bg.begin()),
+                     std::make_move_iterator(bg.end()));
+        flows.push_back(traffic::make_cbr_flow(sta, p.frame_bytes,
+                                               p.interval));
+        break;
+      }
+    }
+  }
+  return flows;
+}
+
+/// PHY decode probe harness: one real Carpool frame per probe pushed
+/// through a trace-gated Gilbert-Elliott chain, decoded by a real
+/// CarpoolReceiver. Probe index == chain frame index, so the episode
+/// trace is computable up front from the scenario's interference
+/// schedule and the whole probe sequence replays bit for bit.
+class ProbeHarness {
+ public:
+  ProbeHarness(const Scenario& s, std::uint64_t repeat)
+      : chain_(derive_seed(s.seed, repeat, 0x70726f62ULL)) {
+    if (s.probe_interval <= 0.0) return;
+    for (double t = s.probe_interval; t < s.duration;
+         t += s.probe_interval) {
+      times_.push_back(t);
+    }
+    // Map interference episodes onto probe-index spans.
+    impair::EpisodeTrace trace;
+    std::uint64_t span_first = 0;
+    bool open = false;
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+      bool inside = false;
+      for (const InterferenceEpisode& e : s.interference) {
+        if (times_[i] >= e.start && times_[i] < e.stop) {
+          inside = true;
+          break;
+        }
+      }
+      if (inside && !open) {
+        span_first = i;
+        open = true;
+      } else if (!inside && open) {
+        trace.spans.push_back({span_first, i - 1});
+        open = false;
+      }
+    }
+    if (open) trace.spans.push_back({span_first, times_.size() - 1});
+
+    impair::GilbertElliottConfig ge;
+    ge.bad_noise_power = 1.0;
+    chain_.add(impair::make_trace_gated(std::move(trace),
+                                        impair::make_gilbert_elliott(ge)));
+
+    // One deterministic two-subframe frame shared by every probe; the
+    // impairment chain's (seed, frame) streams supply the per-probe
+    // variation.
+    Rng rng(derive_seed(s.seed, repeat, 0x70736475ULL));
+    const MacAddress self{{0x02, 0xC4, 0x47, 0x00, 0x00, 0x01}};
+    std::vector<SubframeSpec> subframes(2);
+    for (SubframeSpec& sub : subframes) {
+      sub.receiver = self;
+      Bytes body(200);
+      for (std::uint8_t& b : body) {
+        b = static_cast<std::uint8_t>(rng.uniform_int(256));
+      }
+      sub.psdu = append_fcs(body);
+      sub.mcs_index = 2;
+    }
+    const CarpoolTransmitter tx;
+    wave_ = tx.build(subframes);
+    CarpoolRxConfig rx_cfg;
+    rx_cfg.self = self;
+    rx_ = std::make_unique<CarpoolReceiver>(rx_cfg);
+  }
+
+  [[nodiscard]] const std::vector<double>& times() const noexcept {
+    return times_;
+  }
+
+  /// Run the next scheduled probe and return the decode result.
+  [[nodiscard]] CarpoolRxResult fire() {
+    const CxVec rx_wave = chain_.run(wave_);
+    static obs::Counter& probes =
+        obs::Registry::global().counter("chaos.probes");
+    probes.add();
+    return rx_->receive(rx_wave);
+  }
+
+ private:
+  std::vector<double> times_;
+  impair::ImpairmentChain chain_;
+  CxVec wave_;
+  std::unique_ptr<CarpoolReceiver> rx_;
+};
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t repeat,
+                          std::uint64_t salt) noexcept {
+  std::uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (repeat + 1)) ^
+                     (0xbf58476d1ce4e5b9ULL * (salt + 1));
+  return splitmix64(sm);
+}
+
+SoakReport SoakRunner::run(const Scenario& scenario) const {
+  SoakReport report;
+  static obs::Counter& campaigns =
+      obs::Registry::global().counter("chaos.campaigns");
+  campaigns.add();
+
+  Scenario s = scenario;
+  if (s.traffic.empty()) {
+    // An empty mix would soak an idle channel; default to the steady CBR
+    // load every built-in scenario uses.
+    s.traffic.push_back({0.0, TrafficKind::kCbr, 1200, 4e-3});
+  }
+
+  const std::vector<Episode> episodes = segment_timeline(s);
+  bool stop_campaign = false;
+  bool injected_done = false;
+  double goodput_sum = 0.0;
+  std::size_t goodput_n = 0;
+
+  for (std::size_t repeat = 0;
+       repeat < std::max<std::size_t>(1, opts_.max_repeats);
+       ++repeat) {
+    report.repeats = repeat + 1;
+    ProbeHarness probes(s, repeat);
+    std::size_t next_probe = 0;
+
+    for (std::size_t ei = 0; ei < episodes.size() && !stop_campaign;
+         ++ei) {
+      const Episode& ep = episodes[ei];
+      const std::uint64_t frame_base = report.frames_judged;
+
+      mac::SimConfig cfg;
+      cfg.scheme = s.scheme;
+      cfg.num_stas = s.num_stas;
+      cfg.duration = ep.stop - ep.start;
+      cfg.seed = derive_seed(s.seed, repeat, ei);
+      cfg.link_policy = s.link_policy;
+      cfg.default_snr_db = s.default_snr_db;
+
+      // Time-varying SNR: mobility via the testbed pathloss map, plus
+      // the penalty of every interference episode in force at the
+      // absolute time of the judgement.
+      const sim::TestbedLayout layout;
+      std::vector<sim::MobilityPath> paths(s.num_stas + 1);
+      std::vector<bool> has_path(s.num_stas + 1, false);
+      for (const MobilityTrack& t : s.mobility) {
+        if (t.sta < paths.size()) {
+          paths[t.sta] = sim::MobilityPath(t.waypoints);
+          has_path[t.sta] = true;
+        }
+      }
+      const double ep_start = ep.start;
+      cfg.sta_snr_fn = [&s, layout, paths = std::move(paths),
+                        has_path = std::move(has_path),
+                        ep_start](mac::NodeId sta, double now) {
+        const double t = ep_start + now;
+        double snr = s.default_snr_db;
+        if (sta < has_path.size() && has_path[sta]) {
+          snr = layout.snr_db_along(paths[sta], t, s.power_magnitude);
+        }
+        for (const InterferenceEpisode& e : s.interference) {
+          if (t < e.start || t >= e.stop) continue;
+          if (!e.stas.empty() &&
+              std::find(e.stas.begin(), e.stas.end(),
+                        static_cast<std::uint32_t>(sta)) == e.stas.end()) {
+            continue;
+          }
+          snr -= e.snr_penalty_db;
+        }
+        return snr;
+      };
+
+      StepInvariants checker(frame_base, ep.start, ei, repeat);
+      std::uint64_t episode_judged = 0;
+      bool stop_episode = false;
+      cfg.observer = [&](const mac::SimStepView& view) {
+        ++report.steps;
+        episode_judged = view.frames_judged;
+
+        if (auto v = checker.check(view)) {
+          report.violations.push_back(std::move(*v));
+          stop_campaign = stop_episode = true;
+          return false;
+        }
+
+        // Deliberately seeded fault: trips the moment the campaign-wide
+        // judgement count crosses the scripted frame. Recorded with
+        // exactly that frame so replay and shrinking compare bit for
+        // bit.
+        if (s.inject && !injected_done &&
+            frame_base + view.frames_judged >= s.inject->frame) {
+          injected_done = true;
+          Violation v;
+          v.invariant = "injected";
+          v.detail = "deliberately seeded fault (scenario "
+                     "inject_violation)";
+          v.frame = s.inject->frame;
+          v.time = ep.start + view.now;
+          v.episode = ei;
+          v.repeat = repeat;
+          report.violations.push_back(std::move(v));
+          stop_campaign = stop_episode = true;
+          return false;
+        }
+
+        // PHY decode probes due by now.
+        while (next_probe < probes.times().size() &&
+               probes.times()[next_probe] <= ep.start + view.now) {
+          ++next_probe;
+          ++report.probes;
+          const CarpoolRxResult rx = probes.fire();
+          if (auto v = check_decode(rx, frame_base + view.frames_judged,
+                                    ep.start + view.now, ei, repeat,
+                                    opts_.rte_norm_bound)) {
+            report.violations.push_back(std::move(*v));
+            stop_campaign = stop_episode = true;
+            return false;
+          }
+        }
+
+        if (opts_.max_frames > 0 &&
+            frame_base + view.frames_judged >= opts_.max_frames) {
+          stop_campaign = stop_episode = true;  // budget, not a violation
+          return false;
+        }
+        return true;
+      };
+
+      mac::Simulator sim(cfg);
+      for (mac::FlowSpec& f : build_flows(ep, s)) {
+        sim.add_flow(std::move(f));
+      }
+      const mac::SimResult res = sim.run();
+
+      report.frames_judged = frame_base + episode_judged;
+      report.sim_seconds += res.duration;
+      ++report.episodes_run;
+
+      EpisodeSummary summary;
+      summary.index = ei;
+      summary.repeat = repeat;
+      summary.start = ep.start;
+      summary.stop = ep.stop;
+      summary.intensity = ep.max_intensity;
+      summary.goodput_bps =
+          res.downlink_goodput_bps + res.uplink_goodput_bps;
+      summary.frames_judged = episode_judged;
+      report.episode_summaries.push_back(summary);
+      if (episode_judged > 0) {
+        goodput_sum += summary.goodput_bps;
+        ++goodput_n;
+      }
+      if (stop_episode) break;
+    }
+
+    if (stop_campaign) break;
+    if (opts_.max_frames == 0) break;
+    if (report.frames_judged >= opts_.max_frames) break;
+  }
+
+  if (goodput_n > 0) {
+    report.mean_goodput_bps =
+        goodput_sum / static_cast<double>(goodput_n);
+  }
+
+  if (report.violations.empty() && opts_.check_cliffs) {
+    if (auto v = check_goodput_cliffs(report.episode_summaries)) {
+      report.violations.push_back(std::move(*v));
+    }
+  }
+
+  static obs::Counter& violations_total =
+      obs::Registry::global().counter("chaos.violations");
+  static obs::Counter& frames_total =
+      obs::Registry::global().counter("chaos.frames_judged");
+  violations_total.add(report.violations.size());
+  frames_total.add(report.frames_judged);
+
+  if (!report.violations.empty() && !opts_.bundle_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.bundle_dir, ec);
+    if (!ec) {
+      ReproBundle bundle{scenario, report.violations.front()};
+      const std::string path = opts_.bundle_dir + "/bundle_" + s.name +
+                               "_" + bundle.violation.invariant + ".json";
+      std::ofstream out(path);
+      if (out) {
+        out << bundle_to_json(bundle);
+        report.bundle_path = path;
+        static obs::Counter& bundles =
+            obs::Registry::global().counter("chaos.bundles_written");
+        bundles.add();
+      }
+    }
+  }
+
+  return report;
+}
+
+// -------------------------------------------------------- repro bundles
+
+std::string bundle_to_json(const ReproBundle& bundle) {
+  JsonObject root;
+  json_set(root, "schema_version", JsonValue(1.0));
+  JsonObject v;
+  json_set(v, "invariant", JsonValue(bundle.violation.invariant));
+  json_set(v, "detail", JsonValue(bundle.violation.detail));
+  json_set(v, "frame",
+           JsonValue(static_cast<double>(bundle.violation.frame)));
+  json_set(v, "time", JsonValue(bundle.violation.time));
+  json_set(v, "episode",
+           JsonValue(static_cast<double>(bundle.violation.episode)));
+  json_set(v, "repeat",
+           JsonValue(static_cast<double>(bundle.violation.repeat)));
+  json_set(root, "violation", JsonValue(std::move(v)));
+  json_set(root, "scenario", scenario_to_value(bundle.scenario));
+  return json_dump(JsonValue(std::move(root)));
+}
+
+BundleParseResult bundle_from_json(std::string_view text) {
+  BundleParseResult out;
+  const JsonParseResult doc = json_parse(text);
+  if (!doc.ok()) {
+    out.error.message = "JSON syntax error at " + doc.error.to_string();
+    return out;
+  }
+  const JsonValue& root = *doc.value;
+  if (!root.is_object()) {
+    out.error.message = "bundle must be a JSON object";
+    return out;
+  }
+  const JsonValue* v = root.find("violation");
+  if (v == nullptr || !v->is_object()) {
+    out.error.path = "violation";
+    out.error.message = "required object missing";
+    return out;
+  }
+  ReproBundle bundle;
+  const JsonValue* inv = v->find("invariant");
+  if (inv == nullptr || !inv->is_string()) {
+    out.error.path = "violation.invariant";
+    out.error.message = "expected a string";
+    return out;
+  }
+  bundle.violation.invariant = inv->as_string();
+  if (const JsonValue* d = v->find("detail");
+      d != nullptr && d->is_string()) {
+    bundle.violation.detail = d->as_string();
+  }
+  const JsonValue* frame = v->find("frame");
+  if (frame == nullptr || !frame->is_number() ||
+      frame->as_number() < 0.0 ||
+      frame->as_number() != std::floor(frame->as_number())) {
+    out.error.path = "violation.frame";
+    out.error.message = "expected a non-negative integer";
+    return out;
+  }
+  bundle.violation.frame =
+      static_cast<std::uint64_t>(frame->as_number());
+  if (const JsonValue* t = v->find("time");
+      t != nullptr && t->is_number()) {
+    bundle.violation.time = t->as_number();
+  }
+  if (const JsonValue* e = v->find("episode");
+      e != nullptr && e->is_number()) {
+    bundle.violation.episode =
+        static_cast<std::size_t>(e->as_number());
+  }
+  if (const JsonValue* r = v->find("repeat");
+      r != nullptr && r->is_number()) {
+    bundle.violation.repeat = static_cast<std::size_t>(r->as_number());
+  }
+  const JsonValue* sc = root.find("scenario");
+  if (sc == nullptr) {
+    out.error.path = "scenario";
+    out.error.message = "required object missing";
+    return out;
+  }
+  ScenarioParseResult parsed = scenario_from_value(*sc);
+  if (!parsed.ok()) {
+    out.error.path = "scenario." + parsed.error.path;
+    out.error.message = parsed.error.message;
+    return out;
+  }
+  bundle.scenario = std::move(*parsed.scenario);
+  out.bundle = std::move(bundle);
+  return out;
+}
+
+ReplayResult replay_bundle(const ReproBundle& bundle) {
+  SoakOptions opts;
+  // Run far enough to cross the recorded frame even when the violation
+  // happened on a later timeline repeat; skip campaign-level checks.
+  opts.max_frames = bundle.violation.frame + 1;
+  opts.check_cliffs = false;
+  const SoakReport report = SoakRunner(opts).run(bundle.scenario);
+
+  ReplayResult out;
+  if (!report.violations.empty()) {
+    out.violation = report.violations.front();
+    out.reproduced =
+        out.violation->invariant == bundle.violation.invariant &&
+        out.violation->frame == bundle.violation.frame &&
+        out.violation->episode == bundle.violation.episode &&
+        out.violation->repeat == bundle.violation.repeat;
+  }
+  return out;
+}
+
+}  // namespace carpool::chaos

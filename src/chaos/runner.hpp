@@ -1,0 +1,123 @@
+#pragma once
+
+// carpool::chaos — the soak engine (docs/SOAK.md).
+//
+// SoakRunner executes a Scenario as a campaign: the timeline is split
+// into episodes at churn, traffic-phase, and interference boundaries;
+// each episode runs one MAC Simulator whose observer evaluates the
+// cross-layer invariants (chaos/invariants.hpp) after every resolved
+// channel event and fires real PHY decode probes through a trace-gated
+// ImpairmentChain on the scenario's probe schedule. With a frame budget
+// the timeline repeats (fresh derived seeds per repeat) until the budget
+// is spent — `tools/soak --frames 1000000` style campaigns.
+//
+// Determinism: every RNG stream is derived from (scenario seed, repeat,
+// episode) via splitmix64, and the campaign-wide reception-judgement
+// count is the frame coordinate. A Violation therefore pins an exact
+// (scenario, seed, frame) triple; the emitted ReproBundle replays it bit
+// for bit, and the shrinker (chaos/shrink.hpp) delta-debugs the timeline
+// while preserving that reproduction.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.hpp"
+#include "chaos/scenario.hpp"
+
+namespace carpool::chaos {
+
+struct SoakOptions {
+  /// Campaign frame budget in reception judgements. 0 = run the timeline
+  /// exactly once; otherwise the timeline repeats until the budget is
+  /// reached (or a violation stops the campaign).
+  std::uint64_t max_frames = 0;
+
+  /// Safety cap on timeline repeats when chasing a frame budget.
+  std::size_t max_repeats = 100000;
+
+  /// Evaluate the campaign-level goodput_cliff invariant at the end.
+  bool check_cliffs = true;
+
+  /// Ceiling for the rte_bounded probe invariant.
+  double rte_norm_bound = 1e3;
+
+  /// When non-empty, the first violation writes a repro bundle JSON into
+  /// this directory (created if missing); path lands in
+  /// SoakReport::bundle_path.
+  std::string bundle_dir;
+};
+
+struct SoakReport {
+  std::uint64_t frames_judged = 0;  ///< campaign-wide judgement count
+  std::uint64_t steps = 0;          ///< observer invocations
+  std::uint64_t probes = 0;         ///< PHY decode probes executed
+  std::size_t episodes_run = 0;
+  std::size_t repeats = 0;          ///< timeline passes completed/attempted
+  double sim_seconds = 0.0;         ///< simulated time covered
+  double mean_goodput_bps = 0.0;    ///< judged-episode mean (DL + UL)
+
+  std::vector<Violation> violations;       ///< empty on a clean campaign
+  std::vector<EpisodeSummary> episode_summaries;
+  std::string bundle_path;  ///< non-empty when a bundle was written
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+class SoakRunner {
+ public:
+  explicit SoakRunner(SoakOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Execute one campaign. Stops at the first violation.
+  [[nodiscard]] SoakReport run(const Scenario& scenario) const;
+
+  [[nodiscard]] const SoakOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  SoakOptions opts_;
+};
+
+// -------------------------------------------------------- repro bundles
+
+/// Everything needed to replay a violation bit for bit: the scenario
+/// (seed included) and the violation's coordinates.
+struct ReproBundle {
+  Scenario scenario;
+  Violation violation;
+};
+
+[[nodiscard]] std::string bundle_to_json(const ReproBundle& bundle);
+
+struct BundleParseResult {
+  std::optional<ReproBundle> bundle;
+  ScenarioError error;  ///< meaningful iff !bundle
+
+  [[nodiscard]] bool ok() const noexcept { return bundle.has_value(); }
+};
+
+/// Parse + validate a bundle. Never throws; malformed input (bad JSON,
+/// missing fields, invalid embedded scenario) yields a structured error.
+[[nodiscard]] BundleParseResult bundle_from_json(std::string_view text);
+
+struct ReplayResult {
+  /// True when the re-run produced the same invariant at the same
+  /// campaign frame (and episode/repeat coordinates).
+  bool reproduced = false;
+  std::optional<Violation> violation;  ///< what the re-run actually hit
+};
+
+/// Re-run a bundle's scenario far enough to cross the recorded frame and
+/// compare outcomes. Campaign-level checks are skipped: a bundle pins a
+/// step/probe/injected violation, not a whole-campaign statistic.
+[[nodiscard]] ReplayResult replay_bundle(const ReproBundle& bundle);
+
+/// Derived-seed helper shared by the runner and tests: one splitmix64
+/// step over a (seed, repeat, salt) mix.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed,
+                                        std::uint64_t repeat,
+                                        std::uint64_t salt) noexcept;
+
+}  // namespace carpool::chaos

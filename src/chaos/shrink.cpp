@@ -1,0 +1,140 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+
+#include "obs/registry.hpp"
+
+namespace carpool::chaos {
+namespace {
+
+constexpr double kMinDuration = 0.05;  ///< shrink floor (seconds)
+constexpr std::size_t kMaxPasses = 20;
+
+/// Does `candidate` still produce the original violation? Same invariant
+/// name always; injected faults additionally pin the exact frame (their
+/// coordinate is scripted, so any drift means the repro broke).
+std::optional<Violation> reproduces(const Scenario& candidate,
+                                    const Violation& original) {
+  SoakOptions opts;
+  opts.max_frames = original.frame + 1;
+  opts.check_cliffs = false;
+  const SoakReport report = SoakRunner(opts).run(candidate);
+  if (report.violations.empty()) return std::nullopt;
+  const Violation& got = report.violations.front();
+  if (got.invariant != original.invariant) return std::nullopt;
+  if (original.invariant == "injected" && got.frame != original.frame) {
+    return std::nullopt;
+  }
+  return got;
+}
+
+/// Drop events referencing stations beyond a reduced station count.
+void clamp_to_stas(Scenario& s) {
+  const auto over = [&](std::uint32_t sta) { return sta > s.num_stas; };
+  std::erase_if(s.churn, [&](const ChurnEvent& e) { return over(e.sta); });
+  std::erase_if(s.mobility,
+                [&](const MobilityTrack& t) { return over(t.sta); });
+  for (InterferenceEpisode& e : s.interference) {
+    std::erase_if(e.stas, over);
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink_bundle(const ReproBundle& bundle) {
+  ShrinkResult out;
+  out.scenario = bundle.scenario;
+  out.violation = bundle.violation;
+  const double original_timeline = bundle.scenario.timeline_seconds();
+
+  // A greedy acceptance step shared by every pass: evaluate `candidate`,
+  // keep it if the violation survives.
+  auto try_accept = [&](Scenario candidate) {
+    ++out.attempts;
+    if (auto v = reproduces(candidate, bundle.violation)) {
+      out.scenario = std::move(candidate);
+      out.violation = std::move(*v);
+      ++out.accepted;
+      return true;
+    }
+    return false;
+  };
+
+  for (std::size_t pass = 0; pass < kMaxPasses; ++pass) {
+    bool changed = false;
+
+    // One-at-a-time event removal, restarting the index on acceptance
+    // (classic ddmin-style greedy reduction).
+    for (std::size_t i = 0; i < out.scenario.churn.size();) {
+      Scenario cand = out.scenario;
+      cand.churn.erase(cand.churn.begin() + static_cast<long>(i));
+      if (try_accept(std::move(cand))) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < out.scenario.interference.size();) {
+      Scenario cand = out.scenario;
+      cand.interference.erase(cand.interference.begin() +
+                              static_cast<long>(i));
+      if (try_accept(std::move(cand))) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < out.scenario.mobility.size();) {
+      Scenario cand = out.scenario;
+      cand.mobility.erase(cand.mobility.begin() + static_cast<long>(i));
+      if (try_accept(std::move(cand))) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    // Trailing traffic phases (the first keeps the channel loaded).
+    while (out.scenario.traffic.size() > 1) {
+      Scenario cand = out.scenario;
+      cand.traffic.pop_back();
+      if (!try_accept(std::move(cand))) break;
+      changed = true;
+    }
+    // Probes off, unless the violation needs them.
+    if (out.scenario.probe_interval > 0.0) {
+      Scenario cand = out.scenario;
+      cand.probe_interval = 0.0;
+      if (try_accept(std::move(cand))) changed = true;
+    }
+
+    // Duration halving to the floor.
+    while (out.scenario.duration / 2.0 >= kMinDuration) {
+      Scenario cand = out.scenario;
+      cand.duration /= 2.0;
+      if (!try_accept(std::move(cand))) break;
+      changed = true;
+    }
+
+    // Station-count halving (events on removed stations go with them).
+    while (out.scenario.num_stas > 1) {
+      Scenario cand = out.scenario;
+      cand.num_stas = std::max<std::size_t>(1, cand.num_stas / 2);
+      clamp_to_stas(cand);
+      if (!try_accept(std::move(cand))) break;
+      changed = true;
+    }
+
+    if (!changed) break;
+  }
+
+  out.timeline_ratio =
+      original_timeline > 0.0
+          ? out.scenario.timeline_seconds() / original_timeline
+          : 1.0;
+  static obs::Counter& shrinks =
+      obs::Registry::global().counter("chaos.shrink_attempts");
+  shrinks.add(out.attempts);
+  return out;
+}
+
+}  // namespace carpool::chaos

@@ -1,0 +1,36 @@
+#pragma once
+
+// carpool::chaos — auto-shrinking of failing scenarios (docs/SOAK.md).
+//
+// Given a repro bundle, delta-debug the timeline down to a minimal
+// scenario that still reproduces the violation: greedily drop churn
+// events, interference episodes, mobility tracks, and trailing traffic
+// phases, halve the duration, and halve the station count — accepting a
+// candidate only when a re-run still produces the same invariant (and,
+// for injected faults, the exact same frame). Passes repeat to a
+// fixpoint. Every candidate evaluation is a full deterministic soak, so
+// the result is trustworthy by construction rather than by heuristic.
+
+#include <cstdint>
+
+#include "chaos/runner.hpp"
+
+namespace carpool::chaos {
+
+struct ShrinkResult {
+  Scenario scenario;        ///< minimal reproducing scenario
+  Violation violation;      ///< the violation it produces
+  std::size_t attempts = 0; ///< candidate re-runs evaluated
+  std::size_t accepted = 0; ///< candidates that kept reproducing
+  /// shrunk timeline length / original timeline length — the acceptance
+  /// metric (a seeded fault must shrink to <= 25%).
+  double timeline_ratio = 1.0;
+};
+
+/// Shrink `bundle.scenario` while preserving its violation. The input
+/// bundle must itself reproduce (callers verify with replay_bundle
+/// first); if it does not, the original scenario comes back unchanged
+/// with timeline_ratio 1.0.
+[[nodiscard]] ShrinkResult shrink_bundle(const ReproBundle& bundle);
+
+}  // namespace carpool::chaos

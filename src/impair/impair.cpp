@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "dsp/fft.hpp"
 #include "obs/registry.hpp"
@@ -202,6 +203,34 @@ class HeaderBitCorruption final : public ImpairmentStage {
   HeaderCorruptionConfig config_;
 };
 
+class TraceGated final : public ImpairmentStage {
+ public:
+  TraceGated(EpisodeTrace trace, std::unique_ptr<ImpairmentStage> inner)
+      : trace_(std::move(trace)), inner_(std::move(inner)) {}
+
+  void apply(CxVec& wave, Rng& rng) const override {
+    // Frame-unaware call path (no index available): treat as frame 0.
+    apply_frame(wave, rng, 0);
+  }
+
+  void apply_frame(CxVec& wave, Rng& rng,
+                   std::uint64_t frame) const override {
+    if (!trace_.active(frame)) return;
+    static obs::Counter& gated =
+        obs::Registry::global().counter("impair.trace_gated_frames");
+    gated.add();
+    inner_->apply_frame(wave, rng, frame);
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "trace_gated";
+  }
+
+ private:
+  EpisodeTrace trace_;
+  std::unique_ptr<ImpairmentStage> inner_;
+};
+
 }  // namespace
 
 std::unique_ptr<ImpairmentStage> make_gilbert_elliott(
@@ -233,6 +262,14 @@ std::unique_ptr<ImpairmentStage> make_header_corruption(
   return std::make_unique<HeaderBitCorruption>(config);
 }
 
+std::unique_ptr<ImpairmentStage> make_trace_gated(
+    EpisodeTrace trace, std::unique_ptr<ImpairmentStage> inner) {
+  if (!inner) {
+    throw std::invalid_argument("make_trace_gated: null inner stage");
+  }
+  return std::make_unique<TraceGated>(std::move(trace), std::move(inner));
+}
+
 ImpairmentChain& ImpairmentChain::add(
     std::unique_ptr<ImpairmentStage> stage) {
   stages_.push_back(std::move(stage));
@@ -248,7 +285,7 @@ CxVec ImpairmentChain::run(std::span<const Cx> tx) {
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     std::uint64_t stage_sm = frame_key ^ (0xbf58476d1ce4e5b9ULL * (i + 1));
     Rng rng(splitmix64(stage_sm));
-    stages_[i]->apply(wave, rng);
+    stages_[i]->apply_frame(wave, rng, frame_);
   }
   ++frame_;
   static obs::Counter& frames =

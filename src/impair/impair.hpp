@@ -47,6 +47,16 @@ class ImpairmentStage {
   /// this stage's private per-frame stream.
   virtual void apply(CxVec& wave, Rng& rng) const = 0;
 
+  /// Frame-aware entry point the chain actually calls: stages that key
+  /// their behaviour off the frame index (trace-gated episodes) override
+  /// this; everything else inherits the plain apply(). The default keeps
+  /// the (seed, frame, stage) determinism contract intact because `rng`
+  /// is already the per-frame stream.
+  virtual void apply_frame(CxVec& wave, Rng& rng,
+                           std::uint64_t /*frame*/) const {
+    apply(wave, rng);
+  }
+
   /// Stable identifier used in obs counters ("impair.<name>") and traces.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 };
@@ -114,6 +124,26 @@ struct HeaderCorruptionConfig {
   std::size_t flip_bins = 12;  ///< of the 48 data subcarriers
 };
 
+/// A scripted (or recorded) interference timeline, indexed by frame: the
+/// inner stage of a trace-gated wrapper runs only while the trace is
+/// inside an episode. Spans are inclusive on both ends and may come from
+/// a recorded capture (frame indices of observed interference) or from a
+/// chaos scenario's interference schedule (docs/SOAK.md).
+struct EpisodeTrace {
+  struct Span {
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;  ///< inclusive
+  };
+  std::vector<Span> spans;
+
+  [[nodiscard]] bool active(std::uint64_t frame) const noexcept {
+    for (const Span& s : spans) {
+      if (frame >= s.first && frame <= s.last) return true;
+    }
+    return false;
+  }
+};
+
 // -------------------------------------------------------------- factories
 
 std::unique_ptr<ImpairmentStage> make_gilbert_elliott(
@@ -130,6 +160,13 @@ std::unique_ptr<ImpairmentStage> make_clock_drift(
     const ClockDriftConfig& config);
 std::unique_ptr<ImpairmentStage> make_header_corruption(
     const HeaderCorruptionConfig& config);
+
+/// Gate `inner` behind an episode trace: frames inside a span are
+/// impaired, frames outside pass through untouched. The inner stage still
+/// draws from the wrapper's per-frame stream when active, so gating a
+/// stage on/off never perturbs what other stages see.
+std::unique_ptr<ImpairmentStage> make_trace_gated(
+    EpisodeTrace trace, std::unique_ptr<ImpairmentStage> inner);
 
 // ------------------------------------------------------------------ chain
 

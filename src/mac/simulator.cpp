@@ -70,7 +70,9 @@ SimResult Simulator::run() {
   Rng phy_rng = rng.split(2);
   Rng backoff_rng = rng.split(3);
 
+  double now = 0.0;
   auto sta_snr = [&](NodeId sta) {
+    if (config_.sta_snr_fn) return config_.sta_snr_fn(sta, now);
     const std::size_t idx = sta - 1;
     return idx < config_.sta_snr_db.size() ? config_.sta_snr_db[idx]
                                            : config_.default_snr_db;
@@ -147,9 +149,31 @@ SimResult Simulator::run() {
   double last_depth_sample = 0.0;
   std::uint64_t ap_txops = 0, ap_subunits = 0;
 
-  double now = 0.0;
   double idle_start = 0.0;
   std::size_t slots_consumed = 0;
+  std::uint64_t frames_judged = 0;
+  bool observer_stop = false;
+
+  // Invoke SimConfig::observer (when set) after a resolved channel event;
+  // sets observer_stop when the callback asks to end the run.
+  auto notify_observer = [&](const SimTxopInfo& txop) {
+    if (!config_.observer) return;
+    SimStepView view;
+    view.now = now;
+    view.frames_generated = frame_counter;
+    view.frames_judged = frames_judged;
+    std::uint64_t inflight = ap_queues.depth();
+    for (NodeId sta = 1; sta <= config_.num_stas; ++sta) {
+      inflight += uplink[sta].size();
+    }
+    view.frames_inflight = inflight;
+    view.num_stas = config_.num_stas;
+    view.totals = &result;
+    view.links = &links;
+    view.params = &p;
+    view.txop = txop;
+    if (!config_.observer(view)) observer_stop = true;
+  };
 
   auto sample_queue_depth = [&](double t) {
     queue_depth_integral +=
@@ -189,7 +213,7 @@ SimResult Simulator::run() {
 
   const std::size_t retry_limit = p.retry_limit;
 
-  while (now < config_.duration) {
+  while (!observer_stop && now < config_.duration) {
     // 1. arrivals due now.
     while (!arrivals.empty() && arrivals.top().time <= now) {
       const ArrivalEvent ev = arrivals.top();
@@ -379,6 +403,10 @@ SimResult Simulator::run() {
       }
       now += busy;
       idle_start = now;
+      SimTxopInfo info;
+      info.collision = true;
+      info.data_duration = busy;
+      notify_observer(info);
       continue;
     }
 
@@ -472,6 +500,10 @@ SimResult Simulator::run() {
         sta_backoff[intruder].on_failure(p.cw_max);
         now += busy;
         idle_start = now;
+        SimTxopInfo info;
+        info.collision = true;
+        info.data_duration = busy;
+        notify_observer(info);
         continue;
       }
     }
@@ -521,6 +553,7 @@ SimResult Simulator::run() {
         query.time = now;
         byte_offset += static_cast<double>(f.on_air_bytes());
 
+        ++frames_judged;
         const bool data_ok =
             !phy_rng.bernoulli(phy.subframe_error_prob(query));
         if (data_ok && ack_ok) {
@@ -679,6 +712,13 @@ SimResult Simulator::run() {
 
     now += sequence;
     idle_start = now;
+    SimTxopInfo info;
+    info.downlink = is_downlink;
+    info.sequential_ack = tx.sequential_ack;
+    info.subunits = tx.subunits.size();
+    info.data_duration = tx.data_duration;
+    info.ack_overhead = tx.ack_overhead;
+    notify_observer(info);
   }
 
   sample_queue_depth(std::min(now, config_.duration));

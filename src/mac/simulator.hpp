@@ -38,6 +38,45 @@ struct FlowSpec {
   std::function<std::pair<double, std::size_t>(double now, Rng& rng)> next;
 };
 
+struct SimResult;
+
+/// What the TXOP that just resolved looked like (for SimStepView). On a
+/// collision step only `collision` and `data_duration` (the busy period)
+/// are meaningful.
+struct SimTxopInfo {
+  bool collision = false;
+  bool downlink = false;
+  bool sequential_ack = false;
+  std::size_t subunits = 0;
+  double data_duration = 0.0;  ///< busy period on a collision step
+  double ack_overhead = 0.0;
+};
+
+/// Read-only view of the simulator's state handed to SimConfig::observer
+/// after every resolved channel event (successful TXOP, slot-tie or
+/// hidden-terminal collision). Everything referenced lives only for the
+/// duration of the callback. The frame-accounting contract at an
+/// observation point: every frame the traffic generators have produced is
+/// in exactly one of {delivered, dropped, queued}, so
+///   frames_generated == delivered + dropped + frames_inflight
+/// holds on both directions combined — the invariant the chaos soak
+/// engine checks every step (docs/SOAK.md).
+struct SimStepView {
+  double now = 0.0;  ///< time after the step completed
+  std::uint64_t frames_generated = 0;  ///< arrivals accepted into queues
+  std::uint64_t frames_judged = 0;     ///< per-MPDU reception judgements
+  std::uint64_t frames_inflight = 0;   ///< queued at AP + all uplink queues
+  std::size_t num_stas = 0;
+  const SimResult* totals = nullptr;        ///< running counters
+  const LinkStateMachine* links = nullptr;  ///< live link-state machine
+  const MacParams* params = nullptr;
+  SimTxopInfo txop;
+};
+
+/// Step observer: return false to stop the simulation early (metrics are
+/// finalized over the elapsed time as usual).
+using SimObserver = std::function<bool(const SimStepView&)>;
+
 struct SimConfig {
   Scheme scheme = Scheme::kCarpool;
   MacParams params{};
@@ -63,6 +102,17 @@ struct SimConfig {
   std::vector<double> sta_snr_db;
   double default_snr_db = 25.0;
   double coherence_time = 5e-3;
+
+  /// Time-varying SNR hook: when set, overrides sta_snr_db for every
+  /// reception judgement with snr(sta, now). This is how scenario-scripted
+  /// mobility (sim::MobilityPath waypoints moving TestbedLayout SNRs) and
+  /// interference episodes reach the analytic MAC path (docs/SOAK.md).
+  std::function<double(NodeId sta, double now)> sta_snr_fn;
+
+  /// Called after every resolved channel event with a SimStepView; return
+  /// false to stop the run early. The chaos soak engine hangs its
+  /// cross-layer invariant checks off this hook.
+  SimObserver observer;
 
   /// The single link-policy entry point: per-STA rate selection (static
   /// SNR thresholds and/or ACK-feedback hysteresis — Carpool subframes

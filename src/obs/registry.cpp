@@ -130,6 +130,12 @@ Counter& Registry::counter(std::string_view name) {
   return *it->second;
 }
 
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
 Gauge& Registry::gauge(std::string_view name) {
   const std::scoped_lock lock(mutex_);
   auto it = gauges_.find(name);

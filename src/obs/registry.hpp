@@ -127,6 +127,11 @@ class Registry {
 
   void set_gauge(std::string_view name, double v) { gauge(name).set(v); }
 
+  /// Read a counter's current value without creating it: 0 if absent.
+  /// Lets invariant checks poll "did X ever happen" counters without
+  /// polluting the registry with never-incremented entries.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
   /// Unified JSON export (schema_version 1). `bench` labels the run.
   [[nodiscard]] std::string to_json(std::string_view bench = {}) const;
   /// Aligned human-readable summary.

@@ -1,9 +1,34 @@
 #include "sim/testbed.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace carpool::sim {
+
+MobilityPath::MobilityPath(std::vector<TimedPoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (waypoints_[i].time <= waypoints_[i - 1].time) {
+      throw std::invalid_argument(
+          "MobilityPath: waypoint times must be strictly increasing");
+    }
+  }
+}
+
+Point MobilityPath::position_at(double time) const {
+  if (waypoints_.empty()) return Point{};
+  if (time <= waypoints_.front().time) return waypoints_.front().p;
+  if (time >= waypoints_.back().time) return waypoints_.back().p;
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (time > waypoints_[i].time) continue;
+    const TimedPoint& a = waypoints_[i - 1];
+    const TimedPoint& b = waypoints_[i];
+    const double f = (time - a.time) / (b.time - a.time);
+    return Point{a.p.x + f * (b.p.x - a.p.x), a.p.y + f * (b.p.y - a.p.y)};
+  }
+  return waypoints_.back().p;
+}
 
 TestbedLayout::TestbedLayout(std::uint64_t seed) {
   Rng rng(seed);
@@ -30,6 +55,21 @@ double TestbedLayout::snr_db(std::size_t location,
                              double power_magnitude) const {
   const double tx_dbm = usrp_power_magnitude_to_dbm(power_magnitude);
   return pathloss_.snr_db(tx_dbm, distance(location));
+}
+
+double TestbedLayout::snr_db_at(Point p, double power_magnitude) const {
+  const double tx_dbm = usrp_power_magnitude_to_dbm(power_magnitude);
+  const double d =
+      std::max(0.5, std::hypot(p.x - tx_.x, p.y - tx_.y));
+  return pathloss_.snr_db(tx_dbm, d);
+}
+
+double TestbedLayout::snr_db_along(const MobilityPath& path, double time,
+                                   double power_magnitude) const {
+  if (path.empty()) {
+    return snr_db_at(Point{kRoomSize / 2, kRoomSize / 2}, power_magnitude);
+  }
+  return snr_db_at(path.position_at(time), power_magnitude);
 }
 
 FadingConfig TestbedLayout::channel_config(std::size_t location,

@@ -19,6 +19,34 @@ struct Point {
   double y = 0.0;
 };
 
+/// A waypoint on a mobility path: where a receiver is at `time`.
+struct TimedPoint {
+  double time = 0.0;
+  Point p;
+};
+
+/// Piecewise-linear mobility through the room: the time-varying
+/// counterpart of a fixed receiver location. Positions between waypoints
+/// are interpolated; before the first / after the last waypoint the path
+/// clamps to the endpoint (the user stands still). Waypoint times must be
+/// strictly increasing.
+class MobilityPath {
+ public:
+  MobilityPath() = default;
+  /// Throws std::invalid_argument if waypoint times are not strictly
+  /// increasing.
+  explicit MobilityPath(std::vector<TimedPoint> waypoints);
+
+  [[nodiscard]] bool empty() const noexcept { return waypoints_.empty(); }
+  [[nodiscard]] Point position_at(double time) const;
+  [[nodiscard]] const std::vector<TimedPoint>& waypoints() const noexcept {
+    return waypoints_;
+  }
+
+ private:
+  std::vector<TimedPoint> waypoints_;
+};
+
 class TestbedLayout {
  public:
   static constexpr double kRoomSize = 10.0;          // metres
@@ -38,6 +66,17 @@ class TestbedLayout {
   /// Link SNR at a location for a given USRP power magnitude (0.0125-0.2).
   [[nodiscard]] double snr_db(std::size_t location,
                               double power_magnitude) const;
+
+  /// Link SNR at an arbitrary point in the room (the time-varying hook:
+  /// scenario-scripted mobility evaluates this along a MobilityPath).
+  /// Distances below 0.5 m clamp to 0.5 m so a waypoint crossing the
+  /// transmitter cannot produce an unphysical near-field SNR.
+  [[nodiscard]] double snr_db_at(Point p, double power_magnitude) const;
+
+  /// SNR of a receiver moving along `path`, evaluated at absolute time
+  /// `time`. An empty path falls back to the room centre's SNR.
+  [[nodiscard]] double snr_db_along(const MobilityPath& path, double time,
+                                    double power_magnitude) const;
 
   /// A fading channel parameterised for this location.
   [[nodiscard]] FadingConfig channel_config(std::size_t location,

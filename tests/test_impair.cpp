@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "impair/impair.hpp"
@@ -225,6 +226,111 @@ TEST(ImpairStages, HeaderCorruptionBeyondFrameIsNoop) {
   const CxVec out = chain.run(tx);
   ASSERT_EQ(out.size(), tx.size());
   for (std::size_t n = 0; n < out.size(); ++n) EXPECT_EQ(out[n], tx[n]);
+}
+
+// --------------------------------------------------------- edge cases
+
+TEST(ImpairEdge, EmptyChainIsIdentity) {
+  const CxVec tx = test_wave(300, 9);
+  ImpairmentChain chain(5);
+  ASSERT_EQ(chain.size(), 0u);
+  const CxVec out = chain.run(tx);
+  ASSERT_EQ(out.size(), tx.size());
+  for (std::size_t n = 0; n < out.size(); ++n) EXPECT_EQ(out[n], tx[n]);
+  EXPECT_EQ(chain.frames_processed(), 1u);
+}
+
+TEST(ImpairEdge, EmptyChainEmptyWaveform) {
+  ImpairmentChain chain(5);
+  const CxVec out = chain.run(CxVec{});
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(chain.frames_processed(), 1u);
+}
+
+TEST(ImpairEdge, ZeroLengthWaveformThroughEveryStage) {
+  // A zero-length capture must pass through every stage factory without
+  // crashing and come out still zero-length (no stage invents samples).
+  ImpairmentChain chain(23);
+  chain.add(make_gilbert_elliott({}));
+  chain.add(make_snr_collapse({}));
+  chain.add(make_truncation({.keep_samples = 100}));
+  chain.add(make_sample_erasure({}));
+  chain.add(make_impulsive_noise({.impulse_prob = 0.5}));
+  chain.add(make_clock_drift({.ppm = 200.0}));
+  chain.add(make_header_corruption({}));
+  chain.add(make_trace_gated(EpisodeTrace{{{0, 10}}},
+                             make_gilbert_elliott({})));
+  for (int frame = 0; frame < 3; ++frame) {
+    const CxVec out = chain.run(CxVec{});
+    EXPECT_TRUE(out.empty()) << "frame " << frame;
+  }
+}
+
+TEST(ImpairEdge, TruncationToZeroThenMoreStages) {
+  // Truncation may shorten the waveform to nothing mid-chain; downstream
+  // stages must cope with the now-empty vector.
+  const CxVec tx = test_wave(500, 10);
+  ImpairmentChain chain(3);
+  chain.add(make_truncation({.keep_samples = 0}));
+  chain.add(make_gilbert_elliott({.p_good_to_bad = 1.0}));
+  chain.add(make_clock_drift({.ppm = 50.0}));
+  chain.add(make_header_corruption({}));
+  const CxVec out = chain.run(tx);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ImpairEdge, TraceGatedInactiveFramesPassThrough) {
+  const CxVec tx = test_wave(800, 12);
+  ImpairmentChain chain(41);
+  chain.add(make_trace_gated(EpisodeTrace{{{2, 3}}},
+                             make_gilbert_elliott({.p_good_to_bad = 1.0,
+                                                   .bad_noise_power = 1.0})));
+  for (std::uint64_t frame = 0; frame < 5; ++frame) {
+    const bool active = frame >= 2 && frame <= 3;
+    const CxVec out = chain.run(tx);
+    bool any_diff = false;
+    for (std::size_t n = 0; n < out.size() && !any_diff; ++n) {
+      any_diff = out[n] != tx[n];
+    }
+    EXPECT_EQ(any_diff, active) << "frame " << frame;
+  }
+}
+
+TEST(ImpairEdge, TraceGatedActiveFrameMatchesUngatedInner) {
+  // The wrapper hands its own (seed, frame, stage) stream to the inner
+  // stage, so an always-active gate is bit-identical to the bare stage.
+  const CxVec tx = test_wave(800, 13);
+  const GilbertElliottConfig ge{.p_good_to_bad = 0.8,
+                                .bad_noise_power = 0.7};
+  ImpairmentChain gated(77);
+  gated.add(make_trace_gated(EpisodeTrace{{{0, 100}}},
+                             make_gilbert_elliott(ge)));
+  ImpairmentChain bare(77);
+  bare.add(make_gilbert_elliott(ge));
+  for (int frame = 0; frame < 4; ++frame) {
+    const CxVec wa = gated.run(tx);
+    const CxVec wb = bare.run(tx);
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t n = 0; n < wa.size(); ++n) {
+      ASSERT_EQ(wa[n], wb[n]) << "frame " << frame << " sample " << n;
+    }
+  }
+}
+
+TEST(ImpairEdge, TraceGatedNullInnerThrows) {
+  EXPECT_THROW(make_trace_gated(EpisodeTrace{}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ImpairEdge, EpisodeTraceInclusiveBounds) {
+  const EpisodeTrace trace{{{5, 7}, {10, 10}}};
+  EXPECT_FALSE(trace.active(4));
+  EXPECT_TRUE(trace.active(5));
+  EXPECT_TRUE(trace.active(7));
+  EXPECT_FALSE(trace.active(8));
+  EXPECT_TRUE(trace.active(10));
+  EXPECT_FALSE(trace.active(11));
+  EXPECT_FALSE(EpisodeTrace{}.active(0));
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+// tools/soak — chaos soak campaign driver (docs/SOAK.md).
+//
+//   soak                                   # all built-in scenarios
+//   soak --scenario scenarios/roaming.json # one scenario file
+//   soak --frames 1000000                  # million-judgement campaign
+//   soak --bundle-dir out/ --shrink        # emit + shrink repro bundles
+//   soak --replay out/bundle_x.json        # replay a repro bundle
+//
+// Exit codes: 0 = campaign clean, 1 = invariant violation (bundle
+// written when --bundle-dir is set), 2 = usage or scenario-file error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.hpp"
+#include "chaos/scenario.hpp"
+#include "chaos/shrink.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+using namespace carpool;
+using namespace carpool::chaos;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: soak [--scenario FILE]... [--frames N] "
+               "[--bundle-dir DIR] [--shrink]\n"
+               "            [--replay BUNDLE] [--metrics FILE] [--list]\n");
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+void print_report(const Scenario& s, const SoakReport& r) {
+  std::printf(
+      "scenario %-22s seed %-6llu repeats %-3zu episodes %-4zu "
+      "frames %-9llu probes %-6llu goodput %.2f Mbit/s  %s\n",
+      s.name.c_str(), static_cast<unsigned long long>(s.seed), r.repeats,
+      r.episodes_run, static_cast<unsigned long long>(r.frames_judged),
+      static_cast<unsigned long long>(r.probes),
+      r.mean_goodput_bps / 1e6, r.ok() ? "OK" : "VIOLATION");
+  for (const Violation& v : r.violations) {
+    std::printf("  violation: %s at frame %llu (t=%.6f, episode %zu, "
+                "repeat %zu)\n    %s\n",
+                v.invariant.c_str(),
+                static_cast<unsigned long long>(v.frame), v.time,
+                v.episode, v.repeat, v.detail.c_str());
+  }
+  if (!r.bundle_path.empty()) {
+    std::printf("  repro bundle: %s\n", r.bundle_path.c_str());
+  }
+}
+
+int replay_mode(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "soak: cannot read bundle %s\n", path.c_str());
+    return 2;
+  }
+  const BundleParseResult parsed = bundle_from_json(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "soak: bad bundle %s: %s\n", path.c_str(),
+                 parsed.error.to_string().c_str());
+    return 2;
+  }
+  const ReplayResult result = replay_bundle(*parsed.bundle);
+  if (result.reproduced) {
+    std::printf("bundle %s: reproduced %s at frame %llu\n", path.c_str(),
+                parsed.bundle->violation.invariant.c_str(),
+                static_cast<unsigned long long>(
+                    parsed.bundle->violation.frame));
+    return 0;
+  }
+  if (result.violation) {
+    std::printf("bundle %s: NOT reproduced — got %s at frame %llu "
+                "instead\n",
+                path.c_str(), result.violation->invariant.c_str(),
+                static_cast<unsigned long long>(result.violation->frame));
+  } else {
+    std::printf("bundle %s: NOT reproduced — campaign ran clean\n",
+                path.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> scenario_files;
+  std::string replay_path;
+  std::string metrics_path;
+  SoakOptions opts;
+  bool do_shrink = false;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario_files.push_back(next());
+    } else if (arg == "--frames") {
+      opts.max_frames = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--bundle-dir") {
+      opts.bundle_dir = next();
+    } else if (arg == "--shrink") {
+      do_shrink = true;
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "soak: unknown argument %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) return replay_mode(replay_path);
+
+  std::vector<Scenario> scenarios;
+  if (scenario_files.empty()) {
+    scenarios = default_scenarios();
+  } else {
+    for (const std::string& path : scenario_files) {
+      std::string text;
+      if (!read_file(path, text)) {
+        std::fprintf(stderr, "soak: cannot read %s\n", path.c_str());
+        return 2;
+      }
+      ScenarioParseResult parsed = scenario_from_json(text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "soak: bad scenario %s: %s\n", path.c_str(),
+                     parsed.error.to_string().c_str());
+        return 2;
+      }
+      scenarios.push_back(std::move(*parsed.scenario));
+    }
+  }
+
+  if (list_only) {
+    for (const Scenario& s : scenarios) {
+      std::printf("%-22s duration %.1fs stas %zu %s\n", s.name.c_str(),
+                  s.duration, s.num_stas, scenario_to_json(s).c_str());
+    }
+    return 0;
+  }
+
+  // With a campaign budget, split it evenly across the scenario set so
+  // `--frames 1000000` means one million judgements total.
+  SoakOptions per = opts;
+  if (opts.max_frames > 0 && scenarios.size() > 1) {
+    per.max_frames = opts.max_frames / scenarios.size();
+  }
+
+  int exit_code = 0;
+  std::uint64_t total_frames = 0;
+  for (const Scenario& s : scenarios) {
+    const SoakRunner runner(per);
+    const SoakReport report = runner.run(s);
+    total_frames += report.frames_judged;
+    print_report(s, report);
+    if (!report.ok()) {
+      exit_code = 1;
+      if (do_shrink) {
+        const ReproBundle bundle{s, report.violations.front()};
+        const ShrinkResult shrunk = shrink_bundle(bundle);
+        std::printf(
+            "  shrink: %zu attempts, %zu accepted, timeline %.1fs -> "
+            "%.1fs (ratio %.3f)\n",
+            shrunk.attempts, shrunk.accepted, s.timeline_seconds(),
+            shrunk.scenario.timeline_seconds(), shrunk.timeline_ratio);
+        if (!per.bundle_dir.empty()) {
+          const std::string path = per.bundle_dir + "/bundle_" + s.name +
+                                   "_shrunk.json";
+          std::ofstream out(path);
+          if (out) {
+            out << bundle_to_json({shrunk.scenario, shrunk.violation});
+            std::printf("  shrunk bundle: %s\n", path.c_str());
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("total frames judged: %llu\n",
+              static_cast<unsigned long long>(total_frames));
+  if (!metrics_path.empty()) {
+    obs::Registry::global().write_json(metrics_path, "soak");
+  }
+  return exit_code;
+}
