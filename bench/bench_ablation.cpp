@@ -7,17 +7,28 @@
 //   D. Aggregation width (max receivers per Carpool frame) at the MAC.
 //   E. Sequential-ACK overhead vs receiver count.
 
+// Every parameter ladder fans its points across carpool::par workers
+// (--threads N / CARPOOL_THREADS, docs/PARALLELISM.md); rows print in
+// ladder order after the sharded run, so the output and the exported
+// metrics are identical at any thread count.
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "carpool/bloom.hpp"
 #include "mac/rate_adaptation.hpp"
 #include "mac/simulator.hpp"
+#include "par/par.hpp"
 #include "traffic/generators.hpp"
 
 using namespace carpool;
 
 namespace {
+
+std::size_t g_threads = 1;
 
 void ablate_rte_alpha() {
   bench::banner("Ablation A", "RTE update weight alpha (Eq. 3)",
@@ -34,16 +45,20 @@ void ablate_rte_alpha() {
   channel.cfo_hz = 6e3;
 
   std::printf("%8s %14s %14s\n", "alpha", "raw BER", "FCS loss");
-  for (const double alpha : {0.0, 0.125, 0.25, 0.5, 0.75, 1.0}) {
-    CarpoolFrameConfig txcfg;
-    CarpoolRxConfig rxcfg;
-    rxcfg.use_rte = alpha > 0.0;
-    rxcfg.rte_alpha = alpha;
-    const bench::LinkRun run =
-        bench::run_link(subframes, txcfg, rxcfg, channel, 25, 3);
-    std::printf("%8.3f %14.2e %13.1f%%\n", alpha, run.raw.ber(),
-                100.0 * run.fcs_fail.ratio());
-  }
+  const std::vector<double> alphas{0.0, 0.125, 0.25, 0.5, 0.75, 1.0};
+  const auto rows = par::run_sharded(
+      alphas.size(), g_threads, [&](const par::ShardInfo& info) {
+        const double alpha = alphas[info.index];
+        CarpoolFrameConfig txcfg;
+        CarpoolRxConfig rxcfg;
+        rxcfg.use_rte = alpha > 0.0;
+        rxcfg.rte_alpha = alpha;
+        const bench::LinkRun run =
+            bench::run_link(subframes, txcfg, rxcfg, channel, 25, 3);
+        return bench::rowf("%8.3f %14.2e %13.1f%%\n", alpha, run.raw.ber(),
+                           100.0 * run.fcs_fail.ratio());
+      });
+  for (const std::string& r : rows) std::fputs(r.c_str(), stdout);
 }
 
 void ablate_evm_gate() {
@@ -60,44 +75,57 @@ void ablate_evm_gate() {
   // slip past CRC-2, which is exactly where the gate earns its keep.
   std::printf("%8s %10s | %14s %14s\n", "SNR", "gate", "raw BER",
               "FCS loss");
+  std::vector<std::pair<double, double>> points;
   for (const double snr : {20.0, 26.0, 33.0}) {
     for (const double gate : {0.0, 0.2, 0.35}) {
-      FadingConfig channel;
-      channel.snr_db = snr;
-      channel.coherence_time = 3e-3;
-      CarpoolFrameConfig txcfg;
-      CarpoolRxConfig rxcfg;
-      rxcfg.pilot_evm_gate = gate;
-      const bench::LinkRun run =
-          bench::run_link(subframes, txcfg, rxcfg, channel, 15, 5);
-      std::printf("%8.0f %10.2f | %14.2e %13.1f%%\n", snr, gate,
-                  run.raw.ber(), 100.0 * run.fcs_fail.ratio());
+      points.emplace_back(snr, gate);
     }
   }
+  const auto rows = par::run_sharded(
+      points.size(), g_threads, [&](const par::ShardInfo& info) {
+        const auto [snr, gate] = points[info.index];
+        FadingConfig channel;
+        channel.snr_db = snr;
+        channel.coherence_time = 3e-3;
+        CarpoolFrameConfig txcfg;
+        CarpoolRxConfig rxcfg;
+        rxcfg.pilot_evm_gate = gate;
+        const bench::LinkRun run =
+            bench::run_link(subframes, txcfg, rxcfg, channel, 15, 5);
+        return bench::rowf("%8.0f %10.2f | %14.2e %13.1f%%\n", snr, gate,
+                           run.raw.ber(), 100.0 * run.fcs_fail.ratio());
+      });
+  for (const std::string& r : rows) std::fputs(r.c_str(), stdout);
 }
 
 void ablate_bloom_hashes() {
   bench::banner("Ablation C", "Bloom hash count h at N = 8 receivers",
                 "optimum near h = (48/8) ln 2 ~ 4.2; the paper fixes 4");
-  Rng rng(3);
   std::printf("%4s %12s %14s\n", "h", "theory", "empirical");
-  for (const std::size_t h : {1u, 2u, 3u, 4u, 5u, 6u, 8u}) {
-    RatioCounter fp;
-    for (int trial = 0; trial < 20000; ++trial) {
-      AggregationBloomFilter filter(h);
-      for (std::size_t i = 0; i < 8; ++i) {
-        filter.insert(MacAddress::for_station(static_cast<std::uint32_t>(
-                          rng.uniform_int(1u << 24))),
-                      i);
-      }
-      fp.add(filter.matches(
-          MacAddress::for_station(
-              static_cast<std::uint32_t>((1u << 24) + trial)),
-          rng.uniform_int(8)));
-    }
-    std::printf("%4zu %12.5f %14.5f\n", h, theoretical_fp_rate(8, h),
-                fp.ratio());
-  }
+  const std::vector<std::size_t> hashes{1, 2, 3, 4, 5, 6, 8};
+  const auto rows = par::run_sharded(
+      hashes.size(), g_threads, [&](const par::ShardInfo& info) {
+        const std::size_t h = hashes[info.index];
+        // Per-point RNG stream (seeded by h) so the points are
+        // independent jobs instead of sharing one sequential stream.
+        Rng rng(3 + 1000 * h);
+        RatioCounter fp;
+        for (int trial = 0; trial < 20000; ++trial) {
+          AggregationBloomFilter filter(h);
+          for (std::size_t i = 0; i < 8; ++i) {
+            filter.insert(MacAddress::for_station(static_cast<std::uint32_t>(
+                              rng.uniform_int(1u << 24))),
+                          i);
+          }
+          fp.add(filter.matches(
+              MacAddress::for_station(
+                  static_cast<std::uint32_t>((1u << 24) + trial)),
+              rng.uniform_int(8)));
+        }
+        return bench::rowf("%4zu %12.5f %14.5f\n", h,
+                           theoretical_fp_rate(8, h), fp.ratio());
+      });
+  for (const std::string& r : rows) std::fputs(r.c_str(), stdout);
 }
 
 void ablate_aggregation_width() {
@@ -107,30 +135,34 @@ void ablate_aggregation_width() {
   // Latency-bounded VoIP with busy uplink (the Fig. 17 regime): serving
   // many stations per TXOP is what meets the deadline.
   std::printf("%6s %12s %10s %10s\n", "width", "goodput", "delay", "aggr");
-  for (const std::size_t width : {1u, 2u, 4u, 6u, 8u}) {
-    SimConfig cfg;
-    cfg.scheme = Scheme::kCarpool;
-    cfg.num_stas = 42;
-    cfg.duration = 10.0;
-    cfg.seed = 4;
-    cfg.aggregation.max_receivers = width;
-    cfg.delivery_deadline = 0.02;
-    Simulator sim(cfg);
-    for (NodeId sta = 1; sta <= 30; ++sta) {
-      for (auto& f :
-           traffic::make_voip_call(sta, traffic::VoipParams::near_peak())) {
-        sim.add_flow(std::move(f));
-      }
-    }
-    for (NodeId sta = 31; sta <= 42; ++sta) {
-      sim.add_flow(traffic::make_poisson_flow(
-          sta, 0.008, traffic::TraceKind::kSigcomm, /*uplink=*/true));
-    }
-    const SimResult r = sim.run();
-    std::printf("%6zu %10.2fMb %9.3fs %10.2f\n", width,
-                r.downlink_goodput_bps / 1e6, r.mean_delay_s,
-                r.avg_aggregated_receivers);
-  }
+  const std::vector<std::size_t> widths{1, 2, 4, 6, 8};
+  const auto rows = par::run_sharded(
+      widths.size(), g_threads, [&](const par::ShardInfo& info) {
+        const std::size_t width = widths[info.index];
+        SimConfig cfg;
+        cfg.scheme = Scheme::kCarpool;
+        cfg.num_stas = 42;
+        cfg.duration = 10.0;
+        cfg.seed = 4;
+        cfg.aggregation.max_receivers = width;
+        cfg.delivery_deadline = 0.02;
+        Simulator sim(cfg);
+        for (NodeId sta = 1; sta <= 30; ++sta) {
+          for (auto& f : traffic::make_voip_call(
+                   sta, traffic::VoipParams::near_peak())) {
+            sim.add_flow(std::move(f));
+          }
+        }
+        for (NodeId sta = 31; sta <= 42; ++sta) {
+          sim.add_flow(traffic::make_poisson_flow(
+              sta, 0.008, traffic::TraceKind::kSigcomm, /*uplink=*/true));
+        }
+        const SimResult r = sim.run();
+        return bench::rowf("%6zu %10.2fMb %9.3fs %10.2f\n", width,
+                           r.downlink_goodput_bps / 1e6, r.mean_delay_s,
+                           r.avg_aggregated_receivers);
+      });
+  for (const std::string& r : rows) std::fputs(r.c_str(), stdout);
 }
 
 void ablate_sequential_ack() {
@@ -178,17 +210,24 @@ void ablate_rate_adaptation() {
 
   std::printf("%20s %12s %10s %12s\n", "policy", "goodput", "delay",
               "PHY losses");
-  const SimResult fixed_hi = run(false, 65e6);
-  const SimResult fixed_lo = run(false, 13e6);
-  const SimResult adaptive = run(true, 65e6);
-  auto row = [](const char* name, const SimResult& r) {
-    std::printf("%20s %10.2fMb %9.3fs %12lu\n", name,
+  struct Policy {
+    const char* name;
+    bool adapt;
+    double rate;
+  };
+  const std::vector<Policy> policies{{"fixed 65 Mb/s", false, 65e6},
+                                     {"fixed 13 Mb/s", false, 13e6},
+                                     {"SNR-adaptive", true, 65e6}};
+  const auto results = par::run_sharded(
+      policies.size(), g_threads, [&](const par::ShardInfo& info) {
+        return run(policies[info.index].adapt, policies[info.index].rate);
+      });
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const SimResult& r = results[i];
+    std::printf("%20s %10.2fMb %9.3fs %12lu\n", policies[i].name,
                 r.downlink_goodput_bps / 1e6, r.mean_delay_s,
                 static_cast<unsigned long>(r.subframe_failures));
-  };
-  row("fixed 65 Mb/s", fixed_hi);
-  row("fixed 13 Mb/s", fixed_lo);
-  row("SNR-adaptive", adaptive);
+  }
 }
 
 void ablate_coexistence() {
@@ -198,25 +237,29 @@ void ablate_coexistence() {
   using namespace mac;
   std::printf("%14s %12s %10s %12s\n", "legacy STAs", "goodput", "delay",
               "aggregated");
-  for (const std::size_t legacy : {0u, 10u, 20u, 30u}) {
-    SimConfig cfg;
-    cfg.scheme = Scheme::kCarpool;
-    cfg.num_stas = 40;
-    cfg.duration = 10.0;
-    cfg.seed = 8;
-    cfg.num_legacy_stas = legacy;
-    Simulator sim(cfg);
-    for (NodeId sta = 1; sta <= 40; ++sta) {
-      for (auto& f :
-           traffic::make_voip_call(sta, traffic::VoipParams::near_peak())) {
-        sim.add_flow(std::move(f));
-      }
-    }
-    const SimResult r = sim.run();
-    std::printf("%11zu/40 %10.2fMb %9.3fs %12.2f\n", legacy,
-                r.downlink_goodput_bps / 1e6, r.mean_delay_s,
-                r.avg_aggregated_receivers);
-  }
+  const std::vector<std::size_t> legacy_counts{0, 10, 20, 30};
+  const auto rows = par::run_sharded(
+      legacy_counts.size(), g_threads, [&](const par::ShardInfo& info) {
+        const std::size_t legacy = legacy_counts[info.index];
+        SimConfig cfg;
+        cfg.scheme = Scheme::kCarpool;
+        cfg.num_stas = 40;
+        cfg.duration = 10.0;
+        cfg.seed = 8;
+        cfg.num_legacy_stas = legacy;
+        Simulator sim(cfg);
+        for (NodeId sta = 1; sta <= 40; ++sta) {
+          for (auto& f : traffic::make_voip_call(
+                   sta, traffic::VoipParams::near_peak())) {
+            sim.add_flow(std::move(f));
+          }
+        }
+        const SimResult r = sim.run();
+        return bench::rowf("%11zu/40 %10.2fMb %9.3fs %12.2f\n", legacy,
+                           r.downlink_goodput_bps / 1e6, r.mean_delay_s,
+                           r.avg_aggregated_receivers);
+      });
+  for (const std::string& r : rows) std::fputs(r.c_str(), stdout);
 }
 
 void ablate_hidden_terminals() {
@@ -226,27 +269,34 @@ void ablate_hidden_terminals() {
   using namespace mac;
   std::printf("%10s %8s %12s %12s %12s\n", "hidden", "RTS/CTS", "ul Mb/s",
               "collisions", "coll. air");
+  std::vector<std::pair<double, bool>> points;
   for (const double fraction : {0.0, 0.3, 0.6}) {
     for (const bool rts : {false, true}) {
-      SimConfig cfg;
-      cfg.scheme = Scheme::kDcf80211;
-      cfg.num_stas = 20;
-      cfg.duration = 8.0;
-      cfg.seed = 12;
-      cfg.hidden_pair_fraction = fraction;
-      cfg.use_rts_cts = rts;
-      Simulator sim(cfg);
-      for (NodeId sta = 1; sta <= 20; ++sta) {
-        sim.add_flow(traffic::make_poisson_flow(
-            sta, 0.008, traffic::TraceKind::kSigcomm, /*uplink=*/true));
-      }
-      const SimResult r = sim.run();
-      std::printf("%10.1f %8s %12.2f %12lu %11.2fs\n", fraction,
-                  rts ? "on" : "off", r.uplink_goodput_bps / 1e6,
-                  static_cast<unsigned long>(r.collisions),
-                  r.airtime_collision);
+      points.emplace_back(fraction, rts);
     }
   }
+  const auto rows = par::run_sharded(
+      points.size(), g_threads, [&](const par::ShardInfo& info) {
+        const auto [fraction, rts] = points[info.index];
+        SimConfig cfg;
+        cfg.scheme = Scheme::kDcf80211;
+        cfg.num_stas = 20;
+        cfg.duration = 8.0;
+        cfg.seed = 12;
+        cfg.hidden_pair_fraction = fraction;
+        cfg.use_rts_cts = rts;
+        Simulator sim(cfg);
+        for (NodeId sta = 1; sta <= 20; ++sta) {
+          sim.add_flow(traffic::make_poisson_flow(
+              sta, 0.008, traffic::TraceKind::kSigcomm, /*uplink=*/true));
+        }
+        const SimResult r = sim.run();
+        return bench::rowf("%10.1f %8s %12.2f %12lu %11.2fs\n", fraction,
+                           rts ? "on" : "off", r.uplink_goodput_bps / 1e6,
+                           static_cast<unsigned long>(r.collisions),
+                           r.airtime_collision);
+      });
+  for (const std::string& r : rows) std::fputs(r.c_str(), stdout);
 }
 
 void ablate_link_policy_bursts() {
@@ -281,8 +331,12 @@ void ablate_link_policy_bursts() {
     return sim.run();
   };
 
-  const SimResult fixed = run(false);
-  const SimResult hysteresis = run(true);
+  const auto results = par::run_sharded(
+      2, g_threads, [&](const par::ShardInfo& info) {
+        return run(info.index == 1);  // 0: static threshold, 1: feedback
+      });
+  const SimResult& fixed = results[0];
+  const SimResult& hysteresis = results[1];
   std::printf("%22s %12s %12s %10s %10s %8s\n", "policy", "goodput",
               "PHY losses", "suspends", "downs", "ups");
   auto row = [](const char* name, const SimResult& r) {
@@ -305,7 +359,13 @@ void ablate_link_policy_bursts() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_threads = par::resolve_threads();  // CARPOOL_THREADS or serial
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = par::resolve_threads(std::strtoll(argv[++i], nullptr, 10));
+    }
+  }
   ablate_rte_alpha();
   ablate_evm_gate();
   ablate_bloom_hashes();

@@ -4,15 +4,27 @@
 // intensity rises, and every engineered fault must map to its structured
 // DecodeStatus instead of an exception or a silent empty result.
 
+// The intensity rungs fan across carpool::par workers (--threads N /
+// CARPOOL_THREADS, docs/PARALLELISM.md): each rung owns its impairment
+// chain and a shard-local metric scope, and rows/gauges land in ladder
+// order, so output and metrics are identical at any thread count. The
+// crafted-fault decode-status matrix stays serial — it is microseconds
+// of work and its point is exact sequential storytelling.
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 
 #include "bench_util.hpp"
 #include "impair/impair.hpp"
+#include "par/par.hpp"
 
 namespace carpool::bench {
 namespace {
+
+std::size_t g_threads = 1;
 
 /// One rung of the interference ladder: Gilbert-Elliott burst power/duty
 /// plus an impulsive-noise rate, all rising together.
@@ -62,7 +74,13 @@ impair::ImpairmentChain make_chain(const Intensity& level,
   return chain;
 }
 
-int run() {
+int run(int argc, char** argv) {
+  g_threads = par::resolve_threads();  // CARPOOL_THREADS or serial
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = par::resolve_threads(std::strtoll(argv[++i], nullptr, 10));
+    }
+  }
   banner("Robustness", "goodput vs impairment intensity",
          "not in the paper — graceful-degradation acceptance sweep for the "
          "fault-injection harness (docs/ROBUSTNESS.md)");
@@ -85,49 +103,62 @@ int run() {
   std::printf("%-10s %10s %10s %8s %8s %8s %8s\n", "", "(frac ok)",
               "delta", "fail", "", "corrupt", "lost");
 
-  std::vector<double> fracs;
-  for (std::size_t li = 0; li < std::size(kLadder); ++li) {
-    const Intensity& level = kLadder[li];
-    impair::ImpairmentChain chain = make_chain(level, 42);
-    std::uint64_t delivered = 0;
-    std::uint64_t offered = 0;  // every receiver is offered its subframe
+  // Each rung is an independent job: its own impairment chain, shared
+  // read-only tx_wave and (stateless) receivers, shard-local metrics.
+  struct RungResult {
+    double frac = 0.0;
     std::map<DecodeStatus, std::uint64_t> frame_status;
-    for (std::size_t f = 0; f < kFrames; ++f) {
-      // Same channel realisation at every intensity (paired sweep): only
-      // the injected impairment differs between rungs.
-      FadingConfig ch;
-      ch.snr_db = 25.0;
-      ch.coherence_time = 5e-3;
-      ch.seed = 10007 * f + 1;
-      FadingChannel channel(ch);
-      const CxVec rx_wave = chain.run(channel.transmit(tx_wave));
-      for (std::size_t r = 0; r < receivers.size(); ++r) {
-        const CarpoolRxResult result = receivers[r].receive(rx_wave);
-        ++frame_status[result.status];
-        offered += subframes[r].psdu.size();
-        for (const DecodedSubframe& sub : result.subframes) {
-          if (sub.index == r && sub.fcs_ok) {
-            delivered += subframes[r].psdu.size();
+  };
+  const auto rungs = par::run_sharded(
+      std::size(kLadder), g_threads, [&](const par::ShardInfo& info) {
+        const Intensity& level = kLadder[info.index];
+        impair::ImpairmentChain chain = make_chain(level, 42);
+        std::uint64_t delivered = 0;
+        std::uint64_t offered = 0;  // every receiver is offered its subframe
+        RungResult out;
+        for (std::size_t f = 0; f < kFrames; ++f) {
+          // Same channel realisation at every intensity (paired sweep):
+          // only the injected impairment differs between rungs.
+          FadingConfig ch;
+          ch.snr_db = 25.0;
+          ch.coherence_time = 5e-3;
+          ch.seed = 10007 * f + 1;
+          FadingChannel channel(ch);
+          const CxVec rx_wave = chain.run(channel.transmit(tx_wave));
+          for (std::size_t r = 0; r < receivers.size(); ++r) {
+            const CarpoolRxResult result = receivers[r].receive(rx_wave);
+            ++out.frame_status[result.status];
+            offered += subframes[r].psdu.size();
+            for (const DecodedSubframe& sub : result.subframes) {
+              if (sub.index == r && sub.fcs_ok) {
+                delivered += subframes[r].psdu.size();
+              }
+            }
           }
         }
-      }
-    }
-    const double frac = offered == 0 ? 0.0
-                                     : static_cast<double>(delivered) /
-                                           static_cast<double>(offered);
-    fracs.push_back(frac);
+        out.frac = offered == 0 ? 0.0
+                                : static_cast<double>(delivered) /
+                                      static_cast<double>(offered);
+        return out;
+      });
+
+  std::vector<double> fracs;
+  for (std::size_t li = 0; li < rungs.size(); ++li) {
+    RungResult rung = rungs[li];
+    fracs.push_back(rung.frac);
     std::printf("%-10s %10.3f %+10.3f %8llu %8llu %8llu %8llu\n",
-                level.label, frac,
-                li == 0 ? 0.0 : frac - fracs[li - 1],
+                kLadder[li].label, rung.frac,
+                li == 0 ? 0.0 : rung.frac - fracs[li - 1],
                 static_cast<unsigned long long>(
-                    frame_status[DecodeStatus::kFcsFail]),
+                    rung.frame_status[DecodeStatus::kFcsFail]),
                 static_cast<unsigned long long>(
-                    frame_status[DecodeStatus::kTruncated]),
+                    rung.frame_status[DecodeStatus::kTruncated]),
                 static_cast<unsigned long long>(
-                    frame_status[DecodeStatus::kSigCorrupt]),
+                    rung.frame_status[DecodeStatus::kSigCorrupt]),
                 static_cast<unsigned long long>(
-                    frame_status[DecodeStatus::kSyncLost]));
-    gauge("robustness.goodput_frac.intensity_" + std::to_string(li), frac);
+                    rung.frame_status[DecodeStatus::kSyncLost]));
+    gauge("robustness.goodput_frac.intensity_" + std::to_string(li),
+          rung.frac);
   }
 
   // Graceful degradation check: monotone non-increasing within a small
@@ -200,4 +231,4 @@ int run() {
 }  // namespace
 }  // namespace carpool::bench
 
-int main() { return carpool::bench::run(); }
+int main(int argc, char** argv) { return carpool::bench::run(argc, argv); }

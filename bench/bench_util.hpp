@@ -37,8 +37,11 @@ inline void write_metrics(const std::string& name) {
 }
 
 /// Record a bench result in the registry so it lands in the JSON export.
+/// Resolves Registry::current(), not global(), so a gauge set inside a
+/// carpool::par shard job stays in the shard's registry and reaches the
+/// global one via the deterministic merge.
 inline void gauge(const std::string& name, double value) {
-  obs::Registry::global().set_gauge(name, value);
+  obs::Registry::current().set_gauge(name, value);
 }
 
 inline void banner(const char* figure, const char* what,
@@ -49,6 +52,15 @@ inline void banner(const char* figure, const char* what,
   std::printf("Paper: %s\n", paper_says);
   std::printf(
       "================================================================\n");
+}
+
+/// printf-style formatting into a string, for sharded benches that
+/// compute table rows in parallel and print them in job-index order.
+template <class... Args>
+[[nodiscard]] inline std::string rowf(const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return std::string(buf);
 }
 
 inline Bytes random_psdu(std::size_t n, Rng& rng) {

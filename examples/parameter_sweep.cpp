@@ -4,6 +4,12 @@
 //
 //   ./parameter_sweep [out.csv]                (default: stdout)
 //   ./parameter_sweep --link-policy [out.csv]
+//   ./parameter_sweep --threads 0 out.csv      (all cores, same CSV)
+//
+// Grid points fan across carpool::par workers (--threads N /
+// CARPOOL_THREADS, docs/PARALLELISM.md); rows are emitted in grid order
+// after the sharded run, so the CSV is byte-identical at any thread
+// count.
 //
 // The --link-policy mode sweeps the LinkPolicyConfig hysteresis axes
 // instead (down_after x up_after x probe backoff, docs/LINK_STATE.md)
@@ -12,16 +18,31 @@
 // tuning can be eyeballed from one CSV.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "mac/simulator.hpp"
+#include "par/par.hpp"
 #include "traffic/generators.hpp"
 
 using namespace carpool;
 using namespace carpool::mac;
 
 namespace {
+
+std::size_t g_threads = 1;
+
+/// printf into a std::string (rows are formatted inside shard jobs and
+/// written to the CSV in grid order afterwards).
+template <class... Args>
+std::string rowf(const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return std::string(buf);
+}
 
 void sweep_schemes(std::FILE* out) {
   std::fprintf(out,
@@ -33,29 +54,41 @@ void sweep_schemes(std::FILE* out) {
   const Scheme schemes[] = {Scheme::kCarpool, Scheme::kMuAggregation,
                             Scheme::kAmpdu, Scheme::kDcf80211,
                             Scheme::kWiFox};
+  struct Point {
+    std::size_t n;
+    Scheme scheme;
+    std::uint64_t seed;
+  };
+  std::vector<Point> grid;
   for (std::size_t n = 10; n <= 46; n += 12) {
     for (const Scheme scheme : schemes) {
       for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        grid.push_back({n, scheme, seed});
+      }
+    }
+  }
+  const auto rows = par::run_sharded(
+      grid.size(), g_threads, [&](const par::ShardInfo& info) {
+        const Point& pt = grid[info.index];
         SimConfig cfg;
-        cfg.scheme = scheme;
-        cfg.num_stas = n;
+        cfg.scheme = pt.scheme;
+        cfg.num_stas = pt.n;
         cfg.duration = 8.0;
-        cfg.seed = seed;
+        cfg.seed = pt.seed;
         cfg.default_snr_db = 26.0;
         Simulator sim(cfg);
-        for (NodeId sta = 1; sta <= n; ++sta) {
+        for (NodeId sta = 1; sta <= pt.n; ++sta) {
           for (auto& flow : traffic::make_voip_call(
                    sta, traffic::VoipParams::near_peak())) {
             sim.add_flow(std::move(flow));
           }
         }
         const SimResult r = sim.run();
-        std::fprintf(
-            out,
+        return rowf(
             "%s,%zu,%llu,%.4f,%.5f,%.5f,%llu,%llu,%llu,%llu,%llu,%.3f,"
             "%.4f,%.4f,%.4f,%.4f\n",
-            scheme_name(scheme).data(), n,
-            static_cast<unsigned long long>(seed),
+            scheme_name(pt.scheme).data(), pt.n,
+            static_cast<unsigned long long>(pt.seed),
             r.downlink_goodput_bps / 1e6, r.mean_delay_s, r.p95_delay_s,
             static_cast<unsigned long long>(r.collisions),
             static_cast<unsigned long long>(r.tx_attempts),
@@ -64,9 +97,8 @@ void sweep_schemes(std::FILE* out) {
             static_cast<unsigned long long>(r.dl_frames_dropped),
             r.avg_aggregated_receivers, r.airtime_payload,
             r.airtime_overhead, r.airtime_collision, r.airtime_idle);
-      }
-    }
-  }
+      });
+  for (const std::string& row : rows) std::fputs(row.c_str(), out);
 }
 
 void sweep_link_policy(std::FILE* out) {
@@ -79,16 +111,26 @@ void sweep_link_policy(std::FILE* out) {
                "mean_delay_s,subframe_failures,suspensions,probes,"
                "rate_downgrades,rate_upgrades,transitions\n");
 
-  struct TraceRow {
+  struct Point {
     std::size_t down, up;
     double timeout;
-    std::vector<LinkTransition> log;
   };
-  std::vector<TraceRow> traces;
-
+  std::vector<Point> grid;
   for (const std::size_t down_after : {1u, 3u, 6u}) {
     for (const std::size_t up_after : {4u, 10u, 20u}) {
       for (const double initial_timeout : {10e-3, 40e-3}) {
+        grid.push_back({down_after, up_after, initial_timeout});
+      }
+    }
+  }
+
+  struct PolicyRun {
+    std::string row;
+    std::vector<LinkTransition> log;
+  };
+  const auto runs = par::run_sharded(
+      grid.size(), g_threads, [&](const par::ShardInfo& info) {
+        const Point& pt = grid[info.index];
         SimConfig cfg;
         cfg.scheme = Scheme::kCarpool;
         cfg.num_stas = kStas;
@@ -100,10 +142,10 @@ void sweep_link_policy(std::FILE* out) {
         cfg.link_policy.rate_adaptation = true;
         cfg.link_policy.feedback = true;
         cfg.link_policy.suspension = true;
-        cfg.link_policy.down_after = down_after;
-        cfg.link_policy.up_after = up_after;
-        cfg.link_policy.initial_timeout = initial_timeout;
-        cfg.link_policy.max_timeout = 16.0 * initial_timeout;
+        cfg.link_policy.down_after = pt.down;
+        cfg.link_policy.up_after = pt.up;
+        cfg.link_policy.initial_timeout = pt.timeout;
+        cfg.link_policy.max_timeout = 16.0 * pt.timeout;
         cfg.link_policy.record_transitions = true;
         GilbertElliottPhyModel::Params ge;
         ge.p_good_to_bad = 0.08;
@@ -118,32 +160,32 @@ void sweep_link_policy(std::FILE* out) {
           sim.add_flow(traffic::make_cbr_flow(sta, 700, 0.01));
         }
         const SimResult r = sim.run();
-        std::fprintf(out, "%zu,%zu,%.3f,%.4f,%.5f,%llu,%llu,%llu,%llu,%llu,"
-                          "%llu\n",
-                     down_after, up_after, initial_timeout,
-                     r.downlink_goodput_bps / 1e6, r.mean_delay_s,
-                     static_cast<unsigned long long>(r.subframe_failures),
-                     static_cast<unsigned long long>(r.lq_suspensions),
-                     static_cast<unsigned long long>(r.lq_probes),
-                     static_cast<unsigned long long>(r.ls_rate_downgrades),
-                     static_cast<unsigned long long>(r.ls_rate_upgrades),
-                     static_cast<unsigned long long>(r.ls_transitions));
-        traces.push_back(
-            TraceRow{down_after, up_after, initial_timeout,
-                     r.link_transitions});
-      }
-    }
-  }
+        PolicyRun pr;
+        pr.row = rowf("%zu,%zu,%.3f,%.4f,%.5f,%llu,%llu,%llu,%llu,%llu,"
+                      "%llu\n",
+                      pt.down, pt.up, pt.timeout,
+                      r.downlink_goodput_bps / 1e6, r.mean_delay_s,
+                      static_cast<unsigned long long>(r.subframe_failures),
+                      static_cast<unsigned long long>(r.lq_suspensions),
+                      static_cast<unsigned long long>(r.lq_probes),
+                      static_cast<unsigned long long>(r.ls_rate_downgrades),
+                      static_cast<unsigned long long>(r.ls_rate_upgrades),
+                      static_cast<unsigned long long>(r.ls_transitions));
+        pr.log = r.link_transitions;
+        return pr;
+      });
+  for (const PolicyRun& pr : runs) std::fputs(pr.row.c_str(), out);
 
   // Per-STA MCS decision trace: one row per recorded transition, tagged
   // with the policy point that produced it.
   std::fprintf(out,
                "\ntrace:down_after,up_after,initial_timeout_s,t,sta,from,to,"
                "rate_mbps\n");
-  for (const TraceRow& row : traces) {
-    for (const LinkTransition& tr : row.log) {
-      std::fprintf(out, "trace:%zu,%zu,%.3f,%.5f,%u,%s,%s,%.1f\n", row.down,
-                   row.up, row.timeout, tr.time,
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Point& pt = grid[i];
+    for (const LinkTransition& tr : runs[i].log) {
+      std::fprintf(out, "trace:%zu,%zu,%.3f,%.5f,%u,%s,%s,%.1f\n", pt.down,
+                   pt.up, pt.timeout, tr.time,
                    static_cast<unsigned>(tr.sta),
                    link_health_name(tr.from).data(),
                    link_health_name(tr.to).data(), tr.rate_bps / 1e6);
@@ -156,9 +198,13 @@ void sweep_link_policy(std::FILE* out) {
 int main(int argc, char** argv) {
   bool link_policy = false;
   const char* path = nullptr;
+  g_threads = carpool::par::resolve_threads();  // CARPOOL_THREADS or 1
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--link-policy") == 0) {
       link_policy = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads =
+          carpool::par::resolve_threads(std::strtoll(argv[++i], nullptr, 10));
     } else {
       path = argv[i];
     }

@@ -147,10 +147,9 @@ SideChannelDecoder::SymbolOutcome SideChannelDecoder::next_symbol(
     group_bits_.clear();
     received_crc_ = 0;
     symbol_in_group_ = 0;
-    static obs::Counter& verified =
-        obs::Registry::global().counter("carpool.side_groups_verified");
-    static obs::Counter& failed =
-        obs::Registry::global().counter("carpool.side_groups_failed");
+    obs::Registry& reg = obs::Registry::current();
+    obs::Counter& verified = reg.counter("carpool.side_groups_verified");
+    obs::Counter& failed = reg.counter("carpool.side_groups_failed");
     (*outcome.group_verified ? verified : failed).add();
   }
   return outcome;

@@ -206,9 +206,7 @@ CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
   try {
     return receive_impl(waveform);
   } catch (...) {
-    static obs::Counter& exceptions =
-        obs::Registry::global().counter("phy.decode_exceptions");
-    exceptions.add();
+    obs::Registry::current().counter("phy.decode_exceptions").add();
     CarpoolRxResult result;
     result.status = DecodeStatus::kInternalError;
     return result;
@@ -284,9 +282,7 @@ CarpoolRxResult CarpoolReceiver::receive_impl(
       // A corrupted SIG breaks the length chain: later subframes cannot
       // be located, but earlier decodes survive untouched.
       result.status = DecodeStatus::kSigCorrupt;
-      static obs::Counter& sig_failures =
-          obs::Registry::global().counter("phy.sig_failures");
-      sig_failures.add();
+      obs::Registry::current().counter("phy.sig_failures").add();
       break;
     }
     ++result.subframes_walked;
@@ -356,12 +352,9 @@ CarpoolRxResult CarpoolReceiver::receive_impl(
           rte_frozen = true;
           ++result.rte_freezes;
           ++result.rte_rollbacks;
-          static obs::Counter& freezes =
-              obs::Registry::global().counter("phy.rte_freeze");
-          static obs::Counter& rollbacks =
-              obs::Registry::global().counter("phy.rte_rollback");
-          freezes.add();
-          rollbacks.add();
+          obs::Registry& reg = obs::Registry::current();
+          reg.counter("phy.rte_freeze").add();
+          reg.counter("phy.rte_rollback").add();
           OBS_TRACE(config_.trace,
                     obs_ts.event("phy.rte_freeze")
                         .f("sym", static_cast<std::uint64_t>(group_end_sym))
@@ -391,14 +384,12 @@ CarpoolRxResult CarpoolReceiver::receive_impl(
           ++applied;
         }
         if (applied > 0) {
-          static obs::Counter& rte_total =
-              obs::Registry::global().counter("phy.rte_updates");
-          rte_total.add(applied);
+          obs::Registry::current().counter("phy.rte_updates").add(applied);
         }
         if (clamped > 0) {
-          static obs::Counter& delta_clamped =
-              obs::Registry::global().counter("phy.rte_delta_clamped");
-          delta_clamped.add(clamped);
+          obs::Registry::current()
+              .counter("phy.rte_delta_clamped")
+              .add(clamped);
         }
         OBS_TRACE(config_.trace,
                   obs_ts.event("phy.rte_update")
@@ -469,11 +460,9 @@ CarpoolRxResult CarpoolReceiver::receive_impl(
     sub.status = truncated ? DecodeStatus::kTruncated
                  : sub.fcs_ok ? DecodeStatus::kOk
                               : DecodeStatus::kFcsFail;
-    static obs::Counter& subframes_decoded =
-        obs::Registry::global().counter("phy.subframes_decoded");
-    static obs::Counter& fcs_failures =
-        obs::Registry::global().counter("phy.fcs_failures");
-    subframes_decoded.add();
+    obs::Registry& reg = obs::Registry::current();
+    reg.counter("phy.subframes_decoded").add();
+    obs::Counter& fcs_failures = reg.counter("phy.fcs_failures");
     if (!sub.fcs_ok) fcs_failures.add();
     OBS_TRACE(config_.trace,
               obs_ts.event("phy.subframe")

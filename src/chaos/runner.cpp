@@ -4,12 +4,14 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 
 #include "carpool/transceiver.hpp"
 #include "impair/impair.hpp"
 #include "mac/simulator.hpp"
 #include "obs/registry.hpp"
+#include "par/par.hpp"
 #include "phy/frame.hpp"
 #include "traffic/generators.hpp"
 
@@ -183,9 +185,7 @@ class ProbeHarness {
   /// Run the next scheduled probe and return the decode result.
   [[nodiscard]] CarpoolRxResult fire() {
     const CxVec rx_wave = chain_.run(wave_);
-    static obs::Counter& probes =
-        obs::Registry::global().counter("chaos.probes");
-    probes.add();
+    obs::Registry::current().counter("chaos.probes").add();
     return rx_->receive(rx_wave);
   }
 
@@ -195,6 +195,210 @@ class ProbeHarness {
   CxVec wave_;
   std::unique_ptr<CarpoolReceiver> rx_;
 };
+
+// ----------------------------------------------------- repeat execution
+//
+// One full timeline pass, extracted so the serial loop and the parallel
+// wave scheduler (docs/PARALLELISM.md) run the *same* code. A `live`
+// pass runs with the real campaign coordinates — frame budget and fault
+// injection armed, violations stamped with campaign-wide frame counts. A
+// detached pass (live == false) runs the identical simulation from frame
+// base 0 with those stop checks disarmed; the frame base feeds only stop
+// checks and recorded coordinates (see StepInvariants), so a detached
+// pass is bit-identical to a live one right up to the first stop event.
+
+struct RepeatOutcome {
+  std::vector<EpisodeSummary> summaries;
+  std::vector<std::uint64_t> episode_steps;  ///< observer calls per episode
+  std::uint64_t judged = 0;   ///< reception judgements across the repeat
+  std::uint64_t steps = 0;    ///< observer invocations
+  std::uint64_t probes = 0;   ///< PHY decode probes executed
+  std::size_t episodes_run = 0;
+  double sim_seconds = 0.0;
+  std::vector<Violation> violations;
+  bool stopped = false;  ///< a stop event fired (violation/inject/budget)
+};
+
+RepeatOutcome run_one_repeat(const Scenario& s,
+                             const std::vector<Episode>& episodes,
+                             std::size_t repeat,
+                             std::uint64_t campaign_base,
+                             const SoakOptions& opts, bool live) {
+  RepeatOutcome out;
+  ProbeHarness probes(s, repeat);
+  std::size_t next_probe = 0;
+  bool stop_campaign = false;
+  bool injected_done = false;
+
+  for (std::size_t ei = 0; ei < episodes.size() && !stop_campaign; ++ei) {
+    const Episode& ep = episodes[ei];
+    const std::uint64_t frame_base = campaign_base + out.judged;
+
+    mac::SimConfig cfg;
+    cfg.scheme = s.scheme;
+    cfg.num_stas = s.num_stas;
+    cfg.duration = ep.stop - ep.start;
+    cfg.seed = derive_seed(s.seed, repeat, ei);
+    cfg.link_policy = s.link_policy;
+    cfg.default_snr_db = s.default_snr_db;
+
+    // Time-varying SNR: mobility via the testbed pathloss map, plus the
+    // penalty of every interference episode in force at the absolute
+    // time of the judgement.
+    const sim::TestbedLayout layout;
+    std::vector<sim::MobilityPath> paths(s.num_stas + 1);
+    std::vector<bool> has_path(s.num_stas + 1, false);
+    for (const MobilityTrack& t : s.mobility) {
+      if (t.sta < paths.size()) {
+        paths[t.sta] = sim::MobilityPath(t.waypoints);
+        has_path[t.sta] = true;
+      }
+    }
+    const double ep_start = ep.start;
+    cfg.sta_snr_fn = [&s, layout, paths = std::move(paths),
+                      has_path = std::move(has_path),
+                      ep_start](mac::NodeId sta, double now) {
+      const double t = ep_start + now;
+      double snr = s.default_snr_db;
+      if (sta < has_path.size() && has_path[sta]) {
+        snr = layout.snr_db_along(paths[sta], t, s.power_magnitude);
+      }
+      for (const InterferenceEpisode& e : s.interference) {
+        if (t < e.start || t >= e.stop) continue;
+        if (!e.stas.empty() &&
+            std::find(e.stas.begin(), e.stas.end(),
+                      static_cast<std::uint32_t>(sta)) == e.stas.end()) {
+          continue;
+        }
+        snr -= e.snr_penalty_db;
+      }
+      return snr;
+    };
+
+    StepInvariants checker(frame_base, ep.start, ei, repeat);
+    std::uint64_t episode_judged = 0;
+    std::uint64_t episode_steps = 0;
+    bool stop_episode = false;
+    cfg.observer = [&](const mac::SimStepView& view) {
+      ++out.steps;
+      ++episode_steps;
+      episode_judged = view.frames_judged;
+
+      if (auto v = checker.check(view)) {
+        out.violations.push_back(std::move(*v));
+        stop_campaign = stop_episode = true;
+        return false;
+      }
+
+      // Deliberately seeded fault: trips the moment the campaign-wide
+      // judgement count crosses the scripted frame. Recorded with
+      // exactly that frame so replay and shrinking compare bit for bit.
+      if (live && s.inject && !injected_done &&
+          frame_base + view.frames_judged >= s.inject->frame) {
+        injected_done = true;
+        Violation v;
+        v.invariant = "injected";
+        v.detail = "deliberately seeded fault (scenario "
+                   "inject_violation)";
+        v.frame = s.inject->frame;
+        v.time = ep.start + view.now;
+        v.episode = ei;
+        v.repeat = repeat;
+        out.violations.push_back(std::move(v));
+        stop_campaign = stop_episode = true;
+        return false;
+      }
+
+      // PHY decode probes due by now.
+      while (next_probe < probes.times().size() &&
+             probes.times()[next_probe] <= ep.start + view.now) {
+        ++next_probe;
+        ++out.probes;
+        const CarpoolRxResult rx = probes.fire();
+        if (auto v = check_decode(rx, frame_base + view.frames_judged,
+                                  ep.start + view.now, ei, repeat,
+                                  opts.rte_norm_bound)) {
+          out.violations.push_back(std::move(*v));
+          stop_campaign = stop_episode = true;
+          return false;
+        }
+      }
+
+      if (live && opts.max_frames > 0 &&
+          frame_base + view.frames_judged >= opts.max_frames) {
+        stop_campaign = stop_episode = true;  // budget, not a violation
+        return false;
+      }
+      return true;
+    };
+
+    mac::Simulator sim(cfg);
+    for (mac::FlowSpec& f : build_flows(ep, s)) {
+      sim.add_flow(std::move(f));
+    }
+    const mac::SimResult res = sim.run();
+
+    out.judged += episode_judged;
+    out.sim_seconds += res.duration;
+    ++out.episodes_run;
+
+    EpisodeSummary summary;
+    summary.index = ei;
+    summary.repeat = repeat;
+    summary.start = ep.start;
+    summary.stop = ep.stop;
+    summary.intensity = ep.max_intensity;
+    summary.goodput_bps =
+        res.downlink_goodput_bps + res.uplink_goodput_bps;
+    summary.frames_judged = episode_judged;
+    out.summaries.push_back(summary);
+    out.episode_steps.push_back(episode_steps);
+    if (stop_episode) break;
+  }
+
+  out.stopped = stop_campaign;
+  return out;
+}
+
+/// Append a finished repeat's output to the campaign report.
+void consume_repeat(SoakReport& report, RepeatOutcome&& o) {
+  report.frames_judged += o.judged;
+  report.steps += o.steps;
+  report.probes += o.probes;
+  report.episodes_run += o.episodes_run;
+  report.sim_seconds += o.sim_seconds;
+  std::move(o.summaries.begin(), o.summaries.end(),
+            std::back_inserter(report.episode_summaries));
+  std::move(o.violations.begin(), o.violations.end(),
+            std::back_inserter(report.violations));
+}
+
+/// Would the serial campaign have stopped inside this repeat? True when
+/// the detached pass hit a violation, or when the real campaign frame
+/// base pushes some observed step across the frame budget or the
+/// scripted injection frame. Exactness: within an episode
+/// view.frames_judged is monotone and ends at the summary's count, so a
+/// threshold is crossed at some observer step iff it is crossed at the
+/// episode's final count — provided the observer fired at all, hence the
+/// episode_steps guard. Which stop event wins (and at which coordinates)
+/// is settled by the authoritative live re-run, not here.
+bool repeat_is_stopping(const RepeatOutcome& o, const Scenario& s,
+                        const SoakOptions& opts,
+                        std::uint64_t campaign_base) {
+  if (!o.violations.empty() || o.stopped) return true;
+  std::uint64_t base = campaign_base;
+  for (std::size_t i = 0; i < o.summaries.size(); ++i) {
+    const std::uint64_t judged = o.summaries[i].frames_judged;
+    if (o.episode_steps[i] > 0) {
+      if (opts.max_frames > 0 && base + judged >= opts.max_frames) {
+        return true;
+      }
+      if (s.inject && base + judged >= s.inject->frame) return true;
+    }
+    base += judged;
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -206,10 +410,7 @@ std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t repeat,
 }
 
 SoakReport SoakRunner::run(const Scenario& scenario) const {
-  SoakReport report;
-  static obs::Counter& campaigns =
-      obs::Registry::global().counter("chaos.campaigns");
-  campaigns.add();
+  obs::Registry::current().counter("chaos.campaigns").add();
 
   Scenario s = scenario;
   if (s.traffic.empty()) {
@@ -219,155 +420,89 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
   }
 
   const std::vector<Episode> episodes = segment_timeline(s);
-  bool stop_campaign = false;
-  bool injected_done = false;
-  double goodput_sum = 0.0;
-  std::size_t goodput_n = 0;
+  const std::size_t max_repeats =
+      std::max<std::size_t>(1, opts_.max_repeats);
+  const std::size_t threads =
+      opts_.threads == 0 ? par::hardware_threads() : opts_.threads;
 
-  for (std::size_t repeat = 0;
-       repeat < std::max<std::size_t>(1, opts_.max_repeats);
-       ++repeat) {
-    report.repeats = repeat + 1;
-    ProbeHarness probes(s, repeat);
-    std::size_t next_probe = 0;
-
-    for (std::size_t ei = 0; ei < episodes.size() && !stop_campaign;
-         ++ei) {
-      const Episode& ep = episodes[ei];
-      const std::uint64_t frame_base = report.frames_judged;
-
-      mac::SimConfig cfg;
-      cfg.scheme = s.scheme;
-      cfg.num_stas = s.num_stas;
-      cfg.duration = ep.stop - ep.start;
-      cfg.seed = derive_seed(s.seed, repeat, ei);
-      cfg.link_policy = s.link_policy;
-      cfg.default_snr_db = s.default_snr_db;
-
-      // Time-varying SNR: mobility via the testbed pathloss map, plus
-      // the penalty of every interference episode in force at the
-      // absolute time of the judgement.
-      const sim::TestbedLayout layout;
-      std::vector<sim::MobilityPath> paths(s.num_stas + 1);
-      std::vector<bool> has_path(s.num_stas + 1, false);
-      for (const MobilityTrack& t : s.mobility) {
-        if (t.sta < paths.size()) {
-          paths[t.sta] = sim::MobilityPath(t.waypoints);
-          has_path[t.sta] = true;
-        }
-      }
-      const double ep_start = ep.start;
-      cfg.sta_snr_fn = [&s, layout, paths = std::move(paths),
-                        has_path = std::move(has_path),
-                        ep_start](mac::NodeId sta, double now) {
-        const double t = ep_start + now;
-        double snr = s.default_snr_db;
-        if (sta < has_path.size() && has_path[sta]) {
-          snr = layout.snr_db_along(paths[sta], t, s.power_magnitude);
-        }
-        for (const InterferenceEpisode& e : s.interference) {
-          if (t < e.start || t >= e.stop) continue;
-          if (!e.stas.empty() &&
-              std::find(e.stas.begin(), e.stas.end(),
-                        static_cast<std::uint32_t>(sta)) == e.stas.end()) {
-            continue;
-          }
-          snr -= e.snr_penalty_db;
-        }
-        return snr;
-      };
-
-      StepInvariants checker(frame_base, ep.start, ei, repeat);
-      std::uint64_t episode_judged = 0;
-      bool stop_episode = false;
-      cfg.observer = [&](const mac::SimStepView& view) {
-        ++report.steps;
-        episode_judged = view.frames_judged;
-
-        if (auto v = checker.check(view)) {
-          report.violations.push_back(std::move(*v));
-          stop_campaign = stop_episode = true;
-          return false;
-        }
-
-        // Deliberately seeded fault: trips the moment the campaign-wide
-        // judgement count crosses the scripted frame. Recorded with
-        // exactly that frame so replay and shrinking compare bit for
-        // bit.
-        if (s.inject && !injected_done &&
-            frame_base + view.frames_judged >= s.inject->frame) {
-          injected_done = true;
-          Violation v;
-          v.invariant = "injected";
-          v.detail = "deliberately seeded fault (scenario "
-                     "inject_violation)";
-          v.frame = s.inject->frame;
-          v.time = ep.start + view.now;
-          v.episode = ei;
-          v.repeat = repeat;
-          report.violations.push_back(std::move(v));
-          stop_campaign = stop_episode = true;
-          return false;
-        }
-
-        // PHY decode probes due by now.
-        while (next_probe < probes.times().size() &&
-               probes.times()[next_probe] <= ep.start + view.now) {
-          ++next_probe;
-          ++report.probes;
-          const CarpoolRxResult rx = probes.fire();
-          if (auto v = check_decode(rx, frame_base + view.frames_judged,
-                                    ep.start + view.now, ei, repeat,
-                                    opts_.rte_norm_bound)) {
-            report.violations.push_back(std::move(*v));
-            stop_campaign = stop_episode = true;
-            return false;
-          }
-        }
-
-        if (opts_.max_frames > 0 &&
-            frame_base + view.frames_judged >= opts_.max_frames) {
-          stop_campaign = stop_episode = true;  // budget, not a violation
-          return false;
-        }
-        return true;
-      };
-
-      mac::Simulator sim(cfg);
-      for (mac::FlowSpec& f : build_flows(ep, s)) {
-        sim.add_flow(std::move(f));
-      }
-      const mac::SimResult res = sim.run();
-
-      report.frames_judged = frame_base + episode_judged;
-      report.sim_seconds += res.duration;
-      ++report.episodes_run;
-
-      EpisodeSummary summary;
-      summary.index = ei;
-      summary.repeat = repeat;
-      summary.start = ep.start;
-      summary.stop = ep.stop;
-      summary.intensity = ep.max_intensity;
-      summary.goodput_bps =
-          res.downlink_goodput_bps + res.uplink_goodput_bps;
-      summary.frames_judged = episode_judged;
-      report.episode_summaries.push_back(summary);
-      if (episode_judged > 0) {
-        goodput_sum += summary.goodput_bps;
-        ++goodput_n;
-      }
-      if (stop_episode) break;
+  SoakReport report;
+  if (threads <= 1 || opts_.max_frames == 0) {
+    // Serial campaign: every repeat live, in order. A single-pass run
+    // (max_frames == 0) has exactly one repeat, so there is nothing to
+    // parallelise regardless of the thread knob.
+    for (std::size_t repeat = 0; repeat < max_repeats; ++repeat) {
+      report.repeats = repeat + 1;
+      RepeatOutcome o = run_one_repeat(s, episodes, repeat,
+                                       report.frames_judged, opts_,
+                                       /*live=*/true);
+      const bool stopped = o.stopped;
+      consume_repeat(report, std::move(o));
+      if (stopped) break;
+      if (opts_.max_frames == 0) break;
+      if (report.frames_judged >= opts_.max_frames) break;
     }
-
-    if (stop_campaign) break;
-    if (opts_.max_frames == 0) break;
-    if (report.frames_judged >= opts_.max_frames) break;
+  } else {
+    // Parallel campaign: waves of detached repeats fan across the pool,
+    // each under its own metric shard. Walking the wave in repeat order,
+    // clean repeats are consumed as-is (a detached pass with no stop
+    // event is bit-identical to the live pass, so shard metrics merge
+    // into the ambient registry and the outcome joins the report). The
+    // first repeat the serial campaign would have stopped in is re-run
+    // live on this thread with the real frame base — that re-run, not
+    // the detached shard, supplies the authoritative violations,
+    // coordinates, and metrics; the shard and everything after it in
+    // the wave are discarded. Net: the SoakReport and the ambient
+    // registry are bit-for-bit what the serial loop produces.
+    std::size_t next_repeat = 0;
+    bool stop = false;
+    while (!stop && next_repeat < max_repeats &&
+           report.frames_judged < opts_.max_frames) {
+      const std::size_t wave =
+          std::min(threads, max_repeats - next_repeat);
+      auto shards = par::run_sharded_keep(
+          wave, threads, [&](const par::ShardInfo& info) {
+            return run_one_repeat(s, episodes, next_repeat + info.index,
+                                  /*campaign_base=*/0, opts_,
+                                  /*live=*/false);
+          });
+      for (std::size_t i = 0; i < wave; ++i) {
+        const std::size_t repeat = next_repeat + i;
+        report.repeats = repeat + 1;
+        if (repeat_is_stopping(shards.results[i], s, opts_,
+                               report.frames_judged)) {
+          RepeatOutcome real =
+              run_one_repeat(s, episodes, repeat, report.frames_judged,
+                             opts_, /*live=*/true);
+          const bool stopped = real.stopped;
+          consume_repeat(report, std::move(real));
+          if (stopped || report.frames_judged >= opts_.max_frames) {
+            stop = true;
+            break;
+          }
+          continue;
+        }
+        if (shards.metrics[i] != nullptr) {
+          obs::Registry::current().merge_from(*shards.metrics[i]);
+        }
+        consume_repeat(report, std::move(shards.results[i]));
+      }
+      next_repeat += wave;
+    }
   }
 
+  // Judged-episode goodput mean, reduced in episode order (KahanSum for
+  // stability; the fixed order is what makes it thread-count invariant).
+  par::KahanSum goodput_sum;
+  std::size_t goodput_n = 0;
+  for (const EpisodeSummary& ep : report.episode_summaries) {
+    if (ep.frames_judged > 0) {
+      goodput_sum.add(ep.goodput_bps);
+      ++goodput_n;
+    }
+  }
   if (goodput_n > 0) {
     report.mean_goodput_bps =
-        goodput_sum / static_cast<double>(goodput_n);
+        goodput_sum.value() / static_cast<double>(goodput_n);
   }
 
   if (report.violations.empty() && opts_.check_cliffs) {
@@ -376,12 +511,9 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
     }
   }
 
-  static obs::Counter& violations_total =
-      obs::Registry::global().counter("chaos.violations");
-  static obs::Counter& frames_total =
-      obs::Registry::global().counter("chaos.frames_judged");
-  violations_total.add(report.violations.size());
-  frames_total.add(report.frames_judged);
+  obs::Registry& reg = obs::Registry::current();
+  reg.counter("chaos.violations").add(report.violations.size());
+  reg.counter("chaos.frames_judged").add(report.frames_judged);
 
   if (!report.violations.empty() && !opts_.bundle_dir.empty()) {
     std::error_code ec;
@@ -394,9 +526,7 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
       if (out) {
         out << bundle_to_json(bundle);
         report.bundle_path = path;
-        static obs::Counter& bundles =
-            obs::Registry::global().counter("chaos.bundles_written");
-        bundles.add();
+        reg.counter("chaos.bundles_written").add();
       }
     }
   }

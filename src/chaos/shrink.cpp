@@ -131,9 +131,7 @@ ShrinkResult shrink_bundle(const ReproBundle& bundle) {
       original_timeline > 0.0
           ? out.scenario.timeline_seconds() / original_timeline
           : 1.0;
-  static obs::Counter& shrinks =
-      obs::Registry::global().counter("chaos.shrink_attempts");
-  shrinks.add(out.attempts);
+  obs::Registry::current().counter("chaos.shrink_attempts").add(out.attempts);
   return out;
 }
 

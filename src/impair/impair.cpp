@@ -40,9 +40,9 @@ class GilbertElliottInterference final : public ImpairmentStage {
                 : rng.bernoulli(config_.p_good_to_bad);
     }
     if (bad_periods > 0) {
-      static obs::Counter& periods =
-          obs::Registry::global().counter("impair.ge_bad_periods");
-      periods.add(bad_periods);
+      obs::Registry::current()
+          .counter("impair.ge_bad_periods")
+          .add(bad_periods);
     }
   }
 
@@ -216,9 +216,7 @@ class TraceGated final : public ImpairmentStage {
   void apply_frame(CxVec& wave, Rng& rng,
                    std::uint64_t frame) const override {
     if (!trace_.active(frame)) return;
-    static obs::Counter& gated =
-        obs::Registry::global().counter("impair.trace_gated_frames");
-    gated.add();
+    obs::Registry::current().counter("impair.trace_gated_frames").add();
     inner_->apply_frame(wave, rng, frame);
   }
 
@@ -288,9 +286,7 @@ CxVec ImpairmentChain::run(std::span<const Cx> tx) {
     stages_[i]->apply_frame(wave, rng, frame_);
   }
   ++frame_;
-  static obs::Counter& frames =
-      obs::Registry::global().counter("impair.frames");
-  frames.add();
+  obs::Registry::current().counter("impair.frames").add();
   return wave;
 }
 

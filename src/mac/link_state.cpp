@@ -149,9 +149,7 @@ void LinkStateMachine::set_health(StaLinkState& s, NodeId sta, LinkHealth to,
   const LinkHealth from = s.health;
   s.health = to;
   ++transition_count_;
-  static obs::Counter& transitions =
-      obs::Registry::global().counter("mac.ls_transition");
-  transitions.add();
+  obs::Registry::current().counter("mac.ls_transition").add();
   const double rate =
       (policy_.rate_adaptation || policy_.feedback) ? kHtRates[s.rate_index]
                                                     : default_rate_bps_;
@@ -178,9 +176,7 @@ void LinkStateMachine::suspend(StaLinkState& s, NodeId sta, double when) {
   s.suspended_until = when + s.timeout;
   s.timeout = std::min(2.0 * s.timeout, policy_.max_timeout);
   ++suspensions_;
-  static obs::Counter& counter =
-      obs::Registry::global().counter("mac.lq_suspend");
-  counter.add();
+  obs::Registry::current().counter("mac.lq_suspend").add();
   OBS_TRACE(trace_, obs_ts.event("mac.lq_suspend")
                         .f("t", when)
                         .f("sta", static_cast<std::uint64_t>(sta))
@@ -226,9 +222,7 @@ void LinkStateMachine::on_feedback(NodeId sta, const AckFeedback& feedback) {
       ++s.rate_index;
       s.success_streak = 0;
       ++rate_upgrades_;
-      static obs::Counter& ups =
-          obs::Registry::global().counter("mac.ls_rate_up");
-      ups.add();
+      obs::Registry::current().counter("mac.ls_rate_up").add();
     }
     settle_delivering_health(s, sta, feedback.time);
     return;
@@ -248,9 +242,7 @@ void LinkStateMachine::on_feedback(NodeId sta, const AckFeedback& feedback) {
     --s.rate_index;
     s.fail_streak = 0;
     ++rate_downgrades_;
-    static obs::Counter& downs =
-        obs::Registry::global().counter("mac.ls_rate_down");
-    downs.add();
+    obs::Registry::current().counter("mac.ls_rate_down").add();
     set_health(s, sta, LinkHealth::kDegraded, feedback.time);
     return;
   }
@@ -268,9 +260,7 @@ void LinkStateMachine::advance(double now) {
     if (s.health == LinkHealth::kSuspended && now >= s.suspended_until) {
       s.suspended_until = 0.0;
       ++probes_;
-      static obs::Counter& counter =
-          obs::Registry::global().counter("mac.lq_probe");
-      counter.add();
+      obs::Registry::current().counter("mac.lq_probe").add();
       OBS_TRACE(trace_, obs_ts.event("mac.lq_probe")
                             .f("t", now)
                             .f("sta", static_cast<std::uint64_t>(sta)));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -105,6 +106,24 @@ double Histogram::percentile(double p) const {
   return max();
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument(
+        "Histogram::merge_from: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  const std::uint64_t n = other.count();
+  if (n != 0) {
+    count_.fetch_add(n, std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+    atomic_fetch_min(min_, other.min());
+    atomic_fetch_max(max_, other.max());
+  }
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -115,9 +134,27 @@ void Histogram::reset() noexcept {
              std::memory_order_relaxed);
 }
 
+namespace {
+/// Innermost ScopedCurrent override on this thread; null = use global().
+thread_local Registry* t_current_registry = nullptr;
+}  // namespace
+
 Registry& Registry::global() {
   static Registry instance;
   return instance;
+}
+
+Registry& Registry::current() noexcept {
+  return t_current_registry != nullptr ? *t_current_registry : global();
+}
+
+Registry::ScopedCurrent::ScopedCurrent(Registry& registry) noexcept
+    : previous_(t_current_registry) {
+  t_current_registry = &registry;
+}
+
+Registry::ScopedCurrent::~ScopedCurrent() {
+  t_current_registry = previous_;
 }
 
 Counter& Registry::counter(std::string_view name) {
@@ -166,6 +203,66 @@ Histogram& Registry::latency_histogram(std::string_view name) {
       250.0, 500.0, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5,
       2.5e5, 5e5,   1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8, 1e9};
   return histogram(name, kLatencyBoundsNs, "ns");
+}
+
+void Registry::merge_from(const Registry& other) {
+  if (&other == this) return;
+  const std::scoped_lock lock(mutex_, other.mutex_);
+  for (const auto& [name, c] : other.counters_) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    }
+    // Registration is carried over even at zero so a merged export has the
+    // same key set as a serial run that executed the same call sites.
+    const std::uint64_t v = c->value();
+    if (v != 0) it->second->add(v);
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    }
+    it->second->set(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_
+               .emplace(name, std::make_unique<Histogram>(h->bounds(),
+                                                          h->unit()))
+               .first;
+    }
+    it->second->merge_from(*h);
+  }
+}
+
+std::uint64_t Registry::fingerprint() const {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix_byte = [&h](std::uint8_t b) {
+    h = (h ^ b) * 0x100000001b3ULL;  // FNV-1a prime
+  };
+  const auto mix_str = [&](std::string_view s) {
+    for (const char c : s) mix_byte(static_cast<std::uint8_t>(c));
+    mix_byte(0);  // terminator: "ab"+"c" must differ from "a"+"bc"
+  };
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  for (const auto& [name, c] : counters_) {
+    mix_str(name);
+    mix_u64(c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    mix_str(name);
+    double v = g->value();
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix_u64(bits);
+  }
+  return h;
 }
 
 std::string Registry::to_json(std::string_view bench) const {

@@ -4,14 +4,23 @@
 //
 // Named counters, gauges, and fixed-bucket histograms, safe for concurrent
 // writers. Writers pay one relaxed atomic RMW per update; name lookup is a
-// mutex-guarded map access, so hot paths should resolve their handle once
-// (function-local static reference) and update through it. Handles stay
-// valid for the life of the registry: reset_values() zeroes metrics but
-// never removes registrations.
+// mutex-guarded map access. Handles stay valid for the life of the
+// registry: reset_values() zeroes metrics but never removes registrations.
+//
+// Instrumentation call sites resolve their registry through
+// Registry::current(): by default that is the process-wide global(), but
+// the parallel sweep engine (carpool::par, docs/PARALLELISM.md) installs a
+// shard-local registry per worker job via Registry::ScopedCurrent, so
+// metrics from independent (seed, scenario) shards accumulate in isolation
+// and are merged into the global registry in deterministic job-index order
+// with merge_from(). Because shard registries are private to one thread,
+// the per-event name lookup is uncontended.
 //
 // Exporters: to_json() produces the unified BENCH_*.json schema shared by
 // every bench binary (see docs/OBSERVABILITY.md), to_text() a human
-// summary.
+// summary, and fingerprint() a 64-bit FNV-1a digest of the deterministic
+// metric surface (counters + gauges; wall-clock histograms excluded) used
+// by the CI serial-vs-parallel determinism canary.
 
 #include <atomic>
 #include <cstdint>
@@ -92,6 +101,11 @@ class Histogram {
   /// Nearest-rank percentile estimated from the bucket upper bounds.
   [[nodiscard]] double percentile(double p) const;
 
+  /// Fold another histogram's samples into this one. Bucket counts and
+  /// count/sum add, min/max combine. Throws std::invalid_argument when the
+  /// bucket bounds differ — merging only makes sense shape-to-shape.
+  void merge_from(const Histogram& other);
+
   void reset() noexcept;
 
  private:
@@ -106,9 +120,29 @@ class Histogram {
 
 class Registry {
  public:
-  /// The process-wide registry used by OBS_SCOPED_TIMER and the built-in
-  /// instrumentation. Tests may construct private registries.
+  /// The process-wide registry. Tests may construct private registries.
   static Registry& global();
+
+  /// The registry instrumentation writes to on this thread: the innermost
+  /// ScopedCurrent override, or global() when none is installed. Every
+  /// built-in counter/timer call site resolves through this, which is what
+  /// lets the parallel executor give each shard its own metric scope.
+  [[nodiscard]] static Registry& current() noexcept;
+
+  /// RAII thread-local registry override. Install a shard-local registry
+  /// for the duration of one sharded job; restores the previous override
+  /// (or global()) on destruction. The installed registry must outlive the
+  /// scope.
+  class ScopedCurrent {
+   public:
+    explicit ScopedCurrent(Registry& registry) noexcept;
+    ~ScopedCurrent();
+    ScopedCurrent(const ScopedCurrent&) = delete;
+    ScopedCurrent& operator=(const ScopedCurrent&) = delete;
+
+   private:
+    Registry* previous_;
+  };
 
   Registry() = default;
   Registry(const Registry&) = delete;
@@ -131,6 +165,21 @@ class Registry {
   /// Lets invariant checks poll "did X ever happen" counters without
   /// polluting the registry with never-incremented entries.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Fold another registry's metrics into this one: counters add, gauges
+  /// overwrite (last merge wins — callers merge shards in job-index order
+  /// so the outcome matches a serial run's write order), histograms merge
+  /// bucket-wise. Registrations carry over even at zero so the export
+  /// schema is identical to a serial run's. Self-merge is a no-op.
+  void merge_from(const Registry& other);
+
+  /// Order-stable 64-bit FNV-1a digest of the deterministic metric
+  /// surface: every counter (name, value) and gauge (name, IEEE bit
+  /// pattern), iterated in sorted name order. Histograms are excluded —
+  /// their contents are wall-clock timings that vary run to run. Two runs
+  /// of a deterministic workload must produce equal fingerprints at any
+  /// thread count; CI prints and compares them as the parallelism canary.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
   /// Unified JSON export (schema_version 1). `bench` labels the run.
   [[nodiscard]] std::string to_json(std::string_view bench = {}) const;

@@ -4,10 +4,12 @@
 //
 // OBS_SCOPED_TIMER("phy.equalize") records the enclosing scope's wall time
 // (nanoseconds, steady clock) into a canonical latency histogram in the
-// global registry. The histogram handle is resolved once per call site
-// (function-local static), so steady-state cost is two clock reads plus a
-// few relaxed atomic RMWs — cheap against the stages it wraps (Viterbi,
-// FFT, equalization), but do not wrap single-digit-nanosecond code.
+// *current* registry (obs::Registry::current()): the thread's shard-local
+// metric scope when the parallel sweep engine installed one, the global
+// registry otherwise. The handle is resolved on scope entry — one
+// mutex-guarded map lookup, uncontended for shard-local registries — which
+// is cheap against the stages these timers wrap (Viterbi, FFT,
+// equalization), but do not wrap single-digit-nanosecond code.
 //
 // The CMake option CARPOOL_ENABLE_PROFILING (default ON) compiles the
 // hooks out entirely when OFF (it defines CARPOOL_PROFILING_ENABLED=0).
@@ -53,12 +55,9 @@ class ScopedTimer {
 
 #if CARPOOL_PROFILING_ENABLED
 #define OBS_SCOPED_TIMER(name)                                           \
-  static ::carpool::obs::Histogram& OBS_CONCAT(obs_scoped_hist_,         \
-                                               __LINE__) =              \
-      ::carpool::obs::Registry::global().latency_histogram(name);        \
   const ::carpool::obs::ScopedTimer OBS_CONCAT(obs_scoped_timer_,        \
                                                __LINE__)(               \
-      OBS_CONCAT(obs_scoped_hist_, __LINE__))
+      ::carpool::obs::Registry::current().latency_histogram(name))
 #else
 #define OBS_SCOPED_TIMER(name) static_cast<void>(0)
 #endif

@@ -1,0 +1,88 @@
+#include "par/par.hpp"
+
+#include <cstdlib>
+
+namespace carpool::par {
+
+std::size_t hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t resolve_threads(long long cli_value) noexcept {
+  if (cli_value == 0) return hardware_threads();
+  if (cli_value > 0) return static_cast<std::size_t>(cli_value);
+  const char* env = std::getenv("CARPOOL_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || parsed < 0) return 1;  // garbage or negative: serial
+  return parsed == 0 ? hardware_threads()
+                     : static_cast<std::size_t>(parsed);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = num_threads == 0 ? 1 : num_threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock,
+                    [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      job();
+    } catch (...) {
+      const std::scoped_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      const std::scoped_lock lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace carpool::par

@@ -1,0 +1,202 @@
+#pragma once
+
+// carpool::par — parallel sweep engine (docs/PARALLELISM.md).
+//
+// Parameter sweeps, bench rung ladders, and chaos soak repeats are
+// embarrassingly parallel: every (seed, repeat, scenario, config-point)
+// job is an independent deterministic simulation. This module fans such
+// jobs across a fixed-size thread pool and merges their outputs in
+// *stable job-index order*, so the aggregate — result vectors, obs
+// counters/gauges, float reductions — is bit-for-bit identical at any
+// thread count, including the serial threads=1 path.
+//
+// The determinism contract rests on three rules:
+//   1. Jobs are pure functions of their index (same seeds, same inputs,
+//      no shared mutable state between jobs).
+//   2. Each parallel job runs under a shard-local obs::Registry
+//      (Registry::ScopedCurrent), so instrumentation from concurrent
+//      shards never interleaves; shards merge into the ambient registry
+//      in job-index order after the pool drains.
+//   3. Float aggregates are reduced in job-index order (use KahanSum for
+//      new aggregations; the compensation makes long reductions stable
+//      without changing the order-determinism argument).
+//
+// Wall-clock latency histograms (OBS_SCOPED_TIMER) are inherently
+// nondeterministic run to run; they merge bucket-wise but are excluded
+// from obs::Registry::fingerprint(), the digest CI compares between
+// serial and parallel runs.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace carpool::par {
+
+/// max(1, std::thread::hardware_concurrency()).
+[[nodiscard]] std::size_t hardware_threads() noexcept;
+
+/// Resolve a worker count from the conventional `--threads N` /
+/// CARPOOL_THREADS knob shared by every sweep consumer:
+///   cli_value < 0  — flag absent: use CARPOOL_THREADS if set, else 1
+///                    (serial, today's exact code path);
+///   cli_value == 0 — "auto": hardware_threads();
+///   cli_value > 0  — exactly that many workers.
+/// A CARPOOL_THREADS value of 0 likewise means "auto"; garbage is
+/// ignored (serial).
+[[nodiscard]] std::size_t resolve_threads(long long cli_value = -1) noexcept;
+
+/// Compensated (Kahan) summation: deterministic for a fixed add order and
+/// far less sensitive to the order-of-magnitude spread of per-shard
+/// aggregates than naive accumulation.
+class KahanSum {
+ public:
+  void add(double v) noexcept {
+    const double y = v - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  [[nodiscard]] double value() const noexcept { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Fixed-size worker pool over a FIFO job queue. Jobs must not throw —
+/// an exception escaping a job is captured (first one wins) and rethrown
+/// from wait(); the pool itself keeps draining so shutdown never hangs.
+/// The destructor drains the queue and joins every worker.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished, then rethrow the first
+  /// captured exception (if any). The pool stays usable afterwards.
+  void wait();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Coordinates handed to every sharded job.
+struct ShardInfo {
+  std::size_t index = 0;  ///< job index, the determinism coordinate
+  std::size_t total = 0;  ///< job count in this sharded run
+  /// Shard-local metric scope (already installed as Registry::current()
+  /// on the worker thread), or nullptr in the inline threads<=1 path
+  /// where jobs write straight into the ambient registry exactly as a
+  /// serial program would.
+  obs::Registry* metrics = nullptr;
+};
+
+/// A sharded run's raw output: per-job results plus each shard's private
+/// metric registry, both indexed by job. `metrics` is empty when the run
+/// executed inline (threads<=1) — the ambient registry already holds
+/// everything, which IS the serial code path.
+template <class R>
+struct Sharded {
+  std::vector<R> results;
+  std::vector<std::unique_ptr<obs::Registry>> metrics;
+};
+
+/// Run `jobs` independent jobs — `fn(const ShardInfo&) -> R` — across at
+/// most `threads` workers and return results + shard registries WITHOUT
+/// merging. Callers that consume only a prefix of the jobs (e.g. the soak
+/// runner discarding over-run repeats past a frame budget) merge the
+/// shard registries they actually keep, in index order.
+///
+/// threads <= 1 (or a single job) runs every job inline on the calling
+/// thread, in index order, against the ambient registry: byte-for-byte
+/// the behaviour of the pre-parallel serial loops.
+///
+/// R must be default-constructible and movable. If any job throws, the
+/// lowest-index exception is rethrown after the pool drains (results and
+/// shard registries are discarded), matching a serial loop that died at
+/// the first failing job.
+template <class Fn>
+[[nodiscard]] auto run_sharded_keep(std::size_t jobs, std::size_t threads,
+                                    Fn&& fn)
+    -> Sharded<std::decay_t<std::invoke_result_t<Fn&, const ShardInfo&>>> {
+  using R = std::decay_t<std::invoke_result_t<Fn&, const ShardInfo&>>;
+  Sharded<R> out;
+  out.results.resize(jobs);
+  if (jobs == 0) return out;
+
+  const std::size_t workers = std::min(threads == 0 ? 1 : threads, jobs);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) {
+      const ShardInfo info{i, jobs, nullptr};
+      out.results[i] = fn(info);
+    }
+    return out;
+  }
+
+  out.metrics.resize(jobs);
+  std::vector<std::exception_ptr> errors(jobs);
+  {
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < jobs; ++i) {
+      out.metrics[i] = std::make_unique<obs::Registry>();
+      pool.submit([&, i] {
+        const obs::Registry::ScopedCurrent scope(*out.metrics[i]);
+        try {
+          const ShardInfo info{i, jobs, out.metrics[i].get()};
+          out.results[i] = fn(info);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait();
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return out;
+}
+
+/// Deterministic sharded map: run_sharded_keep + merge every shard's
+/// metrics into the ambient registry (Registry::current()) in job-index
+/// order. This is the right call for sweeps that consume every job —
+/// bench rung ladders, parameter grids. Returns the per-job results.
+template <class Fn>
+[[nodiscard]] auto run_sharded(std::size_t jobs, std::size_t threads,
+                               Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, const ShardInfo&>>> {
+  auto sharded = run_sharded_keep(jobs, threads, std::forward<Fn>(fn));
+  obs::Registry& target = obs::Registry::current();
+  for (const auto& shard : sharded.metrics) {
+    if (shard != nullptr) target.merge_from(*shard);
+  }
+  return std::move(sharded.results);
+}
+
+}  // namespace carpool::par

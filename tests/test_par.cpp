@@ -1,0 +1,418 @@
+// carpool::par — the parallel sweep engine's contract (docs/PARALLELISM.md):
+// the thread pool survives exceptions and oversubscription, and sharded
+// runs produce bit-identical results and metric fingerprints at any
+// thread count, including the real consumer (chaos::SoakRunner).
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/runner.hpp"
+#include "chaos/scenario.hpp"
+#include "obs/registry.hpp"
+#include "par/par.hpp"
+
+namespace carpool {
+namespace {
+
+using chaos::Scenario;
+using chaos::SoakOptions;
+using chaos::SoakReport;
+using chaos::SoakRunner;
+using chaos::TrafficKind;
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  par::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, IsReusableAfterWait) {
+  par::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait();
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstCapturedException) {
+  par::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error did not wedge the queue: every other job still ran, and the
+  // pool keeps working afterwards.
+  EXPECT_EQ(ran.load(), 20);
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPool, DestructorDrainsWithoutWait) {
+  std::atomic<int> ran{0};
+  {
+    par::ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    // No wait(): the destructor must drain and join without hanging,
+    // even with a throwing job in the mix.
+    pool.submit([] { throw std::runtime_error("unobserved"); });
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, OversubscriptionCompletes) {
+  // Far more workers than cores and far more jobs than workers.
+  par::ThreadPool pool(32);
+  EXPECT_EQ(pool.size(), 32u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+// -------------------------------------------------------- thread resolve
+
+TEST(ResolveThreads, CliValueWins) {
+  EXPECT_EQ(par::resolve_threads(3), 3u);
+  EXPECT_EQ(par::resolve_threads(0), par::hardware_threads());
+}
+
+TEST(ResolveThreads, EnvFallback) {
+  ::setenv("CARPOOL_THREADS", "5", 1);
+  EXPECT_EQ(par::resolve_threads(), 5u);
+  ::setenv("CARPOOL_THREADS", "0", 1);
+  EXPECT_EQ(par::resolve_threads(), par::hardware_threads());
+  ::setenv("CARPOOL_THREADS", "nonsense", 1);
+  EXPECT_EQ(par::resolve_threads(), 1u);
+  ::unsetenv("CARPOOL_THREADS");
+  EXPECT_EQ(par::resolve_threads(), 1u);
+}
+
+// --------------------------------------------------------------- Kahan
+
+TEST(KahanSum, CompensatesSmallAddends) {
+  // 1e16 + 1.0 * 1000: naive double accumulation loses every 1.0; Kahan
+  // keeps them.
+  par::KahanSum k;
+  double naive = 1e16;
+  k.add(1e16);
+  for (int i = 0; i < 1000; ++i) {
+    k.add(1.0);
+    naive += 1.0;
+  }
+  EXPECT_EQ(naive, 1e16);  // demonstrates the failure mode
+  EXPECT_DOUBLE_EQ(k.value(), 1e16 + 1000.0);
+}
+
+// ------------------------------------------------------- registry merge
+
+TEST(RegistryMerge, CountersAddAndZeroRegistrationsCarry) {
+  obs::Registry a;
+  obs::Registry b;
+  a.counter("x").add(2);
+  b.counter("x").add(5);
+  b.counter("only_in_b");  // registered, never incremented
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("x"), 7u);
+  // The zero-valued registration must survive so the export schema (the
+  // BENCH_*.json key set) matches a serial run's.
+  EXPECT_NE(a.to_json().find("only_in_b"), std::string::npos);
+}
+
+TEST(RegistryMerge, GaugesLastMergeWins) {
+  obs::Registry a;
+  obs::Registry b;
+  a.set_gauge("g", 1.0);
+  b.set_gauge("g", 2.0);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 2.0);
+}
+
+TEST(RegistryMerge, HistogramBoundsMismatchThrows) {
+  obs::Registry a;
+  obs::Registry b;
+  a.histogram("h", {1.0, 2.0}).record(0.5);
+  b.histogram("h", {1.0, 3.0}).record(0.5);
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+TEST(RegistryMerge, HistogramsMergeBucketwise) {
+  obs::Registry a;
+  obs::Registry b;
+  a.histogram("h", {1.0, 2.0}).record(0.5);
+  b.histogram("h", {1.0, 2.0}).record(1.5);
+  b.histogram("h", {1.0, 2.0}).record(10.0);
+  a.merge_from(b);
+  obs::Histogram& h = a.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);  // overflow
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+}
+
+TEST(Fingerprint, CoversCountersAndGaugesNotHistograms) {
+  obs::Registry a;
+  a.counter("c").add(3);
+  a.set_gauge("g", 1.5);
+  const std::uint64_t base = a.fingerprint();
+
+  obs::Registry same;
+  same.counter("c").add(3);
+  same.set_gauge("g", 1.5);
+  // Histograms hold wall-clock timings; they must not perturb the digest.
+  same.latency_histogram("timer").record(123.0);
+  EXPECT_EQ(same.fingerprint(), base);
+
+  obs::Registry different;
+  different.counter("c").add(4);
+  different.set_gauge("g", 1.5);
+  EXPECT_NE(different.fingerprint(), base);
+}
+
+TEST(ScopedCurrent, OverridesAndRestores) {
+  obs::Registry shard;
+  obs::Registry& before = obs::Registry::current();
+  {
+    const obs::Registry::ScopedCurrent scope(shard);
+    EXPECT_EQ(&obs::Registry::current(), &shard);
+    obs::Registry::current().counter("scoped").add();
+  }
+  EXPECT_EQ(&obs::Registry::current(), &before);
+  EXPECT_EQ(shard.counter_value("scoped"), 1u);
+}
+
+// --------------------------------------------------------- run_sharded
+
+/// A deterministic fake workload: each job derives values purely from its
+/// index and records metrics through Registry::current() like the real
+/// instrumented hot paths do.
+std::vector<std::uint64_t> sharded_workload(std::size_t jobs,
+                                            std::size_t threads,
+                                            obs::Registry& scope) {
+  const obs::Registry::ScopedCurrent current(scope);
+  return par::run_sharded(jobs, threads, [](const par::ShardInfo& info) {
+    obs::Registry& reg = obs::Registry::current();
+    reg.counter("work.jobs").add();
+    reg.counter("work.units").add(info.index * 3 + 1);
+    reg.set_gauge("work.last_index", static_cast<double>(info.index));
+    return static_cast<std::uint64_t>(info.index * info.index);
+  });
+}
+
+TEST(RunSharded, ResultsInIndexOrderAtAnyThreadCount) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    obs::Registry scope;
+    const auto results = sharded_workload(17, threads, scope);
+    ASSERT_EQ(results.size(), 17u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], i * i) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(RunSharded, MetricsBitIdenticalAcrossThreadCounts) {
+  obs::Registry serial;
+  sharded_workload(23, 1, serial);
+  const std::uint64_t want = serial.fingerprint();
+  ASSERT_EQ(serial.counter_value("work.jobs"), 23u);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    obs::Registry scope;
+    sharded_workload(23, threads, scope);
+    EXPECT_EQ(scope.fingerprint(), want) << "threads=" << threads;
+    // Gauge merge order == job order: the last job's write wins, exactly
+    // as in the serial loop.
+    EXPECT_DOUBLE_EQ(scope.gauge("work.last_index").value(), 22.0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(RunSharded, SerialPathUsesAmbientRegistryDirectly) {
+  obs::Registry scope;
+  const obs::Registry::ScopedCurrent current(scope);
+  auto out = par::run_sharded_keep(3, 1, [](const par::ShardInfo& info) {
+    EXPECT_EQ(info.metrics, nullptr);  // inline path: no shard registries
+    obs::Registry::current().counter("serial.jobs").add();
+    return info.index;
+  });
+  EXPECT_TRUE(out.metrics.empty());
+  EXPECT_EQ(scope.counter_value("serial.jobs"), 3u);
+}
+
+TEST(RunSharded, LowestIndexExceptionWins) {
+  for (const std::size_t threads : {1u, 4u}) {
+    try {
+      (void)par::run_sharded(8, threads, [](const par::ShardInfo& info) {
+        if (info.index >= 2) {
+          throw std::runtime_error("job " + std::to_string(info.index));
+        }
+        return info.index;
+      });
+      FAIL() << "expected a throw at threads=" << threads;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "job 2") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(RunSharded, ZeroJobsIsANoop) {
+  const auto results =
+      par::run_sharded(0, 4, [](const par::ShardInfo&) { return 1; });
+  EXPECT_TRUE(results.empty());
+}
+
+// ------------------------------------------------- SoakRunner parallel
+
+Scenario budget_scenario() {
+  Scenario s;
+  s.name = "par_budget";
+  s.seed = 47;
+  s.duration = 1.0;
+  s.num_stas = 3;
+  s.probe_interval = 0.25;
+  s.traffic.push_back({0.0, TrafficKind::kCbr, 1000, 4e-3});
+  s.interference.push_back({0.4, 0.7, 6.0, 0.8, {}});
+  s.churn.push_back({0.5, 3, false});
+  return s;
+}
+
+/// Run a campaign under a private metric scope; returns the report and
+/// fills `fingerprint` with the scope's digest.
+SoakReport run_scoped(const Scenario& s, const SoakOptions& opts,
+                      std::uint64_t& fingerprint) {
+  obs::Registry scope;
+  const obs::Registry::ScopedCurrent current(scope);
+  const SoakReport report = SoakRunner(opts).run(s);
+  fingerprint = scope.fingerprint();
+  return report;
+}
+
+void expect_reports_identical(const SoakReport& a, const SoakReport& b,
+                              const std::string& label) {
+  EXPECT_EQ(a.frames_judged, b.frames_judged) << label;
+  EXPECT_EQ(a.steps, b.steps) << label;
+  EXPECT_EQ(a.probes, b.probes) << label;
+  EXPECT_EQ(a.episodes_run, b.episodes_run) << label;
+  EXPECT_EQ(a.repeats, b.repeats) << label;
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds) << label;
+  EXPECT_DOUBLE_EQ(a.mean_goodput_bps, b.mean_goodput_bps) << label;
+  ASSERT_EQ(a.violations.size(), b.violations.size()) << label;
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].invariant, b.violations[i].invariant) << label;
+    EXPECT_EQ(a.violations[i].frame, b.violations[i].frame) << label;
+    EXPECT_EQ(a.violations[i].episode, b.violations[i].episode) << label;
+    EXPECT_EQ(a.violations[i].repeat, b.violations[i].repeat) << label;
+    EXPECT_DOUBLE_EQ(a.violations[i].time, b.violations[i].time) << label;
+  }
+  ASSERT_EQ(a.episode_summaries.size(), b.episode_summaries.size()) << label;
+  for (std::size_t i = 0; i < a.episode_summaries.size(); ++i) {
+    EXPECT_EQ(a.episode_summaries[i].index, b.episode_summaries[i].index)
+        << label;
+    EXPECT_EQ(a.episode_summaries[i].repeat, b.episode_summaries[i].repeat)
+        << label;
+    EXPECT_DOUBLE_EQ(a.episode_summaries[i].goodput_bps,
+                     b.episode_summaries[i].goodput_bps)
+        << label;
+    EXPECT_EQ(a.episode_summaries[i].frames_judged,
+              b.episode_summaries[i].frames_judged)
+        << label;
+  }
+}
+
+TEST(SoakRunnerParallel, BudgetCampaignBitIdenticalAcrossThreadCounts) {
+  // Budget sized so the campaign spans several timeline repeats (the
+  // parallel path's unit of work).
+  SoakOptions serial_opts;
+  serial_opts.threads = 1;
+  std::uint64_t probe_fp = 0;
+  const SoakReport once =
+      run_scoped(budget_scenario(), serial_opts, probe_fp);
+  ASSERT_TRUE(once.ok());
+  serial_opts.max_frames = once.frames_judged * 5;
+
+  std::uint64_t serial_fp = 0;
+  const SoakReport serial =
+      run_scoped(budget_scenario(), serial_opts, serial_fp);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_GE(serial.repeats, 3u);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    SoakOptions opts = serial_opts;
+    opts.threads = threads;
+    std::uint64_t fp = 0;
+    const SoakReport parallel = run_scoped(budget_scenario(), opts, fp);
+    expect_reports_identical(serial, parallel,
+                             "threads=" + std::to_string(threads));
+    EXPECT_EQ(fp, serial_fp) << "threads=" << threads;
+  }
+}
+
+TEST(SoakRunnerParallel, InjectedFaultIdenticalAcrossThreadCounts) {
+  // The injected violation lands on a later repeat: the parallel path
+  // must re-run that repeat serially and report the exact coordinates.
+  SoakOptions probe_opts;
+  probe_opts.threads = 1;
+  std::uint64_t ignored = 0;
+  const SoakReport once =
+      run_scoped(budget_scenario(), probe_opts, ignored);
+
+  Scenario s = budget_scenario();
+  s.inject = chaos::InjectedViolation{once.frames_judged * 2 + 7};
+
+  SoakOptions serial_opts;
+  serial_opts.threads = 1;
+  serial_opts.max_frames = once.frames_judged * 6;
+  std::uint64_t serial_fp = 0;
+  const SoakReport serial = run_scoped(s, serial_opts, serial_fp);
+  ASSERT_FALSE(serial.ok());
+  ASSERT_EQ(serial.violations.front().invariant, "injected");
+  ASSERT_GE(serial.violations.front().repeat, 1u);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    SoakOptions opts = serial_opts;
+    opts.threads = threads;
+    std::uint64_t fp = 0;
+    const SoakReport parallel = run_scoped(s, opts, fp);
+    expect_reports_identical(serial, parallel,
+                             "threads=" + std::to_string(threads));
+    EXPECT_EQ(fp, serial_fp) << "threads=" << threads;
+  }
+}
+
+TEST(SoakRunnerParallel, SinglePassCampaignIgnoresThreads) {
+  // max_frames == 0 runs the timeline once; threads must not change that.
+  SoakOptions opts;
+  opts.threads = 8;
+  std::uint64_t fp_parallel = 0;
+  const SoakReport a = run_scoped(budget_scenario(), opts, fp_parallel);
+  opts.threads = 1;
+  std::uint64_t fp_serial = 0;
+  const SoakReport b = run_scoped(budget_scenario(), opts, fp_serial);
+  expect_reports_identical(a, b, "single-pass");
+  EXPECT_EQ(fp_parallel, fp_serial);
+}
+
+}  // namespace
+}  // namespace carpool

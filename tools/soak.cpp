@@ -5,10 +5,19 @@
 //   soak --frames 1000000                  # million-judgement campaign
 //   soak --bundle-dir out/ --shrink        # emit + shrink repro bundles
 //   soak --replay out/bundle_x.json        # replay a repro bundle
+//   soak --frames 200000 --threads 0       # fan repeats across all cores
+//
+// --threads N shards timeline repeats across N workers (0 = auto, one
+// per hardware thread; default honours CARPOOL_THREADS, else serial).
+// The report and metrics are bit-for-bit identical at any thread count
+// (docs/PARALLELISM.md); the `metrics fingerprint` line printed at the
+// end digests every counter and gauge so CI can diff serial vs parallel
+// runs with a string compare.
 //
 // Exit codes: 0 = campaign clean, 1 = invariant violation (bundle
 // written when --bundle-dir is set), 2 = usage or scenario-file error.
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +30,7 @@
 #include "chaos/scenario.hpp"
 #include "chaos/shrink.hpp"
 #include "obs/registry.hpp"
+#include "par/par.hpp"
 
 namespace {
 
@@ -31,7 +41,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: soak [--scenario FILE]... [--frames N] "
                "[--bundle-dir DIR] [--shrink]\n"
-               "            [--replay BUNDLE] [--metrics FILE] [--list]\n");
+               "            [--replay BUNDLE] [--metrics FILE] [--list] "
+               "[--threads N]\n");
 }
 
 bool read_file(const std::string& path, std::string& out) {
@@ -102,6 +113,7 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::string metrics_path;
   SoakOptions opts;
+  opts.threads = carpool::par::resolve_threads();  // CARPOOL_THREADS or 1
   bool do_shrink = false;
   bool list_only = false;
 
@@ -126,6 +138,9 @@ int main(int argc, char** argv) {
       replay_path = next();
     } else if (arg == "--metrics") {
       metrics_path = next();
+    } else if (arg == "--threads") {
+      opts.threads =
+          carpool::par::resolve_threads(std::strtoll(next(), nullptr, 10));
     } else if (arg == "--list") {
       list_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -207,6 +222,10 @@ int main(int argc, char** argv) {
 
   std::printf("total frames judged: %llu\n",
               static_cast<unsigned long long>(total_frames));
+  // Counter+gauge digest (wall-clock histograms excluded): identical
+  // across thread counts, so serial-vs-parallel CI runs can diff it.
+  std::printf("metrics fingerprint: 0x%016" PRIx64 "\n",
+              obs::Registry::global().fingerprint());
   if (!metrics_path.empty()) {
     obs::Registry::global().write_json(metrics_path, "soak");
   }
