@@ -7,6 +7,8 @@
 // authors' USRP testbed).
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <span>
 #include <string>
 #include <vector>
@@ -16,23 +18,53 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "obs/registry.hpp"
+#include "obs/stats_writer.hpp"
 #include "phy/frame.hpp"
 #include "sim/testbed.hpp"
 
 namespace carpool::bench {
 
+/// Directory BENCH_* artifacts land in: $CARPOOL_BENCH_DIR (created on
+/// demand) when set, else the CWD — so CI artifact collection and
+/// bench_report ingestion don't depend on where the bench was launched.
+inline std::string bench_output_dir() {
+  const char* dir = std::getenv("CARPOOL_BENCH_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr,
+                 "warning: cannot create CARPOOL_BENCH_DIR %s (%s); "
+                 "falling back to CWD\n",
+                 dir, ec.message().c_str());
+    return {};
+  }
+  return std::string(dir);
+}
+
 /// Unified machine-readable output: every bench binary ends by dumping the
 /// global obs::Registry — its own gauges plus the counters and per-stage
 /// latency histograms (Viterbi, FFT/OFDM, equalizer, A-HDR) accumulated by
-/// the instrumented hot paths — as BENCH_<name>.json (schema_version 1,
-/// see docs/OBSERVABILITY.md). The printed tables stay the human-readable
-/// view; the JSON is what tooling and perf regressions diff.
+/// the instrumented hot paths — as BENCH_<name>.json (schema_version 2
+/// with per-metric metadata, see docs/OBSERVABILITY.md) plus a columnar
+/// BENCH_<name>.csv (obs::StatsWriter). The printed tables stay the
+/// human-readable view; the JSON is what tooling and perf regressions
+/// diff. Both land in $CARPOOL_BENCH_DIR when set, else the CWD.
 inline void write_metrics(const std::string& name) {
-  const std::string path = "BENCH_" + name + ".json";
+  const std::string dir = bench_output_dir();
+  const std::string base =
+      dir.empty() ? "BENCH_" + name : dir + "/BENCH_" + name;
+  const std::string path = base + ".json";
   if (obs::Registry::global().write_json(path, name)) {
     std::printf("\nmetrics: %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+  const std::string csv_path = base + ".csv";
+  if (obs::StatsWriter::write_csv(csv_path, obs::Registry::global())) {
+    std::printf("metrics csv: %s\n", csv_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", csv_path.c_str());
   }
 }
 

@@ -46,7 +46,7 @@ void AggregationBloomFilter::insert(const MacAddress& receiver,
   if (subframe_index >= kMaxReceivers) {
     throw std::invalid_argument("insert: subframe index out of range");
   }
-  OBS_SCOPED_TIMER("carpool.ahdr_encode");
+  OBS_TIMED_SPAN("carpool.ahdr_encode");
   for (std::size_t j = 0; j < num_hashes_; ++j) {
     filter_ |= std::uint64_t{1} << position(receiver, subframe_index, j);
   }

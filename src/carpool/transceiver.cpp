@@ -5,6 +5,7 @@
 
 #include "fec/interleaver.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/timer.hpp"
 #include "phy/equalizer.hpp"
 
@@ -201,14 +202,21 @@ CarpoolReceiver::CarpoolReceiver(CarpoolRxConfig config) noexcept
 }
 
 CarpoolRxResult CarpoolReceiver::receive(std::span<const Cx> waveform) const {
+  // Frame-decode span: wall-clock interval of the whole receive attempt,
+  // carrying the final DecodeStatus. Child spans (per-subframe decodes,
+  // OBS_TIMED_SPAN leaf stages like fec.viterbi_decode) nest underneath.
+  obs::Span frame_span("carpool.rx_frame");
   // Backstop: no exception may escape a decode. Anything the structured
   // paths missed is contained here and reported as kInternalError.
   try {
-    return receive_impl(waveform);
+    CarpoolRxResult result = receive_impl(waveform);
+    frame_span.outcome(to_string(result.status));
+    return result;
   } catch (...) {
     obs::Registry::current().counter("phy.decode_exceptions").add();
     CarpoolRxResult result;
     result.status = DecodeStatus::kInternalError;
+    frame_span.outcome(to_string(result.status));
     return result;
   }
 }
@@ -320,6 +328,8 @@ CarpoolRxResult CarpoolReceiver::receive_impl(
     }
 
     // Decode this subframe.
+    obs::Span sub_span("carpool.rx_subframe");
+    sub_span.ids({.subframe = static_cast<std::int64_t>(k)});
     DecodedSubframe sub;
     sub.index = k;
     sub.sig = *sig;
@@ -460,6 +470,7 @@ CarpoolRxResult CarpoolReceiver::receive_impl(
     sub.status = truncated ? DecodeStatus::kTruncated
                  : sub.fcs_ok ? DecodeStatus::kOk
                               : DecodeStatus::kFcsFail;
+    sub_span.outcome(to_string(sub.status));
     obs::Registry& reg = obs::Registry::current();
     reg.counter("phy.subframes_decoded").add();
     obs::Counter& fcs_failures = reg.counter("phy.fcs_failures");

@@ -484,6 +484,17 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
         if (shards.metrics[i] != nullptr) {
           obs::Registry::current().merge_from(*shards.metrics[i]);
         }
+        // Span buffers follow the same consume-or-discard rule as shard
+        // metrics: clean repeats merge index-ordered; a stopping repeat's
+        // detached shard was discarded above because the live re-run
+        // already wrote the authoritative spans into the ambient
+        // collector.
+        if (i < shards.spans.size() && shards.spans[i] != nullptr) {
+          if (obs::SpanCollector* sc = obs::SpanCollector::current();
+              sc != nullptr) {
+            sc->merge_from(*shards.spans[i]);
+          }
+        }
         consume_repeat(report, std::move(shards.results[i]));
       }
       next_repeat += wave;

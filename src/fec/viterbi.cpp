@@ -37,7 +37,7 @@ Bits ViterbiDecoder::decode(std::span<const double> soft,
   if (soft.size() % 2 != 0) {
     throw std::invalid_argument("ViterbiDecoder: soft size must be even");
   }
-  OBS_SCOPED_TIMER("fec.viterbi_decode");
+  OBS_TIMED_SPAN("fec.viterbi_decode");
   const std::size_t steps = soft.size() / 2;
   constexpr unsigned kStates = ConvolutionalCode::kNumStates;
 

@@ -7,6 +7,7 @@
 
 #include "carpool/bloom.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace carpool::mac {
 namespace {
@@ -213,6 +214,14 @@ SimResult Simulator::run() {
 
   const std::size_t retry_limit = p.retry_limit;
 
+  // Frame-lifecycle span ordinals (docs/OBSERVABILITY.md): every resolved
+  // channel event — success or collision — consumes a txop id, every
+  // aggregate frame put on air a frame id. Counted unconditionally so the
+  // ordinals are deterministic whether or not a SpanCollector is
+  // installed.
+  std::int64_t txop_seq = 0;
+  std::int64_t frame_seq = 0;
+
   while (!observer_stop && now < config_.duration) {
     // 1. arrivals due now.
     while (!arrivals.empty() && arrivals.top().time <= now) {
@@ -401,12 +410,21 @@ SimResult Simulator::run() {
           }
         }
       }
-      now += busy;
-      idle_start = now;
-      SimTxopInfo info;
-      info.collision = true;
-      info.data_duration = busy;
-      notify_observer(info);
+      {
+        // Collision TXOP span: closes after the observer so any probe
+        // decode it fires nests underneath.
+        obs::Span txop_span("mac.txop");
+        txop_span.ids({.txop = txop_seq})
+            .sim_interval(now, busy)
+            .outcome("collision");
+        ++txop_seq;
+        now += busy;
+        idle_start = now;
+        SimTxopInfo info;
+        info.collision = true;
+        info.data_duration = busy;
+        notify_observer(info);
+      }
       continue;
     }
 
@@ -498,12 +516,19 @@ SimResult Simulator::run() {
         energy[intruder].add_tx(intruder_tx.data_duration);
         requeue_loser(intruder, intruder_tx);
         sta_backoff[intruder].on_failure(p.cw_max);
-        now += busy;
-        idle_start = now;
-        SimTxopInfo info;
-        info.collision = true;
-        info.data_duration = busy;
-        notify_observer(info);
+        {
+          obs::Span txop_span("mac.txop");
+          txop_span.ids({.txop = txop_seq, .sta = src})
+              .sim_interval(now, busy)
+              .outcome("hidden_terminal");
+          ++txop_seq;
+          now += busy;
+          idle_start = now;
+          SimTxopInfo info;
+          info.collision = true;
+          info.data_duration = busy;
+          notify_observer(info);
+        }
         continue;
       }
     }
@@ -512,12 +537,30 @@ SimResult Simulator::run() {
       ap_subunits += tx.subunits.size();
     }
 
+    // TXOP and frame spans stay open for the rest of this loop body, so
+    // per-subframe slices, ACK outcomes, and any full-PHY decode probe the
+    // end-of-iteration observer fires all nest under them. Both live on
+    // the simulated timeline (no wall clock in fingerprinted output).
+    const std::int64_t txop_id = txop_seq++;
+    const std::int64_t frame_id = frame_seq++;
+    obs::Span txop_span("mac.txop");
+    txop_span.ids({.txop = txop_id, .sta = static_cast<std::int64_t>(src)})
+        .sim_interval(now, sequence);
+    obs::Span frame_span("mac.frame");
+    frame_span
+        .ids({.txop = txop_id,
+              .frame = frame_id,
+              .sta = static_cast<std::int64_t>(src)})
+        .sim_interval(now + ctrl, tx.data_duration);
+
     // Judge reception frame by frame: every MPDU has its own FCS and is
     // selectively retransmitted (802.11n block ACK; Carpool's sequential
     // ACK reports per-subframe, and subframes carry per-MPDU checks too).
     std::size_t ok_subunits = 0;
     std::uint64_t delivered_payload_bits = 0;
+    std::int64_t subframe_index = -1;
     for (SubUnit& su : tx.subunits) {
+      ++subframe_index;
       const NodeId peer = is_downlink ? su.dst : kApNode;
       const double snr = is_downlink ? sta_snr(su.dst) : sta_snr(src);
       const bool ack_ok = !phy_rng.bernoulli(phy.control_error_prob(snr));
@@ -598,6 +641,26 @@ SimResult Simulator::run() {
                     .f("frames_failed",
                        static_cast<std::uint64_t>(failed.size()))
                     .f("frames_dropped", frames_dropped));
+      // Subframe span: this receiver's symbol slice of the aggregate
+      // frame plus its sequential-ACK outcome. The whole interval is
+      // known here, so it is emitted directly rather than held open.
+      if (obs::SpanCollector* sc = obs::SpanCollector::current();
+          sc != nullptr) {
+        obs::SpanRecord rec;
+        rec.parent = frame_span.id();
+        rec.name = "mac.subframe";
+        rec.ids = {.txop = txop_id,
+                   .frame = frame_id,
+                   .subframe = subframe_index,
+                   .sta = static_cast<std::int64_t>(peer)};
+        rec.sim_start = now + ctrl + static_cast<double>(su.start_symbol) *
+                                         MacParams::symbol_duration;
+        rec.sim_duration = static_cast<double>(su.num_symbols) *
+                           MacParams::symbol_duration;
+        rec.outcome =
+            !ack_ok ? "ack_lost" : (any_delivered ? "ok" : "failed");
+        sc->emit(std::move(rec));
+      }
       if (any_delivered) {
         ++ok_subunits;
         // Receiver ACK transmission energy.
@@ -650,6 +713,8 @@ SimResult Simulator::run() {
                   .f("ok_subunits",
                      static_cast<std::uint64_t>(ok_subunits))
                   .f("delivered_bits", delivered_payload_bits));
+    txop_span.outcome(ok_subunits > 0 ? "ok" : "failed");
+    frame_span.outcome(ok_subunits > 0 ? "ok" : "failed");
 
     BackoffState& b = src == kApNode ? ap_backoff : sta_backoff[src];
     if (ok_subunits > 0) {

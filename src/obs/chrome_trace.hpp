@@ -1,0 +1,44 @@
+#pragma once
+
+// carpool::obs — Chrome trace-event export for frame-lifecycle spans.
+//
+// Converts a SpanCollector's records into the Chrome trace-event JSON
+// format (the `{"traceEvents":[...]}` flavor), which loads directly in
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing. Two tracks:
+//
+//   tid 1  "MAC (sim time)"    — spans on the simulated timeline
+//                                (mac.txop / mac.frame / mac.subframe),
+//                                1 sim second = 1 trace second
+//   tid 2  "PHY decode (wall)" — wall-clock decode spans
+//                                (carpool.rx_frame and below)
+//
+// Wall-clock roots are re-based onto a sequential cursor (each root
+// placed after the previous one) so shard-interleaved soak output still
+// renders as cleanly nested, non-overlapping decode pyramids; children
+// keep their true offset within their root. A flow arrow links each
+// wall-clock root back to the sim-time span that caused it, so clicking
+// a TXOP walks straight into its decode.
+//
+// Span ids, frame-lifecycle coordinates, and outcomes ride along in each
+// event's `args`, so Perfetto's query engine can slice by STA, subframe,
+// or DecodeStatus.
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace carpool::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// Render `records` as a complete Chrome trace-event JSON document.
+  [[nodiscard]] static std::string to_json(
+      const std::vector<SpanRecord>& records);
+
+  /// to_json() to a file; returns false if the file cannot be written.
+  static bool write(const std::string& path,
+                    const std::vector<SpanRecord>& records);
+};
+
+}  // namespace carpool::obs

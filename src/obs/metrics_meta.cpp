@@ -1,0 +1,161 @@
+#include "obs/metrics_meta.hpp"
+
+#include <array>
+
+namespace carpool::obs {
+namespace {
+
+struct CatalogEntry {
+  std::string_view name;  ///< exact name, or a `prefix*` family
+  MetricMeta meta;
+};
+
+// Keep this list in sync with every counter()/gauge()/latency_histogram()
+// name literal in src/, bench/, and tools/ — tools/metric_lint enforces
+// the sync as a CI step.
+constexpr std::array kCatalog{
+    // --- mac: per-STA link-state machine (src/mac/link_state.cpp) ---
+    CatalogEntry{"mac.ls_transition",
+                 {"count", "mac", "Link-state machine state transitions"}},
+    CatalogEntry{"mac.ls_rate_up",
+                 {"count", "mac", "Rate-adaptation steps to a faster MCS"}},
+    CatalogEntry{"mac.ls_rate_down",
+                 {"count", "mac", "Rate-adaptation steps to a slower MCS"}},
+    CatalogEntry{"mac.lq_suspend",
+                 {"count", "mac",
+                  "STAs suspended from aggregation by the link gate"}},
+    CatalogEntry{"mac.lq_probe",
+                 {"count", "mac",
+                  "Probe transmissions to suspended STAs"}},
+
+    // --- impair: channel impairment engine (src/impair) ---
+    CatalogEntry{"impair.frames",
+                 {"count", "impair", "Frames passed through the impairment "
+                                     "pipeline"}},
+    CatalogEntry{"impair.ge_bad_periods",
+                 {"count", "impair",
+                  "Gilbert-Elliott bad-state periods entered"}},
+    CatalogEntry{"impair.trace_gated_frames",
+                 {"count", "impair",
+                  "Frames gated by a replayed SNR trace segment"}},
+
+    // --- phy: frontend, estimation, decode (src/phy, src/carpool) ---
+    CatalogEntry{"phy.subframes_decoded",
+                 {"count", "phy", "Subframes that reached FCS judgement"}},
+    CatalogEntry{"phy.fcs_failures",
+                 {"count", "phy", "Subframes whose FCS check failed"}},
+    CatalogEntry{"phy.sig_failures",
+                 {"count", "phy", "SIG field decode failures"}},
+    CatalogEntry{"phy.decode_exceptions",
+                 {"count", "phy",
+                  "Receiver exceptions mapped to kInternalError"}},
+    CatalogEntry{"phy.rte_updates",
+                 {"count", "phy",
+                  "Real-time channel-estimate updates applied"}},
+    CatalogEntry{"phy.rte_delta_clamped",
+                 {"count", "phy",
+                  "RTE updates clamped by the per-symbol delta bound"}},
+    CatalogEntry{"phy.rte_freeze",
+                 {"count", "phy",
+                  "RTE freezes after a divergence guard trip"}},
+    CatalogEntry{"phy.rte_rollback",
+                 {"count", "phy",
+                  "RTE rollbacks to the preamble estimate"}},
+
+    // --- carpool: A-HDR + side channel (src/carpool) ---
+    CatalogEntry{"carpool.side_groups_verified",
+                 {"count", "carpool",
+                  "Side-channel groups that verified clean"}},
+    CatalogEntry{"carpool.side_groups_failed",
+                 {"count", "carpool",
+                  "Side-channel groups that failed verification"}},
+
+    // --- chaos: soak engine (src/chaos) ---
+    CatalogEntry{"chaos.campaigns",
+                 {"count", "chaos", "Soak campaigns started"}},
+    CatalogEntry{"chaos.probes",
+                 {"count", "chaos", "Full-PHY decode probes fired"}},
+    CatalogEntry{"chaos.frames_judged",
+                 {"count", "chaos", "Frames judged across all campaigns"}},
+    CatalogEntry{"chaos.violations",
+                 {"count", "chaos", "Invariant violations detected"}},
+    CatalogEntry{"chaos.bundles_written",
+                 {"count", "chaos", "Repro bundles written to disk"}},
+    CatalogEntry{"chaos.shrink_attempts",
+                 {"count", "chaos", "Scenario mutations tried by the "
+                                    "ddmin shrinker"}},
+
+    // --- obs: the observability layer itself ---
+    CatalogEntry{"obs.trace_dropped",
+                 {"count", "obs",
+                  "Trace events dropped at the TraceSink max-event cap"}},
+    CatalogEntry{"obs.spans_dropped",
+                 {"count", "obs",
+                  "Spans dropped at the SpanCollector record cap"}},
+
+    // --- wall-clock stage timers (OBS_SCOPED_TIMER / OBS_TIMED_SPAN) ---
+    CatalogEntry{"phy.equalize",
+                 {"ns", "phy", "Per-symbol equalization wall time"}},
+    CatalogEntry{"phy.ofdm_modulate",
+                 {"ns", "phy", "OFDM modulation (IFFT + CP) wall time"}},
+    CatalogEntry{"phy.ofdm_demodulate",
+                 {"ns", "phy", "OFDM demodulation (FFT) wall time"}},
+    CatalogEntry{"fec.viterbi_decode",
+                 {"ns", "fec", "Viterbi decode wall time"}},
+    CatalogEntry{"carpool.ahdr_encode",
+                 {"ns", "carpool", "A-HDR Bloom-filter encode wall time"}},
+    CatalogEntry{"carpool.ahdr_test",
+                 {"ns", "carpool", "A-HDR Bloom-filter membership test "
+                                   "wall time"}},
+
+    // --- bench gauges (bench/*) ---
+    CatalogEntry{"ablation.ge_static_goodput_bps",
+                 {"bit/s", "bench",
+                  "Downlink goodput under Gilbert-Elliott loss, static "
+                  "MCS"}},
+    CatalogEntry{"ablation.ge_feedback_goodput_bps",
+                 {"bit/s", "bench",
+                  "Downlink goodput under Gilbert-Elliott loss, feedback "
+                  "rate adaptation"}},
+    CatalogEntry{"robustness.goodput_frac.intensity_*",
+                 {"ratio", "bench",
+                  "Goodput under impairment as a fraction of the clean "
+                  "channel, per intensity step"}},
+    CatalogEntry{"robustness.monotone",
+                 {"bool", "bench",
+                  "1 when goodput degrades monotonically with intensity"}},
+    CatalogEntry{"robustness.no_cliff",
+                 {"bool", "bench",
+                  "1 when no adjacent intensity step loses more than the "
+                  "cliff bound"}},
+    CatalogEntry{"robustness.status_matrix_ok",
+                 {"bool", "bench",
+                  "1 when the DecodeStatus matrix matches the golden "
+                  "table"}},
+    CatalogEntry{"fig13.*",
+                 {"ratio", "bench",
+                  "Bit error rate, RTE vs standard estimation (Fig. 13)"}},
+};
+
+}  // namespace
+
+const MetricMeta* find_metric_meta(std::string_view name) noexcept {
+  const CatalogEntry* best = nullptr;
+  std::size_t best_len = 0;
+  for (const CatalogEntry& e : kCatalog) {
+    if (!e.name.empty() && e.name.back() == '*') {
+      const std::string_view prefix = e.name.substr(0, e.name.size() - 1);
+      if (name.size() >= prefix.size() &&
+          name.substr(0, prefix.size()) == prefix &&
+          (best == nullptr || prefix.size() > best_len)) {
+        best = &e;
+        best_len = prefix.size();
+      }
+    } else if (e.name == name) {
+      return &e.meta;  // exact match always wins
+    }
+  }
+  return best == nullptr ? nullptr : &best->meta;
+}
+
+}  // namespace carpool::obs

@@ -157,12 +157,20 @@ Registry::ScopedCurrent::~ScopedCurrent() {
   t_current_registry = previous_;
 }
 
+void Registry::attach_meta(std::string_view name) {
+  if (meta_.find(name) != meta_.end()) return;
+  if (const MetricMeta* meta = find_metric_meta(name); meta != nullptr) {
+    meta_.emplace(std::string(name), meta);
+  }
+}
+
 Counter& Registry::counter(std::string_view name) {
   const std::scoped_lock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
              .first;
+    attach_meta(name);
   }
   return *it->second;
 }
@@ -178,6 +186,7 @@ Gauge& Registry::gauge(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    attach_meta(name);
   }
   return *it->second;
 }
@@ -192,6 +201,7 @@ Histogram& Registry::histogram(std::string_view name,
                                              std::move(bounds),
                                              std::move(unit)))
              .first;
+    attach_meta(name);
   }
   return *it->second;
 }
@@ -212,6 +222,7 @@ void Registry::merge_from(const Registry& other) {
     auto it = counters_.find(name);
     if (it == counters_.end()) {
       it = counters_.emplace(name, std::make_unique<Counter>()).first;
+      attach_meta(name);
     }
     // Registration is carried over even at zero so a merged export has the
     // same key set as a serial run that executed the same call sites.
@@ -222,6 +233,7 @@ void Registry::merge_from(const Registry& other) {
     auto it = gauges_.find(name);
     if (it == gauges_.end()) {
       it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+      attach_meta(name);
     }
     it->second->set(g->value());
   }
@@ -232,9 +244,42 @@ void Registry::merge_from(const Registry& other) {
                .emplace(name, std::make_unique<Histogram>(h->bounds(),
                                                           h->unit()))
                .first;
+      attach_meta(name);
     }
     it->second->merge_from(*h);
   }
+}
+
+const MetricMeta* Registry::metric_meta(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = meta_.find(name);
+  return it == meta_.end() ? nullptr : it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  const auto meta_for = [this](const std::string& name) -> const MetricMeta* {
+    const auto it = meta_.find(name);
+    return it == meta_.end() ? nullptr : it->second;
+  };
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value(), meta_for(name)});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value(), meta_for(name)});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    const std::uint64_t n = h->count();
+    snap.histograms.push_back({name, h->unit(), n, h->sum(), h->mean(),
+                               n == 0 ? 0.0 : h->min(),
+                               n == 0 ? 0.0 : h->max(), h->percentile(0.5),
+                               h->percentile(0.99), meta_for(name)});
+  }
+  return snap;
 }
 
 std::uint64_t Registry::fingerprint() const {
@@ -268,7 +313,7 @@ std::uint64_t Registry::fingerprint() const {
 std::string Registry::to_json(std::string_view bench) const {
   const std::scoped_lock lock(mutex_);
   std::ostringstream os;
-  os << "{\n  \"schema_version\": 1";
+  os << "{\n  \"schema_version\": 2";
   if (!bench.empty()) {
     os << ",\n  \"bench\": \"" << json_escape(bench) << '"';
   }
@@ -311,6 +356,20 @@ std::string Registry::to_json(std::string_view bench) const {
          << ", \"count\": " << h->bucket_count(i) << '}';
     }
     os << "]}";
+    first = false;
+  }
+  os << (first ? "}" : "\n  }");
+  // schema_version 2: per-metric unit / layer / description resolved from
+  // the static catalog (metrics_meta.hpp). Uncataloged metrics (ad-hoc
+  // test names) simply have no entry here.
+  os << ",\n  \"meta\": {";
+  first = true;
+  for (const auto& [name, meta] : meta_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": {\"unit\": \"" << json_escape(meta->unit)
+       << "\", \"layer\": \"" << json_escape(meta->layer)
+       << "\", \"description\": \"" << json_escape(meta->description)
+       << "\"}";
     first = false;
   }
   os << (first ? "}" : "\n  }");

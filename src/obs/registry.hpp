@@ -16,11 +16,16 @@
 // with merge_from(). Because shard registries are private to one thread,
 // the per-event name lookup is uncontended.
 //
+// Metrics are self-describing: find-or-create resolves the name against
+// the static catalog in metrics_meta.hpp and remembers the unit / layer /
+// description, which exporters surface as `schema_version: 2`.
+//
 // Exporters: to_json() produces the unified BENCH_*.json schema shared by
 // every bench binary (see docs/OBSERVABILITY.md), to_text() a human
-// summary, and fingerprint() a 64-bit FNV-1a digest of the deterministic
-// metric surface (counters + gauges; wall-clock histograms excluded) used
-// by the CI serial-vs-parallel determinism canary.
+// summary, snapshot() a plain-data view for columnar exporters
+// (obs::StatsWriter), and fingerprint() a 64-bit FNV-1a digest of the
+// deterministic metric surface (counters + gauges; wall-clock histograms
+// excluded) used by the CI serial-vs-parallel determinism canary.
 
 #include <atomic>
 #include <cstdint>
@@ -31,6 +36,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/metrics_meta.hpp"
 
 namespace carpool::obs {
 
@@ -118,6 +125,37 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+/// Plain-data view of a registry at one instant, with catalog metadata
+/// resolved per metric. Consumed by columnar exporters (StatsWriter) and
+/// report tooling; safe to hold after the registry mutates.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value = 0;
+    const MetricMeta* meta = nullptr;  ///< null when uncataloged
+  };
+  struct GaugeRow {
+    std::string name;
+    double value = 0.0;
+    const MetricMeta* meta = nullptr;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::string unit;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    const MetricMeta* meta = nullptr;
+  };
+  std::vector<CounterRow> counters;    ///< sorted by name
+  std::vector<GaugeRow> gauges;        ///< sorted by name
+  std::vector<HistogramRow> histograms;  ///< sorted by name
+};
+
 class Registry {
  public:
   /// The process-wide registry. Tests may construct private registries.
@@ -173,6 +211,13 @@ class Registry {
   /// schema is identical to a serial run's. Self-merge is a no-op.
   void merge_from(const Registry& other);
 
+  /// Catalog metadata resolved for `name` at find-or-create time; null
+  /// when the metric does not exist yet or has no catalog entry.
+  [[nodiscard]] const MetricMeta* metric_meta(std::string_view name) const;
+
+  /// Plain-data copy of every metric plus its resolved metadata.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
   /// Order-stable 64-bit FNV-1a digest of the deterministic metric
   /// surface: every counter (name, value) and gauge (name, IEEE bit
   /// pattern), iterated in sorted name order. Histograms are excluded —
@@ -181,7 +226,9 @@ class Registry {
   /// thread count; CI prints and compares them as the parallelism canary.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
-  /// Unified JSON export (schema_version 1). `bench` labels the run.
+  /// Unified JSON export (schema_version 2: values plus a `meta` section
+  /// of unit / layer / description per cataloged metric). `bench` labels
+  /// the run.
   [[nodiscard]] std::string to_json(std::string_view bench = {}) const;
   /// Aligned human-readable summary.
   [[nodiscard]] std::string to_text() const;
@@ -192,10 +239,18 @@ class Registry {
   void reset_values();
 
  private:
+  /// Resolve catalog metadata for a newly created metric. Caller holds
+  /// mutex_; find_metric_meta itself is lock-free over static data, so
+  /// this is safe from merge_from (which holds two registry mutexes).
+  void attach_meta(std::string_view name);
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Metric name -> catalog entry (static storage), filled at creation.
+  /// Uncataloged names get no entry.
+  std::map<std::string, const MetricMeta*, std::less<>> meta_;
 };
 
 }  // namespace carpool::obs

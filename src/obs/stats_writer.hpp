@@ -1,0 +1,33 @@
+#pragma once
+
+// carpool::obs — columnar CSV export of a metrics registry.
+//
+// One row per metric, uniform columns, in the spirit of DNNsim's
+// Statistics/StatsWriter layer: every bench and soak run can drop a
+// spreadsheet-ready CSV next to its BENCH_*.json without the consumer
+// writing a JSON flattener. Columns:
+//
+//   metric,type,layer,unit,value,count,sum,mean,min,max,p50,p99,description
+//
+// Counters fill `value` (and type "counter"), gauges fill `value`
+// (type "gauge"), histograms fill the distribution columns (type
+// "histogram"). `layer`, `unit`, and `description` come from the
+// schema_version-2 metadata catalog (metrics_meta.hpp); uncataloged
+// metrics leave them blank (histograms fall back to their own unit).
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace carpool::obs {
+
+class StatsWriter {
+ public:
+  /// Render `snap` as a CSV document (header + one row per metric).
+  [[nodiscard]] static std::string to_csv(const MetricsSnapshot& snap);
+
+  /// snapshot() + to_csv() to a file; false if the file cannot be written.
+  static bool write_csv(const std::string& path, const Registry& registry);
+};
+
+}  // namespace carpool::obs

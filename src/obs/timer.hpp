@@ -17,6 +17,7 @@
 #include <chrono>
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 #ifndef CARPOOL_PROFILING_ENABLED
 #define CARPOOL_PROFILING_ENABLED 1
@@ -61,3 +62,14 @@ class ScopedTimer {
 #else
 #define OBS_SCOPED_TIMER(name) static_cast<void>(0)
 #endif
+
+/// Scoped timer plus a leaf span: the stage's wall time lands in its
+/// latency histogram as before, and — when tracing is compiled in and a
+/// SpanCollector is installed — the same interval attaches to the
+/// innermost open span (e.g. fec.viterbi_decode under carpool.rx_subframe)
+/// so per-stage time is visible inside one frame's Perfetto timeline, not
+/// just as an aggregate histogram. With tracing off the Span half costs
+/// one null check the optimizer deletes.
+#define OBS_TIMED_SPAN(name)       \
+  OBS_SCOPED_TIMER(name);          \
+  const ::carpool::obs::Span OBS_CONCAT(obs_timed_span_, __LINE__)(name)

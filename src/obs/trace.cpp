@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace carpool::obs {
 namespace {
 
@@ -107,8 +109,15 @@ TraceEvent& TraceEvent::f(std::string_view key, std::string_view v) {
 
 TraceSink::TraceSink() = default;
 
+TraceSink::TraceSink(Options options) : options_(options) {}
+
 TraceSink::TraceSink(const std::string& path)
-    : file_(path, std::ios::trunc), to_file_(true) {
+    : TraceSink(path, Options()) {}
+
+TraceSink::TraceSink(const std::string& path, Options options)
+    : file_(path, options.append ? std::ios::app : std::ios::trunc),
+      to_file_(true),
+      options_(options) {
   if (!file_) {
     throw std::runtime_error("TraceSink: cannot open " + path);
   }
@@ -116,6 +125,12 @@ TraceSink::TraceSink(const std::string& path)
 
 void TraceSink::write_line(std::string_view line) {
   const std::scoped_lock lock(mutex_);
+  if (options_.max_events != 0 &&
+      events_.load(std::memory_order_relaxed) >= options_.max_events) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    Registry::current().counter("obs.trace_dropped").add();
+    return;
+  }
   if (to_file_) {
     file_ << line << '\n';
   } else {

@@ -65,13 +65,26 @@ class TraceEvent {
   std::string buf_;
 };
 
-/// Thread-safe JSONL writer. File mode truncates the target on open.
+/// Thread-safe JSONL writer. File mode truncates the target on open
+/// unless Options::append is set.
 class TraceSink {
  public:
+  struct Options {
+    /// File mode: append to an existing trace instead of truncating, so
+    /// a nightly soak can accumulate across invocations.
+    bool append = false;
+    /// Maximum events to write; past the cap events are silently dropped
+    /// and counted in dropped() plus the `obs.trace_dropped` registry
+    /// counter, so an unattended soak cannot fill the disk. 0 = no cap.
+    std::uint64_t max_events = 0;
+  };
+
   /// In-memory sink; lines are retrievable via str().
   TraceSink();
+  explicit TraceSink(Options options);
   /// File sink. Throws std::runtime_error if the file cannot be opened.
   explicit TraceSink(const std::string& path);
+  TraceSink(const std::string& path, Options options);
 
   [[nodiscard]] TraceEvent event(std::string_view type) {
     return TraceEvent(*this, type);
@@ -79,6 +92,11 @@ class TraceSink {
 
   [[nodiscard]] std::uint64_t events_written() const noexcept {
     return events_.load(std::memory_order_relaxed);
+  }
+
+  /// Events refused because events_written() hit Options::max_events.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
   }
 
   void flush();
@@ -93,8 +111,10 @@ class TraceSink {
   mutable std::mutex mutex_;
   std::ofstream file_;
   bool to_file_ = false;
+  Options options_;
   std::string buffer_;
   std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 }  // namespace carpool::obs

@@ -34,11 +34,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace carpool::par {
 
@@ -115,6 +117,11 @@ struct ShardInfo {
   /// where jobs write straight into the ambient registry exactly as a
   /// serial program would.
   obs::Registry* metrics = nullptr;
+  /// Shard-local span buffer (already installed as
+  /// obs::SpanCollector::current() on the worker thread). Non-null only
+  /// when the caller had a collector installed when fanning out; inline
+  /// jobs write straight into the ambient collector.
+  obs::SpanCollector* spans = nullptr;
 };
 
 /// A sharded run's raw output: per-job results plus each shard's private
@@ -125,6 +132,11 @@ template <class R>
 struct Sharded {
   std::vector<R> results;
   std::vector<std::unique_ptr<obs::Registry>> metrics;
+  /// Per-shard span buffers, indexed by job like `metrics`. Populated
+  /// only when a SpanCollector was installed at fan-out time (tracing
+  /// compiled in AND the driver opted in); empty otherwise, so the
+  /// default build never allocates span state.
+  std::vector<std::unique_ptr<obs::SpanCollector>> spans;
 };
 
 /// Run `jobs` independent jobs — `fn(const ShardInfo&) -> R` — across at
@@ -160,15 +172,27 @@ template <class Fn>
   }
 
   out.metrics.resize(jobs);
+  // Shard span buffers only when the caller is actually collecting spans
+  // (a collector is installed on the fanning thread); workers must not
+  // write into the caller's single-threaded collector.
+  const bool collect_spans = obs::SpanCollector::current() != nullptr;
+  if (collect_spans) out.spans.resize(jobs);
   std::vector<std::exception_ptr> errors(jobs);
   {
     ThreadPool pool(workers);
     for (std::size_t i = 0; i < jobs; ++i) {
       out.metrics[i] = std::make_unique<obs::Registry>();
+      if (collect_spans) {
+        out.spans[i] = std::make_unique<obs::SpanCollector>();
+      }
       pool.submit([&, i] {
         const obs::Registry::ScopedCurrent scope(*out.metrics[i]);
+        std::optional<obs::SpanCollector::ScopedCurrent> span_scope;
+        if (out.spans.size() == jobs) span_scope.emplace(*out.spans[i]);
         try {
-          const ShardInfo info{i, jobs, out.metrics[i].get()};
+          const ShardInfo info{i, jobs, out.metrics[i].get(),
+                               out.spans.size() == jobs ? out.spans[i].get()
+                                                        : nullptr};
           out.results[i] = fn(info);
         } catch (...) {
           errors[i] = std::current_exception();
@@ -195,6 +219,14 @@ template <class Fn>
   obs::Registry& target = obs::Registry::current();
   for (const auto& shard : sharded.metrics) {
     if (shard != nullptr) target.merge_from(*shard);
+  }
+  if (obs::SpanCollector* spans = obs::SpanCollector::current();
+      spans != nullptr) {
+    // Index-ordered like the metric merge, so the merged span sequence
+    // (ids included) is bit-identical to a serial run's.
+    for (const auto& shard : sharded.spans) {
+      if (shard != nullptr) spans->merge_from(*shard);
+    }
   }
   return std::move(sharded.results);
 }

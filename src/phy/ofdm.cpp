@@ -60,7 +60,7 @@ CxVec assemble_symbol(std::span<const Cx> data, std::size_t symbol_index,
   if (data.size() != kNumDataSubcarriers) {
     throw std::invalid_argument("assemble_symbol: need 48 data points");
   }
-  OBS_SCOPED_TIMER("phy.ofdm_modulate");
+  OBS_TIMED_SPAN("phy.ofdm_modulate");
   CxVec bins(kFftSize, Cx{});
   const Cx rotation = cx_exp(phase_offset);
   for (std::size_t i = 0; i < kNumDataSubcarriers; ++i) {
@@ -84,7 +84,7 @@ CxVec extract_symbol(std::span<const Cx> samples) {
   if (samples.size() != kSymbolLen) {
     throw std::invalid_argument("extract_symbol: need 80 samples");
   }
-  OBS_SCOPED_TIMER("phy.ofdm_demodulate");
+  OBS_TIMED_SPAN("phy.ofdm_demodulate");
   CxVec time(samples.begin() + kCpLen, samples.end());
   fft_inplace(time);
   scale(time, 1.0 / kScale);

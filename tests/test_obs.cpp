@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "mac/simulator.hpp"
 #include "obs/registry.hpp"
+#include "obs/stats_writer.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "phy/frame.hpp"
@@ -156,11 +157,87 @@ TEST(Registry, JsonExportWellFormed) {
   reg.histogram("c.lat", {1.0, 10.0}, "ns").record(3.0);
   const std::string json = reg.to_json("unit_test");
   EXPECT_TRUE(json_balanced(json)) << json;
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"bench\": \"unit_test\""), std::string::npos);
   EXPECT_NE(json.find("\"a.count\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"c.lat\""), std::string::npos);
   EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+  // Ad-hoc names carry no catalog metadata; the meta section is present
+  // but empty.
+  EXPECT_NE(json.find("\"meta\": {}"), std::string::npos);
+}
+
+TEST(Registry, CatalogedMetricsExportMetadata) {
+  obs::Registry reg;
+  reg.counter("mac.ls_transition").add();       // cataloged exact name
+  reg.set_gauge("fig13.bpsk.rte_on_ber", 0.1);  // cataloged prefix family
+  reg.counter("made.up.name").add();            // uncataloged
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"mac.ls_transition\": {\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"fig13.bpsk.rte_on_ber\": {\"unit\""),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"made.up.name\": {\"unit\""), std::string::npos);
+
+  ASSERT_NE(reg.metric_meta("mac.ls_transition"), nullptr);
+  EXPECT_FALSE(reg.metric_meta("mac.ls_transition")->description.empty());
+  EXPECT_EQ(reg.metric_meta("made.up.name"), nullptr);
+}
+
+TEST(Registry, MetadataSurvivesMerge) {
+  obs::Registry shard;
+  shard.counter("phy.subframes_decoded").add(3);
+  obs::Registry target;
+  target.merge_from(shard);
+  EXPECT_EQ(target.counter_value("phy.subframes_decoded"), 3u);
+  EXPECT_NE(target.metric_meta("phy.subframes_decoded"), nullptr);
+}
+
+TEST(Registry, SnapshotRowsCarryValuesAndMeta) {
+  obs::Registry reg;
+  reg.counter("phy.fcs_failures").add(2);
+  reg.set_gauge("custom.gauge", 0.5);
+  reg.histogram("lat", {10.0, 100.0}, "ns").record(42.0);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "phy.fcs_failures");
+  EXPECT_EQ(snap.counters[0].value, 2u);
+  EXPECT_NE(snap.counters[0].meta, nullptr);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].meta, nullptr);  // uncataloged
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].mean, 42.0);
+  EXPECT_EQ(snap.histograms[0].unit, "ns");
+}
+
+TEST(StatsWriter, CsvHasHeaderAndOneRowPerMetric) {
+  obs::Registry reg;
+  reg.counter("phy.fcs_failures").add(7);
+  reg.set_gauge("plain, with comma", 1.5);  // forces RFC-4180 quoting
+  reg.histogram("lat", {10.0, 100.0}, "ns").record(42.0);
+  const std::string csv = obs::StatsWriter::to_csv(reg.snapshot());
+  const auto lines = split_lines(csv);
+  ASSERT_EQ(lines.size(), 4u);  // header + counter + gauge + histogram
+  EXPECT_EQ(lines[0],
+            "metric,type,layer,unit,value,count,sum,mean,min,max,p50,p99,"
+            "description");
+  EXPECT_NE(lines[1].find("phy.fcs_failures,counter,phy"), std::string::npos);
+  EXPECT_NE(lines[1].find(",7,"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"plain, with comma\""), std::string::npos);
+  EXPECT_NE(lines[3].find("lat,histogram"), std::string::npos);
+  EXPECT_NE(lines[3].find(",ns,"), std::string::npos);
+}
+
+TEST(StatsWriter, WriteCsvRoundTrips) {
+  obs::Registry reg;
+  reg.counter("file.count").add(5);
+  const std::string path = testing::TempDir() + "obs_stats.csv";
+  ASSERT_TRUE(obs::StatsWriter::write_csv(path, reg));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("file.count,counter"), std::string::npos);
 }
 
 TEST(Registry, EmptyRegistryExportsWellFormedJson) {
@@ -221,6 +298,52 @@ TEST(TraceSink, FileSinkRoundTrip) {
     ++n;
   }
   EXPECT_EQ(n, 2u);
+}
+
+TEST(TraceSink, AppendModeAccumulatesAcrossOpens) {
+  const std::string path = testing::TempDir() + "obs_trace_append.jsonl";
+  {
+    obs::TraceSink sink(path);  // default: truncate
+    sink.event("first").f("i", 1);
+  }
+  {
+    obs::TraceSink::Options options;
+    options.append = true;
+    obs::TraceSink sink(path, options);
+    sink.event("second").f("i", 2);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"type\":\"first\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"second\""), std::string::npos);
+  // Re-opening without append truncates again.
+  {
+    obs::TraceSink sink(path);
+    sink.event("third").f("i", 3);
+  }
+  std::ifstream again(path);
+  lines.clear();
+  while (std::getline(again, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\":\"third\""), std::string::npos);
+}
+
+TEST(TraceSink, MaxEventsCapDropsAndCounts) {
+  obs::Registry reg;
+  const obs::Registry::ScopedCurrent scope(reg);
+  obs::TraceSink::Options options;
+  options.max_events = 2;
+  obs::TraceSink sink(options);
+  for (int i = 0; i < 5; ++i) sink.event("e").f("i", i);
+  EXPECT_EQ(sink.events_written(), 2u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  EXPECT_EQ(reg.counter_value("obs.trace_dropped"), 3u);
+  const auto lines = split_lines(sink.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"i\":1"), std::string::npos);
 }
 
 TEST(TraceSink, ConcurrentWritersProduceIntactLines) {

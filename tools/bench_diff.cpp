@@ -1,4 +1,4 @@
-// bench_diff — compare BENCH_*.json metric exports (schema_version 1,
+// bench_diff — compare BENCH_*.json metric exports (schema_version 2,
 // written by bench::write_metrics / obs::Registry) against a baseline.
 //
 //   bench_diff <baseline_dir> <current_dir> [--threshold <pct>]
@@ -28,215 +28,23 @@
 // BLOCKING step against the committed baselines in bench/baselines/
 // (run1..run5); refresh those by re-running the bench binaries five
 // times and copying each run's BENCH_*.json into its run directory.
+//
+// The flattening/aggregation/tolerance machinery is shared with
+// bench_report (the trend dashboard) via bench_compare.hpp.
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <map>
-#include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "bench_compare.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
-
-// ------------------------------------------------------------------ JSON
-// Minimal recursive-descent parser for the flat metrics schema. Values we
-// care about are numbers; everything else (strings, bools, null) is parsed
-// and discarded.
-
-struct JsonParser {
-  const std::string& text;
-  std::size_t pos = 0;
-  bool failed = false;
-
-  explicit JsonParser(const std::string& t) : text(t) {}
-
-  void skip_ws() {
-    while (pos < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[pos]))) {
-      ++pos;
-    }
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos < text.size() && text[pos] == c) {
-      ++pos;
-      return true;
-    }
-    return false;
-  }
-
-  char peek() {
-    skip_ws();
-    return pos < text.size() ? text[pos] : '\0';
-  }
-
-  std::optional<std::string> parse_string() {
-    if (!consume('"')) return std::nullopt;
-    std::string out;
-    while (pos < text.size() && text[pos] != '"') {
-      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
-      out.push_back(text[pos++]);
-    }
-    if (pos >= text.size()) {
-      failed = true;
-      return std::nullopt;
-    }
-    ++pos;  // closing quote
-    return out;
-  }
-
-  std::optional<double> parse_number() {
-    skip_ws();
-    const std::size_t start = pos;
-    while (pos < text.size() &&
-           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
-            std::strchr("+-.eE", text[pos]) != nullptr)) {
-      ++pos;
-    }
-    if (pos == start) return std::nullopt;
-    try {
-      return std::stod(text.substr(start, pos - start));
-    } catch (...) {
-      failed = true;
-      return std::nullopt;
-    }
-  }
-
-  /// Parse any value; numeric leaves land in `out` under `prefix`.
-  void parse_value(const std::string& prefix,
-                   std::map<std::string, double>& out) {
-    const char c = peek();
-    if (c == '{') {
-      consume('{');
-      if (consume('}')) return;
-      do {
-        const auto key = parse_string();
-        if (!key || !consume(':')) {
-          failed = true;
-          return;
-        }
-        parse_value(prefix.empty() ? *key : prefix + "." + *key, out);
-        if (failed) return;
-      } while (consume(','));
-      if (!consume('}')) failed = true;
-    } else if (c == '[') {
-      consume('[');
-      if (consume(']')) return;
-      std::map<std::string, double> discard;  // bucket arrays: not diffed
-      do {
-        parse_value(prefix, discard);
-        if (failed) return;
-      } while (consume(','));
-      if (!consume(']')) failed = true;
-    } else if (c == '"') {
-      if (!parse_string()) failed = true;
-    } else if (c == 't' || c == 'f' || c == 'n') {
-      while (pos < text.size() &&
-             std::isalpha(static_cast<unsigned char>(text[pos]))) {
-        ++pos;
-      }
-    } else {
-      const auto num = parse_number();
-      if (!num) {
-        failed = true;
-        return;
-      }
-      out[prefix] = *num;
-    }
-  }
-};
-
-/// Flatten one metrics file: "counters.x", "gauges.y",
-/// "histograms.z.mean", ... -> value.
-std::optional<std::map<std::string, double>> load_metrics(
-    const fs::path& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
-  JsonParser parser(text);
-  std::map<std::string, double> flat;
-  parser.parse_value("", flat);
-  if (parser.failed) return std::nullopt;
-  flat.erase("schema_version");
-  return flat;
-}
-
-bool contains(const std::string& haystack, const char* needle) {
-  return haystack.find(needle) != std::string::npos;
-}
-
-enum class Gate { kNone, kHigherBetter, kLowerBetter };
-
-Gate gate_for(const std::string& metric) {
-  if (contains(metric, "goodput") || contains(metric, "throughput")) {
-    return Gate::kHigherBetter;
-  }
-  // Simulated-time latency metrics only: wall-clock profiling histograms
-  // (phy.fft and friends) vary with the CI host and must not block.
-  if (contains(metric, "latency") || contains(metric, "delay")) {
-    return Gate::kLowerBetter;
-  }
-  return Gate::kNone;
-}
-
-/// Baseline statistics for one metric across the reference runs.
-struct BaselineStat {
-  double mean = 0.0;
-  double cv_pct = 0.0;  ///< 100 * stddev / |mean|; 0 for a single run
-  std::size_t runs = 0;
-};
-
-/// Aggregate one BENCH file's metrics over every baseline run directory
-/// that has it. Missing-from-some-runs metrics keep the runs they have.
-std::map<std::string, BaselineStat> aggregate_baseline(
-    const std::vector<fs::path>& run_dirs, const std::string& file_name) {
-  std::map<std::string, std::vector<double>> samples;
-  for (const fs::path& dir : run_dirs) {
-    const fs::path path = dir / file_name;
-    if (!fs::exists(path)) continue;
-    const auto metrics = load_metrics(path);
-    if (!metrics) continue;
-    for (const auto& [metric, value] : *metrics) {
-      samples[metric].push_back(value);
-    }
-  }
-  std::map<std::string, BaselineStat> out;
-  for (const auto& [metric, values] : samples) {
-    BaselineStat stat;
-    stat.runs = values.size();
-    for (const double v : values) stat.mean += v;
-    stat.mean /= static_cast<double>(values.size());
-    if (values.size() > 1 && std::abs(stat.mean) > 0.0) {
-      double ss = 0.0;
-      for (const double v : values) {
-        ss += (v - stat.mean) * (v - stat.mean);
-      }
-      const double stddev =
-          std::sqrt(ss / static_cast<double>(values.size() - 1));
-      stat.cv_pct = 100.0 * stddev / std::abs(stat.mean);
-    }
-    out[metric] = stat;
-  }
-  return out;
-}
-
-/// Keep the diff table readable: histogram internals other than mean/p99
-/// (count, sum, min, max, bucket edges) are noise.
-bool reportable(const std::string& metric) {
-  if (!contains(metric, "histograms.")) return true;
-  return contains(metric, ".mean") || contains(metric, ".p99");
-}
+using namespace carpool::benchcmp;
 
 struct Regression {
   std::string file;
@@ -281,33 +89,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Baseline layout: run*/ subdirectories of repeated reference runs, or
-  // (legacy) flat BENCH_*.json in the baseline dir itself = a single run.
-  std::vector<fs::path> run_dirs;
-  for (const auto& entry : fs::directory_iterator(baseline_dir)) {
-    if (entry.is_directory() &&
-        entry.path().filename().string().rfind("run", 0) == 0) {
-      run_dirs.push_back(entry.path());
-    }
-  }
-  std::sort(run_dirs.begin(), run_dirs.end());
-  if (run_dirs.empty()) run_dirs.push_back(baseline_dir);
-
-  auto is_bench_file = [](const std::string& name) {
-    return name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
-           name.substr(name.size() - 5) == ".json";
-  };
-  std::vector<std::string> files;
-  for (const fs::path& dir : run_dirs) {
-    for (const auto& entry : fs::directory_iterator(dir)) {
-      const std::string name = entry.path().filename().string();
-      if (entry.is_regular_file() && is_bench_file(name) &&
-          std::find(files.begin(), files.end(), name) == files.end()) {
-        files.push_back(name);
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
+  const std::vector<fs::path> run_dirs = discover_run_dirs(baseline_dir);
+  const std::vector<std::string> files = discover_bench_files(run_dirs);
   if (files.empty()) {
     std::fprintf(stderr, "bench_diff: no BENCH_*.json in %s\n",
                  baseline_dir.string().c_str());

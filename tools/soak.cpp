@@ -6,6 +6,16 @@
 //   soak --bundle-dir out/ --shrink        # emit + shrink repro bundles
 //   soak --replay out/bundle_x.json        # replay a repro bundle
 //   soak --frames 200000 --threads 0       # fan repeats across all cores
+//   soak --replay b.json --chrome-trace t.json  # Perfetto timeline of
+//                                               # the failing frame
+//
+// --chrome-trace PATH writes the run's frame-lifecycle spans (TXOP ->
+// frame -> subframe -> decode; docs/OBSERVABILITY.md) as a Chrome
+// trace-event file loadable in https://ui.perfetto.dev or
+// chrome://tracing. --span-jsonl PATH writes the same spans as JSONL
+// (convertible later with tools/trace_convert). Both need a build with
+// CARPOOL_ENABLE_TRACE=ON; otherwise a warning is printed and the file
+// holds no spans.
 //
 // --threads N shards timeline repeats across N workers (0 = auto, one
 // per hardware thread; default honours CARPOOL_THREADS, else serial).
@@ -22,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,7 +40,10 @@
 #include "chaos/runner.hpp"
 #include "chaos/scenario.hpp"
 #include "chaos/shrink.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "par/par.hpp"
 
 namespace {
@@ -42,7 +56,39 @@ void usage() {
                "usage: soak [--scenario FILE]... [--frames N] "
                "[--bundle-dir DIR] [--shrink]\n"
                "            [--replay BUNDLE] [--metrics FILE] [--list] "
-               "[--threads N]\n");
+               "[--threads N]\n"
+               "            [--chrome-trace FILE] [--span-jsonl FILE]\n");
+}
+
+/// Export collected frame-lifecycle spans to the requested files.
+/// Returns true on success (or nothing requested).
+bool export_spans(const carpool::obs::SpanCollector& spans,
+                  const std::string& chrome_path,
+                  const std::string& jsonl_path) {
+  bool ok = true;
+  if (!chrome_path.empty()) {
+    if (carpool::obs::ChromeTraceWriter::write(chrome_path,
+                                               spans.records())) {
+      std::printf("chrome trace: %s (%zu spans)\n", chrome_path.c_str(),
+                  spans.records().size());
+    } else {
+      std::fprintf(stderr, "soak: cannot write %s\n", chrome_path.c_str());
+      ok = false;
+    }
+  }
+  if (!jsonl_path.empty()) {
+    try {
+      carpool::obs::TraceSink sink(jsonl_path);
+      spans.write_jsonl(sink);
+      sink.flush();
+      std::printf("span jsonl: %s (%zu spans)\n", jsonl_path.c_str(),
+                  spans.records().size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "soak: %s\n", e.what());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 bool read_file(const std::string& path, std::string& out) {
@@ -112,6 +158,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> scenario_files;
   std::string replay_path;
   std::string metrics_path;
+  std::string chrome_trace_path;
+  std::string span_jsonl_path;
   SoakOptions opts;
   opts.threads = carpool::par::resolve_threads();  // CARPOOL_THREADS or 1
   bool do_shrink = false;
@@ -141,6 +189,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       opts.threads =
           carpool::par::resolve_threads(std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--chrome-trace") {
+      chrome_trace_path = next();
+    } else if (arg == "--span-jsonl") {
+      span_jsonl_path = next();
     } else if (arg == "--list") {
       list_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -153,7 +205,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!replay_path.empty()) return replay_mode(replay_path);
+  // Span collection covers replay and campaign alike; the collector is
+  // installed for the whole run and exported at exit.
+  const bool want_spans =
+      !chrome_trace_path.empty() || !span_jsonl_path.empty();
+  if (want_spans && !obs::trace_compiled_in()) {
+    std::fprintf(stderr,
+                 "soak: warning: built with CARPOOL_ENABLE_TRACE=OFF; "
+                 "span collection is compiled out and the trace will be "
+                 "empty\n");
+  }
+  obs::SpanCollector span_collector;
+  std::optional<obs::SpanCollector::ScopedCurrent> span_scope;
+  if (want_spans) span_scope.emplace(span_collector);
+
+  if (!replay_path.empty()) {
+    const int code = replay_mode(replay_path);
+    if (want_spans &&
+        !export_spans(span_collector, chrome_trace_path, span_jsonl_path)) {
+      return 2;
+    }
+    return code;
+  }
 
   std::vector<Scenario> scenarios;
   if (scenario_files.empty()) {
@@ -228,6 +301,10 @@ int main(int argc, char** argv) {
               obs::Registry::global().fingerprint());
   if (!metrics_path.empty()) {
     obs::Registry::global().write_json(metrics_path, "soak");
+  }
+  if (want_spans &&
+      !export_spans(span_collector, chrome_trace_path, span_jsonl_path)) {
+    return exit_code == 0 ? 2 : exit_code;
   }
   return exit_code;
 }

@@ -1,0 +1,121 @@
+// trace_convert — span JSONL -> Chrome trace-event JSON.
+//
+//   trace_convert <spans.jsonl> <out.json>
+//
+// Reads the `"type":"span"` JSONL stream written by
+// obs::SpanCollector::write_jsonl (e.g. soak --span-jsonl, or a
+// TraceSink file a simulation was configured with) and converts it to a
+// Chrome trace-event file via obs::ChromeTraceWriter, loadable in
+// https://ui.perfetto.dev or chrome://tracing. Non-span lines (the MAC
+// event trace shares the same sink format) are skipped, so a mixed
+// trace file converts cleanly.
+//
+// Exit codes: 0 = written, 1 = no span records found, 2 = usage/IO/parse
+// error.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chaos/json.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using carpool::chaos::JsonValue;
+using carpool::chaos::json_parse;
+using carpool::obs::SpanRecord;
+
+double num_or(const JsonValue& obj, const char* key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+/// Parse one JSONL line; true (and fills `out`) iff it is a span record.
+bool parse_span_line(const std::string& line, std::size_t line_no,
+                     SpanRecord& out, bool& parse_error) {
+  const auto parsed = json_parse(line);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "trace_convert: line %zu: %s\n", line_no,
+                 parsed.error.to_string().c_str());
+    parse_error = true;
+    return false;
+  }
+  const JsonValue& obj = *parsed.value;
+  const JsonValue* type = obj.find("type");
+  if (type == nullptr || !type->is_string() || type->as_string() != "span") {
+    return false;
+  }
+  out = SpanRecord{};
+  out.id = static_cast<std::uint64_t>(num_or(obj, "id", 0.0));
+  out.parent = static_cast<std::uint64_t>(num_or(obj, "parent", 0.0));
+  if (const JsonValue* name = obj.find("name");
+      name != nullptr && name->is_string()) {
+    out.name = name->as_string();
+  }
+  out.ids.txop = static_cast<std::int64_t>(num_or(obj, "txop", -1.0));
+  out.ids.frame = static_cast<std::int64_t>(num_or(obj, "frame", -1.0));
+  out.ids.subframe = static_cast<std::int64_t>(num_or(obj, "subframe", -1.0));
+  out.ids.sta = static_cast<std::int64_t>(num_or(obj, "sta", -1.0));
+  out.sim_start = num_or(obj, "sim_start", -1.0);
+  out.sim_duration = num_or(obj, "sim_duration", 0.0);
+  out.wall_start_ns =
+      static_cast<std::uint64_t>(num_or(obj, "wall_start_ns", 0.0));
+  out.wall_ns = static_cast<std::uint64_t>(num_or(obj, "wall_ns", 0.0));
+  if (const JsonValue* outcome = obj.find("outcome");
+      outcome != nullptr && outcome->is_string()) {
+    out.outcome = outcome->as_string();
+  }
+  return out.id != 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: trace_convert <spans.jsonl> <out.json>\n");
+    return 2;
+  }
+  const std::string in_path = argv[1];
+  const std::string out_path = argv[2];
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "trace_convert: cannot read %s\n", in_path.c_str());
+    return 2;
+  }
+
+  std::vector<SpanRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t skipped = 0;
+  bool parse_error = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    SpanRecord record;
+    if (parse_span_line(line, line_no, record, parse_error)) {
+      records.push_back(std::move(record));
+    } else if (!parse_error) {
+      ++skipped;
+    }
+    if (parse_error) return 2;
+  }
+  if (records.empty()) {
+    std::fprintf(stderr,
+                 "trace_convert: no span records in %s (%zu non-span "
+                 "line(s) skipped)\n",
+                 in_path.c_str(), skipped);
+    return 1;
+  }
+  if (!carpool::obs::ChromeTraceWriter::write(out_path, records)) {
+    std::fprintf(stderr, "trace_convert: cannot write %s\n",
+                 out_path.c_str());
+    return 2;
+  }
+  std::printf("trace_convert: %s (%zu span(s), %zu non-span line(s) "
+              "skipped)\n",
+              out_path.c_str(), records.size(), skipped);
+  return 0;
+}
