@@ -1,0 +1,123 @@
+#include "channel/shadowing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace carpool::channel {
+namespace {
+
+/// Upper bound on time-grid size: a 20k x 64 grid is ~10 MB of doubles
+/// worst case and fractions of that in practice.
+constexpr std::size_t kMaxSteps = 20000;
+
+/// Lower-triangular Cholesky factor of the spatial correlation matrix
+/// R_ij = exp(-d_ij / d0), with a small diagonal jitter retry so nearly
+/// coincident stations (R ~ all-ones) stay positive definite.
+std::vector<double> cholesky_correlation(
+    const std::vector<std::pair<double, double>>& pos, double d0) {
+  const std::size_t n = pos.size();
+  std::vector<double> r(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dx = pos[i].first - pos[j].first;
+      const double dy = pos[i].second - pos[j].second;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      r[i * n + j] = std::exp(-d / std::max(d0, 1e-9));
+    }
+  }
+  std::vector<double> l(n * n, 0.0);
+  for (double jitter = 0.0; jitter < 1e-3; jitter = jitter * 10 + 1e-10) {
+    bool ok = true;
+    std::fill(l.begin(), l.end(), 0.0);
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double sum = r[i * n + j] + (i == j ? jitter : 0.0);
+        for (std::size_t k = 0; k < j; ++k) {
+          sum -= l[i * n + k] * l[j * n + k];
+        }
+        if (i == j) {
+          if (sum <= 0.0) {
+            ok = false;
+            break;
+          }
+          l[i * n + i] = std::sqrt(sum);
+        } else {
+          l[i * n + j] = sum / l[j * n + j];
+        }
+      }
+    }
+    if (ok) return l;
+  }
+  // Degenerate geometry even with jitter: fall back to independent
+  // stations (identity factor) rather than failing the campaign.
+  std::fill(l.begin(), l.end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) l[i * n + i] = 1.0;
+  return l;
+}
+
+}  // namespace
+
+CorrelatedShadowing::CorrelatedShadowing(
+    const ShadowingConfig& cfg,
+    std::vector<std::pair<double, double>> positions, double duration,
+    std::uint64_t seed)
+    : n_(positions.size()) {
+  if (n_ == 0 || !(duration > 0.0) || !(cfg.sigma_db > 0.0)) {
+    steps_ = 0;
+    return;
+  }
+  dt_ = std::max(cfg.sample_interval_s, 1e-6);
+  if (duration / dt_ > static_cast<double>(kMaxSteps)) {
+    dt_ = duration / static_cast<double>(kMaxSteps);
+  }
+  steps_ = static_cast<std::size_t>(std::ceil(duration / dt_)) + 1;
+
+  const std::vector<double> l =
+      cholesky_correlation(positions, cfg.decorr_distance_m);
+  const double a = std::exp(-dt_ / std::max(cfg.decorr_time_s, 1e-9));
+  const double b = std::sqrt(std::max(0.0, 1.0 - a * a));
+
+  grid_.assign(steps_ * n_, 0.0);
+  Rng rng(seed);
+  std::vector<double> w(n_, 0.0);
+  std::vector<double> corr(n_, 0.0);
+  for (std::size_t t = 0; t < steps_; ++t) {
+    // Spatially correlated innovation: corr = L * w, w ~ N(0, I).
+    for (double& x : w) x = rng.gaussian();
+    for (std::size_t i = 0; i < n_; ++i) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) sum += l[i * n_ + k] * w[k];
+      corr[i] = sum;
+    }
+    double* row = &grid_[t * n_];
+    if (t == 0) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        row[i] = cfg.sigma_db * corr[i];
+      }
+    } else {
+      const double* prev = &grid_[(t - 1) * n_];
+      for (std::size_t i = 0; i < n_; ++i) {
+        // AR(1) on the normalized process keeps the marginal variance at
+        // sigma^2 for every step.
+        row[i] = a * prev[i] + b * cfg.sigma_db * corr[i];
+      }
+    }
+  }
+}
+
+double CorrelatedShadowing::offset_db(std::size_t sta_index,
+                                      double time) const {
+  if (sta_index >= n_ || steps_ == 0) return 0.0;
+  const double pos = std::clamp(time / dt_, 0.0,
+                                static_cast<double>(steps_ - 1));
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, steps_ - 1);
+  const double frac = pos - static_cast<double>(lo);
+  const double a = grid_[lo * n_ + sta_index];
+  const double b = grid_[hi * n_ + sta_index];
+  return a + frac * (b - a);
+}
+
+}  // namespace carpool::channel

@@ -1,0 +1,62 @@
+#pragma once
+
+// Gudmundson-style correlated log-normal shadowing.
+//
+// Real indoor deployments do not shadow i.i.d.: two STAs behind the same
+// pillar fade together, and one STA's shadowing decorrelates smoothly as
+// time (people, doors) passes. This model produces a per-STA shadowing
+// offset in dB that is
+//
+//   - log-normal:  offset_i(t) ~ N(0, sigma_db^2) marginally,
+//   - spatially correlated:  E[z_i z_j] = exp(-d_ij / decorr_distance)
+//     (Gudmundson '91 exponential correlation, applied across stations
+//     through the Cholesky factor of the correlation matrix), and
+//   - temporally correlated:  each grid step evolves as an AR(1) process
+//     z_t = a z_{t-1} + sqrt(1 - a^2) L w_t  with a = exp(-dt / decorr_time),
+//
+// precomputed on a deterministic (seed-driven) time grid and linearly
+// interpolated between grid points. Same seed + config + positions =>
+// bit-identical offsets, so soak/fuzz campaigns using shadowing keep the
+// repro-bundle replay contract (docs/SOAK.md).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace carpool::channel {
+
+struct ShadowingConfig {
+  double sigma_db = 4.0;            ///< marginal std-dev of the offset
+  double decorr_distance_m = 5.0;   ///< spatial e-folding distance
+  double decorr_time_s = 1.0;       ///< temporal e-folding time
+  double sample_interval_s = 0.1;   ///< time-grid step (clamped so the
+                                    ///< grid never exceeds ~20k steps)
+};
+
+class CorrelatedShadowing {
+ public:
+  /// `positions[i]` is station i's representative (x, y) location in
+  /// metres (one entry per station; index 0 = station 1). `duration` is
+  /// the timeline length the grid must cover.
+  CorrelatedShadowing(const ShadowingConfig& cfg,
+                      std::vector<std::pair<double, double>> positions,
+                      double duration, std::uint64_t seed);
+
+  /// Shadowing offset in dB for 0-based station index `sta_index` at
+  /// `time` seconds (linear interpolation on the grid; clamped at the
+  /// ends). Out-of-range indices return 0.
+  [[nodiscard]] double offset_db(std::size_t sta_index, double time) const;
+
+  [[nodiscard]] std::size_t num_stations() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_steps() const noexcept { return steps_; }
+  [[nodiscard]] double step_seconds() const noexcept { return dt_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t steps_ = 0;
+  double dt_ = 0.1;
+  /// Row-major [step][station] offsets in dB.
+  std::vector<double> grid_;
+};
+
+}  // namespace carpool::channel

@@ -1,0 +1,161 @@
+#pragma once
+
+// carpool::chaos — coverage-guided scenario fuzzing (docs/SOAK.md).
+//
+// The fuzzer hill-climbs two signals the soak engine already produces:
+//   * coverage — a log2-bucketed digest of the obs counter surface after
+//     an evaluation (coverage_signature). A mutant that drives any
+//     counter into a bucket no corpus entry has seen is novel.
+//   * invariant margins — SoakReport::min_margin(), the smallest
+//     proximity-to-violation distance any invariant reported
+//     (chaos/invariants.hpp). Smaller is closer to a bug.
+// Each round the engine picks parents from the corpus (tournament by
+// margin), applies one typed schema-valid mutation per mutant
+// (ScenarioMutator — mutants always pass scenario_from_json validation
+// by construction), evaluates the batch, and keeps mutants that are
+// novel or tighten a known signature's margin. Violations become repro
+// bundles and are auto-shrunk (chaos/shrink.hpp).
+//
+// Determinism: every RNG stream derives from (fuzz seed, round); mutant
+// generation is serial; evaluations run inside private obs::Registry
+// scopes and are consumed strictly in batch-index order, with each
+// kept evaluation's metrics merged into the ambient registry at consume
+// time. Corpus evolution, hits, and the ambient metric surface are
+// therefore bit-identical at any --threads count.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/runner.hpp"
+#include "chaos/scenario.hpp"
+#include "common/rng.hpp"
+#include "obs/registry.hpp"
+
+namespace carpool::chaos {
+
+/// Log2-bucketed FNV-1a digest of a registry's counter surface: for
+/// every non-zero counter, (name, floor(log2(value)) + 1) feeds the
+/// hash in sorted-name order. AFL-style hit-count bucketing — a counter
+/// moving 3 -> 5 is the same signature, 3 -> 300 is a new one.
+[[nodiscard]] std::uint64_t coverage_signature(const obs::Registry& reg);
+
+struct MutatorConfig {
+  /// Permit the inject_fault mutation (plants a scripted
+  /// InjectedViolation). Off by default: injected faults are test
+  /// scaffolding, not bugs, so a discovery campaign must not seed them.
+  bool allow_inject = false;
+  /// Ceiling for an injected fault's frame — keep it inside the
+  /// per-evaluation frame budget or the fault can never fire.
+  std::uint64_t inject_max_frame = 4000;
+};
+
+/// One applied mutation: the mutated scenario plus the (static-storage)
+/// name of the operator that produced it.
+struct Mutation {
+  Scenario scenario;
+  std::string_view op;
+};
+
+/// Typed, schema-valid-by-construction scenario mutator. Operators:
+/// interference episode split / shift / intensify / add / drop, churn
+/// add / drop, mobility waypoint jitter / track add, traffic phase
+/// swap / retime, duration scale, reseed, SNR nudge, shadowing perturb,
+/// and (gated) inject_fault. Every operator clamps its output to the
+/// scenario schema's validation rules, so mutate() never produces a
+/// scenario scenario_from_json would reject.
+class ScenarioMutator {
+ public:
+  explicit ScenarioMutator(MutatorConfig config = {}) : config_(config) {}
+
+  /// Apply one randomly chosen applicable operator. Operators that need
+  /// absent structure (e.g. episode split with no interference) pass
+  /// and another is drawn; reseed always applies, so this terminates.
+  [[nodiscard]] Mutation mutate(const Scenario& base, Rng& rng) const;
+
+  [[nodiscard]] const MutatorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  MutatorConfig config_;
+};
+
+/// A corpus resident: the scenario, the coverage signature it produced,
+/// and the smallest invariant margin its evaluation observed.
+struct CorpusEntry {
+  Scenario scenario;
+  std::uint64_t signature = 0;
+  double min_margin = 1.0;
+  std::size_t round = 0;   ///< round the entry was admitted
+  std::string op;          ///< operator that produced it ("seed" for seeds)
+};
+
+/// A violation the fuzzer found: the mutant, its violation, and the
+/// auto-shrunk reproduction.
+struct FuzzHit {
+  Scenario scenario;        ///< mutant that violated
+  Violation violation;
+  Scenario shrunk;          ///< minimal reproducing scenario
+  /// What `shrunk` actually produces — coordinates (episode, frame) can
+  /// legitimately drift during reduction for non-injected invariants, so
+  /// replaying {shrunk, violation} would spuriously fail. {shrunk,
+  /// shrunk_violation} is always a self-contained, replayable bundle.
+  Violation shrunk_violation;
+  double timeline_ratio = 1.0;  ///< shrunk / original timeline length
+  std::string bundle_path;  ///< non-empty when a bundle file was written
+  std::size_t round = 0;
+  std::size_t batch_index = 0;
+  std::string op;           ///< operator that produced the mutant
+};
+
+struct FuzzOptions {
+  std::size_t rounds = 16;       ///< mutation rounds after seeding
+  std::size_t batch = 8;         ///< mutants evaluated per round
+  std::uint64_t eval_frames = 4000;  ///< soak frame budget per evaluation
+  std::uint64_t seed = 1;        ///< fuzz campaign seed
+  std::size_t threads = 1;       ///< evaluation fan-out (carpool::par)
+  std::size_t corpus_max = 64;   ///< eviction threshold (largest margin goes)
+  bool stop_on_violation = true;
+  bool shrink_hits = true;       ///< delta-debug hits into minimal repros
+  bool allow_inject = false;     ///< arm the inject_fault operator
+  std::string bundle_dir;        ///< write hit (and shrunk) bundles here
+  double rte_norm_bound = 1e3;   ///< forwarded to the per-eval SoakOptions
+};
+
+struct FuzzReport {
+  std::size_t rounds_run = 0;
+  std::uint64_t evals = 0;          ///< evaluations consumed
+  std::uint64_t corpus_adds = 0;    ///< admissions (novel or tightened)
+  std::vector<CorpusEntry> corpus;  ///< final corpus, admission order
+  std::vector<FuzzHit> hits;
+
+  [[nodiscard]] bool found() const noexcept { return !hits.empty(); }
+
+  /// Order-stable digest of the evolved corpus: every entry's serialized
+  /// scenario, signature, and margin bit pattern, FNV-1a folded in
+  /// admission order. Equal digests mean bit-identical corpus evolution
+  /// — the quantity the thread-count determinism test compares.
+  [[nodiscard]] std::uint64_t corpus_digest() const;
+};
+
+/// Deterministic coverage-guided fuzz campaign over a seed corpus.
+class FuzzEngine {
+ public:
+  explicit FuzzEngine(FuzzOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Seed the corpus by evaluating `seeds`, then run mutation rounds.
+  /// Seeds that violate immediately count as hits.
+  [[nodiscard]] FuzzReport run(const std::vector<Scenario>& seeds) const;
+
+  [[nodiscard]] const FuzzOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  FuzzOptions opts_;
+};
+
+}  // namespace carpool::chaos

@@ -2,16 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <sstream>
 
 #include "carpool/transceiver.hpp"
+#include "mac/energy.hpp"
 #include "mac/params.hpp"
 
 namespace carpool::chaos {
 namespace {
 
 constexpr double kTimeEps = 1e-9;
+/// Absolute slack for the energy ledger: time accounting happens in
+/// seconds-scale doubles, so per-node sums drift by at most a few ULPs
+/// per event.
+constexpr double kEnergyEps = 1e-6;
 
 bool finite(double v) { return std::isfinite(v); }
 
@@ -22,6 +28,30 @@ std::string fmt(double v) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------- MarginTracker
+
+void MarginTracker::observe(std::string_view invariant, double margin) {
+  if (!std::isfinite(margin)) margin = -1.0;
+  auto it = minima_.find(invariant);
+  if (it == minima_.end()) {
+    minima_.emplace(std::string(invariant), margin);
+  } else {
+    it->second = std::min(it->second, margin);
+  }
+}
+
+double MarginTracker::overall() const noexcept {
+  double out = 1.0;
+  for (const auto& [name, m] : minima_) out = std::min(out, m);
+  return out;
+}
+
+void MarginTracker::merge_from(const MarginTracker& other) {
+  for (const auto& [name, m] : other.minima_) observe(name, m);
+}
+
+// --------------------------------------------------------- StepInvariants
 
 Violation StepInvariants::make(const mac::SimStepView& view,
                                std::string invariant,
@@ -36,6 +66,11 @@ Violation StepInvariants::make(const mac::SimStepView& view,
   return v;
 }
 
+void StepInvariants::observe(std::string_view invariant,
+                             double margin) const {
+  if (margins_ != nullptr) margins_->observe(invariant, margin);
+}
+
 std::optional<Violation> StepInvariants::check(
     const mac::SimStepView& view) {
   if (tripped_) return std::nullopt;
@@ -44,11 +79,14 @@ std::optional<Violation> StepInvariants::check(
 
   // accounting_balance: every generated frame is delivered, dropped, or
   // still queued — nothing leaks between the traffic generators, the
-  // per-STA queues, and the reception judgements.
+  // per-STA queues, and the reception judgements. Binary margin: frame
+  // accounting either balances or it does not.
   const std::uint64_t accounted = t.dl_frames_delivered +
                                   t.ul_frames_delivered +
                                   t.dl_frames_dropped + t.ul_frames_dropped +
                                   view.frames_inflight;
+  observe("accounting_balance", accounted == view.frames_generated ? 1.0
+                                                                   : 0.0);
   if (accounted != view.frames_generated) {
     tripped_ = true;
     return make(view, "accounting_balance",
@@ -59,14 +97,17 @@ std::optional<Violation> StepInvariants::check(
 
   // nav_seq_ack: the resolved TXOP's ACK overhead must equal the
   // sequential-ACK arithmetic, and Eq. (1)/(2) must stay mutually
-  // consistent: nav_data(p, D, N) - D == nav_i(p, N+1).
+  // consistent: nav_data(p, D, N) - D == nav_i(p, N+1). Margin: worst
+  // normalized arithmetic error against the kTimeEps tolerance.
   if (!view.txop.collision && view.txop.subunits > 0) {
     const double single = p.sifs + p.ack_duration();
     const double expected =
         view.txop.sequential_ack
             ? static_cast<double>(view.txop.subunits) * single
             : single;
-    if (std::fabs(view.txop.ack_overhead - expected) > kTimeEps) {
+    double worst_err = std::fabs(view.txop.ack_overhead - expected);
+    if (worst_err > kTimeEps) {
+      observe("nav_seq_ack", 1.0 - worst_err / kTimeEps);
       tripped_ = true;
       return make(view, "nav_seq_ack",
                   "ack_overhead " + fmt(view.txop.ack_overhead) +
@@ -78,8 +119,11 @@ std::optional<Violation> StepInvariants::check(
           mac::nav_data(p, view.txop.data_duration, view.txop.subunits) -
           view.txop.data_duration;
       const double eq2_tail = mac::nav_i(p, view.txop.subunits + 1);
-      if (std::fabs(nav_tail - eq2_tail) > kTimeEps ||
-          std::fabs(nav_tail - view.txop.ack_overhead) > kTimeEps) {
+      worst_err = std::max(
+          worst_err, std::max(std::fabs(nav_tail - eq2_tail),
+                              std::fabs(nav_tail - view.txop.ack_overhead)));
+      if (worst_err > kTimeEps) {
+        observe("nav_seq_ack", 1.0 - worst_err / kTimeEps);
         tripped_ = true;
         return make(view, "nav_seq_ack",
                     "Eq.(1)/(2) mismatch: nav_data tail " + fmt(nav_tail) +
@@ -87,41 +131,57 @@ std::optional<Violation> StepInvariants::check(
                         ", ack_overhead " + fmt(view.txop.ack_overhead));
       }
     }
+    observe("nav_seq_ack", 1.0 - worst_err / kTimeEps);
   }
 
   // no_total_suspension: with suspension gating on, the machine may
   // suspend every STA transiently, but some suspension must expire within
   // the configured maximum backoff — otherwise downlink scheduling has
-  // deadlocked.
+  // deadlocked. Margin: the fraction of STAs still schedulable; once all
+  // are suspended, the remaining wake headroom (scaled below the
+  // one-STA-free level so the gradient stays monotone as the campaign
+  // approaches the deadlock).
   if (view.links != nullptr && view.links->policy().suspension &&
       view.num_stas > 0) {
-    bool all_suspended = true;
+    std::size_t suspended = 0;
     double earliest_wake = std::numeric_limits<double>::infinity();
     for (mac::NodeId sta = 1; sta <= view.num_stas; ++sta) {
       const mac::StaLinkState& s = view.links->state(sta);
-      if (s.health != mac::LinkHealth::kSuspended) {
-        all_suspended = false;
-        break;
+      if (s.health == mac::LinkHealth::kSuspended) {
+        ++suspended;
+        earliest_wake = std::min(earliest_wake, s.suspended_until);
       }
-      earliest_wake = std::min(earliest_wake, s.suspended_until);
     }
-    if (all_suspended &&
-        earliest_wake >
-            view.now + view.links->policy().max_timeout + kTimeEps) {
-      tripped_ = true;
-      return make(view, "no_total_suspension",
-                  "all " + std::to_string(view.num_stas) +
-                      " STAs suspended; earliest wake " +
-                      fmt(earliest_wake) + " > now " + fmt(view.now) +
-                      " + max_timeout " +
-                      fmt(view.links->policy().max_timeout));
+    const double n = static_cast<double>(view.num_stas);
+    const bool all_suspended = suspended == view.num_stas;
+    if (!all_suspended) {
+      observe("no_total_suspension",
+              1.0 - static_cast<double>(suspended) / n);
+    } else {
+      const double max_timeout = view.links->policy().max_timeout;
+      const double headroom =
+          view.now + max_timeout - earliest_wake;  // > 0 means it wakes
+      const double scale = max_timeout > 0.0 ? max_timeout : 1.0;
+      observe("no_total_suspension",
+              std::min(headroom / scale, 1.0) / n);
+      if (headroom < -kTimeEps) {
+        tripped_ = true;
+        return make(view, "no_total_suspension",
+                    "all " + std::to_string(view.num_stas) +
+                        " STAs suspended; earliest wake " +
+                        fmt(earliest_wake) + " > now " + fmt(view.now) +
+                        " + max_timeout " + fmt(max_timeout));
+      }
     }
   }
 
   // sane_metrics: counters never run backwards, airtime stays inside
-  // elapsed time (one in-flight sequence of slack), nothing is NaN/Inf.
+  // elapsed time, nothing is NaN/Inf. Margin: the idle fraction of the
+  // elapsed time (how much room busy airtime has left); the binary
+  // sub-conditions drop the margin to 0 when they fail.
   if (view.frames_generated < last_generated_ ||
       view.frames_judged < last_judged_) {
+    observe("sane_metrics", 0.0);
     tripped_ = true;
     return make(view, "sane_metrics", "frame counters ran backwards");
   }
@@ -130,9 +190,13 @@ std::optional<Violation> StepInvariants::check(
   const double busy_airtime =
       t.airtime_payload + t.airtime_overhead + t.airtime_collision;
   if (!finite(busy_airtime) || !finite(view.now)) {
+    observe("sane_metrics", 0.0);
     tripped_ = true;
     return make(view, "sane_metrics", "non-finite airtime or clock");
   }
+  const double airtime_margin =
+      view.now > kTimeEps ? (view.now - busy_airtime) / view.now : 1.0;
+  observe("sane_metrics", std::min(airtime_margin, 1.0));
   if (busy_airtime > view.now + kTimeEps) {
     tripped_ = true;
     return make(view, "sane_metrics",
@@ -141,6 +205,7 @@ std::optional<Violation> StepInvariants::check(
   }
   if (t.airtime_payload < 0.0 || t.airtime_overhead < 0.0 ||
       t.airtime_collision < 0.0) {
+    observe("sane_metrics", 0.0);
     tripped_ = true;
     return make(view, "sane_metrics", "negative airtime bucket");
   }
@@ -148,11 +213,14 @@ std::optional<Violation> StepInvariants::check(
   return std::nullopt;
 }
 
+// ----------------------------------------------------------- check_decode
+
 std::optional<Violation> check_decode(const CarpoolRxResult& rx,
                                       std::uint64_t frame, double time,
                                       std::size_t episode,
                                       std::size_t repeat,
-                                      double rte_norm_bound) {
+                                      double rte_norm_bound,
+                                      MarginTracker* margins) {
   auto make = [&](std::string invariant, std::string detail) {
     Violation v;
     v.invariant = std::move(invariant);
@@ -163,10 +231,15 @@ std::optional<Violation> check_decode(const CarpoolRxResult& rx,
     v.repeat = repeat;
     return v;
   };
+  auto observe = [&](std::string_view invariant, double margin) {
+    if (margins != nullptr) margins->observe(invariant, margin);
+  };
 
   // decode_no_throw: receive() promises containment; kInternalError means
   // an exception escaped the decode walk and was caught at the boundary.
-  if (rx.status == DecodeStatus::kInternalError) {
+  const bool contained = rx.status != DecodeStatus::kInternalError;
+  observe("decode_no_throw", contained ? 1.0 : 0.0);
+  if (!contained) {
     return make("decode_no_throw",
                 "receive() reported kInternalError (contained exception)");
   }
@@ -175,6 +248,7 @@ std::optional<Violation> check_decode(const CarpoolRxResult& rx,
   // for Bloom-matched indices, an FCS pass implies a completed decode,
   // and the symbol counters must be finite and consistent.
   if (rx.subframes.size() > rx.matched.size()) {
+    observe("decode_accounting", 0.0);
     return make("decode_accounting",
                 std::to_string(rx.subframes.size()) +
                     " decoded subframes but only " +
@@ -182,21 +256,32 @@ std::optional<Violation> check_decode(const CarpoolRxResult& rx,
   }
   for (const DecodedSubframe& sub : rx.subframes) {
     if (sub.fcs_ok && !sub.decoded) {
+      observe("decode_accounting", 0.0);
       return make("decode_accounting",
                   "subframe " + std::to_string(sub.index) +
                       " has fcs_ok without decoded");
     }
   }
   if (!std::isfinite(rx.sync_quality)) {
+    observe("decode_accounting", 0.0);
     return make("decode_accounting", "non-finite sync_quality");
   }
+  observe("decode_accounting", 1.0);
 
   // rte_bounded: RTE updates must never blow the running channel
   // estimate up to NaN/Inf or an absurd magnitude — the failure mode the
-  // poisoning guard exists to prevent.
-  if (!std::isfinite(rx.rte_estimate_norm) ||
-      rx.rte_estimate_norm > rte_norm_bound ||
-      rx.rte_estimate_norm < 0.0) {
+  // poisoning guard exists to prevent. Margin: remaining fraction of the
+  // norm bound, the smoothest hill-climb signal the fuzzer gets from the
+  // PHY (a scenario that drives the estimate to 0.9*bound is one mutation
+  // away from the blow-up).
+  if (!std::isfinite(rx.rte_estimate_norm) || rx.rte_estimate_norm < 0.0) {
+    observe("rte_bounded", -1.0);
+    return make("rte_bounded",
+                "RTE estimate RMS " + fmt(rx.rte_estimate_norm) +
+                    " outside [0, " + fmt(rte_norm_bound) + "]");
+  }
+  observe("rte_bounded", 1.0 - rx.rte_estimate_norm / rte_norm_bound);
+  if (rx.rte_estimate_norm > rte_norm_bound) {
     return make("rte_bounded",
                 "RTE estimate RMS " + fmt(rx.rte_estimate_norm) +
                     " outside [0, " + fmt(rte_norm_bound) + "]");
@@ -205,8 +290,136 @@ std::optional<Violation> check_decode(const CarpoolRxResult& rx,
   return std::nullopt;
 }
 
+// --------------------------------------------------------- check_fairness
+
+std::optional<Violation> check_fairness(const mac::SimResult& res,
+                                        const FairnessConfig& cfg,
+                                        std::uint64_t frame, double time,
+                                        std::size_t episode,
+                                        std::size_t repeat,
+                                        MarginTracker* margins) {
+  // Share statistics only mean something when the episode actually
+  // carried downlink traffic to several stations.
+  if (res.dl_frames_delivered < cfg.min_frames) return std::nullopt;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min_served = std::numeric_limits<double>::infinity();
+  std::size_t served = 0;
+  for (std::size_t i = 1; i < res.per_sta_goodput_bps.size(); ++i) {
+    const double x = res.per_sta_goodput_bps[i];
+    if (x <= 0.0) continue;
+    ++served;
+    sum += x;
+    sum_sq += x * x;
+    min_served = std::min(min_served, x);
+  }
+  if (served < 2 || sum_sq <= 0.0) return std::nullopt;
+
+  const double n = static_cast<double>(served);
+  const double jain = sum * sum / (n * sum_sq);
+  const double mean = sum / n;
+  const double min_share = min_served / mean;
+
+  const double jain_margin =
+      (jain - cfg.jain_floor) / (1.0 - cfg.jain_floor);
+  const double share_margin =
+      (min_share - cfg.min_share_floor) / (1.0 - cfg.min_share_floor);
+  if (margins != nullptr) {
+    margins->observe("fairness_floor",
+                     std::min(jain_margin, share_margin));
+  }
+
+  if (jain < cfg.jain_floor || min_share < cfg.min_share_floor) {
+    Violation v;
+    v.invariant = "fairness_floor";
+    v.detail = "Jain index " + fmt(jain) + " (floor " +
+               fmt(cfg.jain_floor) + "), worst served share " +
+               fmt(min_share) + " of mean (floor " +
+               fmt(cfg.min_share_floor) + ") over " +
+               std::to_string(served) + " served STAs";
+    v.frame = frame;
+    v.time = time;
+    v.episode = episode;
+    v.repeat = repeat;
+    return v;
+  }
+  return std::nullopt;
+}
+
+// ----------------------------------------------------------- check_energy
+
+std::optional<Violation> check_energy(const mac::SimResult& res,
+                                      std::uint64_t frame, double time,
+                                      std::size_t episode,
+                                      std::size_t repeat,
+                                      MarginTracker* margins) {
+  const mac::PowerModel power{};
+  const double T = res.duration;
+  double min_margin = 1.0;
+  std::string detail;
+  for (std::size_t node = 0; node < res.node_energy.size(); ++node) {
+    const mac::NodeEnergy& ne = res.node_energy[node];
+    if (!finite(ne.tx_seconds) || !finite(ne.rx_seconds) ||
+        !finite(ne.idle_seconds) || !finite(ne.joules)) {
+      min_margin = -1.0;
+      detail = "node " + std::to_string(node) + " non-finite energy ledger";
+      break;
+    }
+    const double active = ne.tx_seconds + ne.rx_seconds;
+    // Active time fits inside the episode; margin is the idle fraction.
+    const double fit_margin = T > 0.0 ? (T - active) / T : 1.0;
+    if (fit_margin < min_margin) {
+      min_margin = fit_margin;
+      detail = "node " + std::to_string(node) + " active " + fmt(active) +
+               " s exceeds episode " + fmt(T) + " s";
+    }
+    if (ne.tx_seconds < -kEnergyEps || ne.rx_seconds < -kEnergyEps ||
+        ne.idle_seconds < -kEnergyEps) {
+      min_margin = std::min(min_margin, -1.0);
+      detail = "node " + std::to_string(node) + " negative time bucket";
+    }
+    // The ledger the simulator writes: idle clamped at zero, joules from
+    // the paper's Sec. 8 power model (mac/energy.hpp).
+    const double expect_idle = std::max(0.0, T - active);
+    const double expect_joules = ne.tx_seconds * power.tx_watts +
+                                 ne.rx_seconds * power.rx_watts +
+                                 expect_idle * power.idle_watts;
+    const double idle_err = std::fabs(ne.idle_seconds - expect_idle);
+    const double joule_err = std::fabs(ne.joules - expect_joules);
+    const double idle_tol = kEnergyEps * (1.0 + T);
+    const double joule_tol = kEnergyEps * (1.0 + std::fabs(expect_joules));
+    const double ledger_margin =
+        std::min(1.0 - idle_err / idle_tol, 1.0 - joule_err / joule_tol);
+    if (ledger_margin < min_margin) {
+      min_margin = ledger_margin;
+      detail = "node " + std::to_string(node) + " ledger drift: idle " +
+               fmt(ne.idle_seconds) + " vs " + fmt(expect_idle) +
+               ", joules " + fmt(ne.joules) + " vs " + fmt(expect_joules);
+    }
+  }
+  if (margins != nullptr && !res.node_energy.empty()) {
+    margins->observe("energy_consistency", min_margin);
+  }
+  // The fit check gets the same absolute slack as the ledger checks
+  // (double accumulation across many events), expressed in margin units.
+  if (min_margin < (T > 0.0 ? -kEnergyEps * (1.0 + T) / T : 0.0)) {
+    Violation v;
+    v.invariant = "energy_consistency";
+    v.detail = detail;
+    v.frame = frame;
+    v.time = time;
+    v.episode = episode;
+    v.repeat = repeat;
+    return v;
+  }
+  return std::nullopt;
+}
+
+// --------------------------------------------------- check_goodput_cliffs
+
 std::optional<Violation> check_goodput_cliffs(
-    const std::vector<EpisodeSummary>& episodes, double cliff_fraction) {
+    const std::vector<EpisodeSummary>& episodes, double cliff_fraction,
+    MarginTracker* margins) {
   // Group by intensity rung; ignore rungs whose episodes judged nothing
   // (an idle rung's zero goodput is not a cliff).
   std::map<double, std::pair<double, std::size_t>> rungs;  // sum, count
@@ -221,26 +434,37 @@ std::optional<Violation> check_goodput_cliffs(
   double prev_intensity = 0.0;
   double prev_mean = 0.0;
   bool have_prev = false;
+  std::optional<Violation> out;
   for (const auto& [intensity, acc] : rungs) {
     const double mean = acc.first / static_cast<double>(acc.second);
     // Only flag a cliff when the gentler rung was actually carrying
     // traffic; comparing two starved rungs is noise.
-    if (have_prev && prev_mean > 1e5 &&
-        mean < cliff_fraction * prev_mean) {
-      Violation v;
-      v.invariant = "goodput_cliff";
-      v.detail = "mean goodput fell from " + fmt(prev_mean) +
-                 " bps (intensity " + fmt(prev_intensity) + ") to " +
-                 fmt(mean) + " bps (intensity " + fmt(intensity) +
-                 "), below the " + fmt(cliff_fraction) +
-                 " adjacent-rung floor";
-      return v;
+    if (have_prev && prev_mean > 1e5) {
+      // Margin: how far the retained fraction sits above the cliff floor,
+      // normalized so holding 100% of the gentler rung's goodput is 1.
+      const double ratio = mean / prev_mean;
+      if (margins != nullptr) {
+        margins->observe("goodput_cliff",
+                         std::min((ratio - cliff_fraction) /
+                                      (1.0 - cliff_fraction),
+                                  1.0));
+      }
+      if (!out && ratio < cliff_fraction) {
+        Violation v;
+        v.invariant = "goodput_cliff";
+        v.detail = "mean goodput fell from " + fmt(prev_mean) +
+                   " bps (intensity " + fmt(prev_intensity) + ") to " +
+                   fmt(mean) + " bps (intensity " + fmt(intensity) +
+                   "), below the " + fmt(cliff_fraction) +
+                   " adjacent-rung floor";
+        out = std::move(v);
+      }
     }
     prev_intensity = intensity;
     prev_mean = mean;
     have_prev = true;
   }
-  return std::nullopt;
+  return out;
 }
 
 }  // namespace carpool::chaos

@@ -1,8 +1,9 @@
 #pragma once
 
 // carpool::chaos — cross-layer invariant checks the soak runner evaluates
-// at every simulator observation point, on every PHY decode probe, and
-// over the whole campaign (docs/SOAK.md lists them with their rationale):
+// at every simulator observation point, on every PHY decode probe, per
+// episode, and over the whole campaign (docs/SOAK.md lists them with
+// their rationale):
 //
 //  step-level (SimStepView):
 //   - accounting_balance : frames_generated == delivered + dropped +
@@ -22,16 +23,32 @@
 //   - rte_bounded        : the running channel estimate stayed finite and
 //                          within a generous norm bound
 //
+//  episode-level (SimResult at episode end):
+//   - fairness_floor     : per-STA downlink shares never collapse — Jain's
+//                          index and the worst served STA's share of the
+//                          mean both stay above conservative floors
+//   - energy_consistency : the per-node energy ledger is internally
+//                          consistent (tx+rx <= elapsed, idle >= 0, joules
+//                          recomputable from the power model)
+//
 //  campaign-level:
 //   - goodput_cliff      : mean goodput must not fall off a cliff
 //                          (> 90% loss) between adjacent interference
 //                          intensity rungs — degradation should be
 //                          gradual, the property the robustness work
 //                          (docs/ROBUSTNESS.md) is meant to buy.
+//
+// Every check additionally reports a *margin*: a normalized
+// proximity-to-violation distance (1 = full headroom, <= 0 = violated)
+// recorded into an optional MarginTracker. The fuzzer
+// (chaos/fuzz.hpp) hill-climbs campaigns whose minimum margins shrink —
+// scenarios that get *close* to a violation are the interesting ones.
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mac/simulator.hpp"
@@ -65,19 +82,62 @@ struct EpisodeSummary {
   std::uint64_t frames_judged = 0;
 };
 
+/// Accumulates the minimum observed margin per invariant across a
+/// campaign. Margins are normalized proximity-to-violation distances:
+/// 1.0 means full headroom, 0.0 the violation boundary, negative values
+/// a violated condition. Binary invariants (no meaningful gradient)
+/// report 1.0 / 0.0. Minima merge commutatively, so parallel campaigns
+/// produce thread-count-independent trackers.
+class MarginTracker {
+ public:
+  void observe(std::string_view invariant, double margin);
+
+  /// Per-invariant minima observed so far; only invariants that were
+  /// actually evaluated appear.
+  [[nodiscard]] const std::map<std::string, double, std::less<>>& minima()
+      const noexcept {
+    return minima_;
+  }
+
+  /// Minimum across every tracked invariant; 1.0 when nothing was
+  /// observed.
+  [[nodiscard]] double overall() const noexcept;
+
+  /// Pointwise-minimum merge (commutative, associative).
+  void merge_from(const MarginTracker& other);
+
+ private:
+  std::map<std::string, double, std::less<>> minima_;
+};
+
+/// Floors for the per-STA fairness invariant. The defaults are
+/// deliberately conservative: they catch starvation collapse (one STA
+/// effectively shut out while the channel carries traffic), not ordinary
+/// inequality under interference.
+struct FairnessConfig {
+  double jain_floor = 0.1;       ///< Jain's index over served STAs
+  double min_share_floor = 0.01; ///< worst served STA / mean served STA
+  /// Episodes that judged fewer downlink frames than this are skipped —
+  /// a starved or near-idle slice has no meaningful share statistics.
+  std::uint64_t min_frames = 100;
+};
+
 /// Stateful step checker: one instance per episode (monotonicity state
-/// resets with the simulator it watches).
+/// resets with the simulator it watches). When `margins` is non-null,
+/// every evaluated condition records its margin there.
 class StepInvariants {
  public:
   /// `frame_base` is the campaign-wide judgement count at episode start;
   /// `time_base` the episode's absolute start time. Both only shift the
   /// coordinates recorded in a Violation.
   StepInvariants(std::uint64_t frame_base, double time_base,
-                 std::size_t episode, std::size_t repeat)
+                 std::size_t episode, std::size_t repeat,
+                 MarginTracker* margins = nullptr)
       : frame_base_(frame_base),
         time_base_(time_base),
         episode_(episode),
-        repeat_(repeat) {}
+        repeat_(repeat),
+        margins_(margins) {}
 
   /// Evaluate every step invariant; the first failure is returned and
   /// latched (subsequent calls keep returning nothing new).
@@ -87,11 +147,13 @@ class StepInvariants {
   [[nodiscard]] Violation make(const mac::SimStepView& view,
                                std::string invariant,
                                std::string detail) const;
+  void observe(std::string_view invariant, double margin) const;
 
   std::uint64_t frame_base_;
   double time_base_;
   std::size_t episode_;
   std::size_t repeat_;
+  MarginTracker* margins_;
   std::uint64_t last_generated_ = 0;
   std::uint64_t last_judged_ = 0;
   bool tripped_ = false;
@@ -102,13 +164,34 @@ class StepInvariants {
 /// magnitude (unit-power constellations put legitimate values near 1).
 [[nodiscard]] std::optional<Violation> check_decode(
     const CarpoolRxResult& rx, std::uint64_t frame, double time,
-    std::size_t episode, std::size_t repeat, double rte_norm_bound = 1e3);
+    std::size_t episode, std::size_t repeat, double rte_norm_bound = 1e3,
+    MarginTracker* margins = nullptr);
+
+/// Episode-level fairness floor over the simulator's per-STA downlink
+/// goodputs: Jain's index ((sum x)^2 / (n sum x^2)) across served STAs
+/// and the worst served STA's share of the served mean must both clear
+/// their floors. Skipped (no margin recorded) when fewer than two STAs
+/// were served or the episode judged fewer than `cfg.min_frames`
+/// downlink frames.
+[[nodiscard]] std::optional<Violation> check_fairness(
+    const mac::SimResult& res, const FairnessConfig& cfg,
+    std::uint64_t frame, double time, std::size_t episode,
+    std::size_t repeat, MarginTracker* margins = nullptr);
+
+/// Episode-level energy-ledger consistency: for every node, active time
+/// (tx + rx) fits inside the episode, idle time is non-negative, and the
+/// recorded joules equal tx*txW + rx*rxW + idle*idleW under the power
+/// model the simulator integrates with (mac/energy.hpp defaults).
+[[nodiscard]] std::optional<Violation> check_energy(
+    const mac::SimResult& res, std::uint64_t frame, double time,
+    std::size_t episode, std::size_t repeat,
+    MarginTracker* margins = nullptr);
 
 /// Campaign-level cliff check over per-episode summaries grouped by
 /// interference intensity rung. A violation means mean goodput at some
 /// rung fell below `cliff_fraction` of the next-gentler rung's.
 [[nodiscard]] std::optional<Violation> check_goodput_cliffs(
     const std::vector<EpisodeSummary>& episodes,
-    double cliff_fraction = 0.10);
+    double cliff_fraction = 0.10, MarginTracker* margins = nullptr);
 
 }  // namespace carpool::chaos

@@ -8,6 +8,12 @@
 namespace carpool::chaos {
 namespace {
 
+/// Maximum container nesting. Parsing is recursive, so unbounded depth
+/// (e.g. a megabyte of '[') would overflow the stack — a crash, which
+/// the never-throwing parser contract forbids. 256 is far beyond any
+/// scenario/bundle document and small enough for default stacks.
+constexpr std::size_t kMaxDepth = 256;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -197,10 +203,13 @@ class Parser {
 
   bool parse_array(JsonValue& out) {
     if (!expect('[')) return false;
+    if (depth_ >= kMaxDepth) return fail("nesting too deep");
+    ++depth_;
     JsonArray items;
     skip_ws();
     if (!at_end() && peek() == ']') {
       advance();
+      --depth_;
       out = JsonValue(std::move(items));
       return true;
     }
@@ -216,6 +225,7 @@ class Parser {
       }
       if (peek() == ']') {
         advance();
+        --depth_;
         out = JsonValue(std::move(items));
         return true;
       }
@@ -225,10 +235,13 @@ class Parser {
 
   bool parse_object(JsonValue& out) {
     if (!expect('{')) return false;
+    if (depth_ >= kMaxDepth) return fail("nesting too deep");
+    ++depth_;
     JsonObject members;
     skip_ws();
     if (!at_end() && peek() == '}') {
       advance();
+      --depth_;
       out = JsonValue(std::move(members));
       return true;
     }
@@ -250,6 +263,7 @@ class Parser {
       }
       if (peek() == '}') {
         advance();
+        --depth_;
         out = JsonValue(std::move(members));
         return true;
       }
@@ -261,6 +275,7 @@ class Parser {
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
   std::size_t col_ = 1;
+  std::size_t depth_ = 0;  ///< open containers; bounded by kMaxDepth
   JsonError error_;
 };
 

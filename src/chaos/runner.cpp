@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "carpool/transceiver.hpp"
+#include "channel/shadowing.hpp"
 #include "impair/impair.hpp"
 #include "mac/simulator.hpp"
 #include "obs/registry.hpp"
@@ -122,12 +123,36 @@ std::vector<mac::FlowSpec> build_flows(const Episode& ep,
 /// schedule and the whole probe sequence replays bit for bit.
 class ProbeHarness {
  public:
-  ProbeHarness(const Scenario& s, std::uint64_t repeat)
+  /// `shadow` (nullable) is the repeat's correlated-shadowing process;
+  /// together with the scenario's recorded SNR trace it contributes a
+  /// per-probe gain offset so measured channels reach the real PHY
+  /// decode path, not just the analytic MAC model.
+  ProbeHarness(const Scenario& s, std::uint64_t repeat,
+               const channel::CorrelatedShadowing* shadow)
       : chain_(derive_seed(s.seed, repeat, 0x70726f62ULL)) {
     if (s.probe_interval <= 0.0) return;
     for (double t = s.probe_interval; t < s.duration;
          t += s.probe_interval) {
       times_.push_back(t);
+    }
+    // Recorded-trace / shadowing gain per probe, applied before the
+    // interference stage (signal power moves first, interference power
+    // is layered on top). The probe frame is a broadcast to the harness
+    // receiver, so the trace contributes its across-STA mean and the
+    // shadowing process its first station's offset.
+    if (!s.snr_trace.empty() || shadow != nullptr) {
+      impair::SnrOffsetTraceConfig offsets;
+      offsets.offset_db.resize(times_.size(), 0.0);
+      for (std::size_t i = 0; i < times_.size(); ++i) {
+        double off = 0.0;
+        if (!s.snr_trace.empty()) {
+          off += s.snr_trace.mean_snr_at(times_[i], s.default_snr_db) -
+                 s.default_snr_db;
+        }
+        if (shadow != nullptr) off += shadow->offset_db(0, times_[i]);
+        offsets.offset_db[i] = off;
+      }
+      chain_.add(impair::make_snr_offset_trace(std::move(offsets)));
     }
     // Map interference episodes onto probe-index spans.
     impair::EpisodeTrace trace;
@@ -216,6 +241,7 @@ struct RepeatOutcome {
   std::size_t episodes_run = 0;
   double sim_seconds = 0.0;
   std::vector<Violation> violations;
+  MarginTracker margins;  ///< per-invariant minima over the repeat
   bool stopped = false;  ///< a stop event fired (violation/inject/budget)
 };
 
@@ -225,7 +251,45 @@ RepeatOutcome run_one_repeat(const Scenario& s,
                              std::uint64_t campaign_base,
                              const SoakOptions& opts, bool live) {
   RepeatOutcome out;
-  ProbeHarness probes(s, repeat);
+
+  // Correlated shadowing (channel/shadowing.hpp): one process per repeat
+  // spanning the whole timeline, seeded from (scenario seed, repeat) so
+  // serial and detached passes see identical offsets. Station positions
+  // come from the first mobility waypoint when present, else the testbed
+  // layout's receiver grid.
+  const sim::TestbedLayout shadow_layout;
+  std::optional<channel::CorrelatedShadowing> shadowing;
+  if (s.shadowing.has_value() && s.num_stas > 0) {
+    std::vector<std::pair<double, double>> positions;
+    positions.reserve(s.num_stas);
+    for (std::uint32_t sta = 1; sta <= s.num_stas; ++sta) {
+      const sim::Point* p = nullptr;
+      for (const MobilityTrack& t : s.mobility) {
+        if (t.sta == sta && !t.waypoints.empty()) {
+          p = &t.waypoints.front().p;
+          break;
+        }
+      }
+      if (p != nullptr) {
+        positions.emplace_back(p->x, p->y);
+      } else {
+        const auto& rx = shadow_layout.receivers();
+        const sim::Point& q = rx[(sta - 1) % rx.size()];
+        positions.emplace_back(q.x, q.y);
+      }
+    }
+    channel::ShadowingConfig sc;
+    sc.sigma_db = s.shadowing->sigma_db;
+    sc.decorr_distance_m = s.shadowing->decorr_distance;
+    sc.decorr_time_s = s.shadowing->decorr_time;
+    sc.sample_interval_s = s.shadowing->sample_interval;
+    shadowing.emplace(sc, std::move(positions), s.duration,
+                      derive_seed(s.seed, repeat, 0x73686164ULL));
+  }
+  const channel::CorrelatedShadowing* shadow =
+      shadowing.has_value() ? &*shadowing : nullptr;
+
+  ProbeHarness probes(s, repeat, shadow);
   std::size_t next_probe = 0;
   bool stop_campaign = false;
   bool injected_done = false;
@@ -256,12 +320,18 @@ RepeatOutcome run_one_repeat(const Scenario& s,
     }
     const double ep_start = ep.start;
     cfg.sta_snr_fn = [&s, layout, paths = std::move(paths),
-                      has_path = std::move(has_path),
-                      ep_start](mac::NodeId sta, double now) {
+                      has_path = std::move(has_path), ep_start,
+                      shadow](mac::NodeId sta, double now) {
       const double t = ep_start + now;
       double snr = s.default_snr_db;
       if (sta < has_path.size() && has_path[sta]) {
         snr = layout.snr_db_along(paths[sta], t, s.power_magnitude);
+      }
+      // Recorded channel: where the capture has samples for this STA the
+      // measured SNR replaces the synthetic base (step-hold between
+      // samples); interference penalties and shadowing still layer on.
+      if (!s.snr_trace.empty()) {
+        snr = s.snr_trace.snr_at(static_cast<std::uint32_t>(sta), t, snr);
       }
       for (const InterferenceEpisode& e : s.interference) {
         if (t < e.start || t >= e.stop) continue;
@@ -272,10 +342,14 @@ RepeatOutcome run_one_repeat(const Scenario& s,
         }
         snr -= e.snr_penalty_db;
       }
+      if (shadow != nullptr && sta >= 1) {
+        snr += shadow->offset_db(static_cast<std::size_t>(sta) - 1, t);
+      }
       return snr;
     };
 
-    StepInvariants checker(frame_base, ep.start, ei, repeat);
+    StepInvariants checker(frame_base, ep.start, ei, repeat,
+                           &out.margins);
     std::uint64_t episode_judged = 0;
     std::uint64_t episode_steps = 0;
     bool stop_episode = false;
@@ -317,7 +391,7 @@ RepeatOutcome run_one_repeat(const Scenario& s,
         const CarpoolRxResult rx = probes.fire();
         if (auto v = check_decode(rx, frame_base + view.frames_judged,
                                   ep.start + view.now, ei, repeat,
-                                  opts.rte_norm_bound)) {
+                                  opts.rte_norm_bound, &out.margins)) {
           out.violations.push_back(std::move(*v));
           stop_campaign = stop_episode = true;
           return false;
@@ -337,6 +411,27 @@ RepeatOutcome run_one_repeat(const Scenario& s,
       sim.add_flow(std::move(f));
     }
     const mac::SimResult res = sim.run();
+
+    // Episode-end invariants run only on episodes that completed without
+    // a stop event: a stopping repeat is re-run live anyway, so skipping
+    // its partial episode keeps detached and live passes bit-identical.
+    if (!stop_episode) {
+      if (opts.check_fairness) {
+        if (auto v = check_fairness(res, opts.fairness,
+                                    frame_base + episode_judged, ep.stop,
+                                    ei, repeat, &out.margins)) {
+          out.violations.push_back(std::move(*v));
+          stop_campaign = stop_episode = true;
+        }
+      }
+      if (!stop_episode && opts.check_energy) {
+        if (auto v = check_energy(res, frame_base + episode_judged,
+                                  ep.stop, ei, repeat, &out.margins)) {
+          out.violations.push_back(std::move(*v));
+          stop_campaign = stop_episode = true;
+        }
+      }
+    }
 
     out.judged += episode_judged;
     out.sim_seconds += res.duration;
@@ -371,6 +466,7 @@ void consume_repeat(SoakReport& report, RepeatOutcome&& o) {
             std::back_inserter(report.episode_summaries));
   std::move(o.violations.begin(), o.violations.end(),
             std::back_inserter(report.violations));
+  report.margins.merge_from(o.margins);
 }
 
 /// Would the serial campaign have stopped inside this repeat? True when
@@ -517,7 +613,8 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
   }
 
   if (report.violations.empty() && opts_.check_cliffs) {
-    if (auto v = check_goodput_cliffs(report.episode_summaries)) {
+    if (auto v = check_goodput_cliffs(report.episode_summaries, 0.10,
+                                      &report.margins)) {
       report.violations.push_back(std::move(*v));
     }
   }

@@ -40,6 +40,15 @@ struct SoakOptions {
   /// Evaluate the campaign-level goodput_cliff invariant at the end.
   bool check_cliffs = true;
 
+  /// Evaluate the episode-level fairness_floor invariant (per-STA
+  /// downlink share collapse) on every completed episode.
+  bool check_fairness = true;
+  FairnessConfig fairness{};
+
+  /// Evaluate the episode-level energy_consistency invariant (per-node
+  /// energy-ledger recomputation) on every completed episode.
+  bool check_energy = true;
+
   /// Ceiling for the rte_bounded probe invariant.
   double rte_norm_bound = 1e3;
 
@@ -73,7 +82,17 @@ struct SoakReport {
   std::vector<EpisodeSummary> episode_summaries;
   std::string bundle_path;  ///< non-empty when a bundle was written
 
+  /// Minimum observed margin per invariant across the campaign
+  /// (invariants.hpp): the proximity-to-violation signal the fuzzer
+  /// hill-climbs. Thread-count independent (minima merge commutatively).
+  MarginTracker margins;
+
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+
+  /// Smallest margin across every evaluated invariant (1.0 when none).
+  [[nodiscard]] double min_margin() const noexcept {
+    return margins.overall();
+  }
 };
 
 class SoakRunner {

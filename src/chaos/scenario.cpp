@@ -299,6 +299,77 @@ bool parse_link_policy(Ctx& ctx, const JsonValue& v, Scenario& s) {
   return true;
 }
 
+bool parse_snr_trace(Ctx& ctx, const JsonValue& v, Scenario& s) {
+  const JsonValue* arr = v.find("snr_trace");
+  if (arr == nullptr) return true;
+  if (!arr->is_array()) return ctx.fail("snr_trace", "expected an array");
+  std::vector<SnrSample> samples;
+  for (std::size_t i = 0; i < arr->as_array().size(); ++i) {
+    const std::string path = "snr_trace[" + std::to_string(i) + "].";
+    const JsonValue& e = arr->as_array()[i];
+    if (!e.is_object()) {
+      return ctx.fail("snr_trace[" + std::to_string(i) + "]",
+                      "expected an object");
+    }
+    SnrSample sample;
+    if (!read_number(ctx, e, path, "t", sample.time, true)) return false;
+    if (sample.time < 0.0) {
+      return ctx.fail(path + "t", "must be non-negative");
+    }
+    std::uint64_t sta = 0;
+    if (!read_uint(ctx, e, path, "sta", sta, true)) return false;
+    if (sta == 0 || sta > s.num_stas) {
+      return ctx.fail(path + "sta", "must be in [1, num_stas]");
+    }
+    sample.sta = static_cast<std::uint32_t>(sta);
+    if (!read_number(ctx, e, path, "snr_db", sample.snr_db, true)) {
+      return false;
+    }
+    samples.push_back(sample);
+  }
+  s.snr_trace = SnrTrace(std::move(samples));
+  return true;
+}
+
+bool parse_shadowing(Ctx& ctx, const JsonValue& v, Scenario& s) {
+  const JsonValue* sh = v.find("shadowing");
+  if (sh == nullptr) return true;
+  if (!sh->is_object()) {
+    return ctx.fail("shadowing", "expected an object");
+  }
+  const std::string path = "shadowing.";
+  ShadowingSpec spec;
+  if (!read_number(ctx, *sh, path, "sigma_db", spec.sigma_db, false)) {
+    return false;
+  }
+  if (!read_number(ctx, *sh, path, "decorrelation_distance",
+                   spec.decorr_distance, false)) {
+    return false;
+  }
+  if (!read_number(ctx, *sh, path, "decorrelation_time", spec.decorr_time,
+                   false)) {
+    return false;
+  }
+  if (!read_number(ctx, *sh, path, "sample_interval", spec.sample_interval,
+                   false)) {
+    return false;
+  }
+  if (spec.sigma_db < 0.0) {
+    return ctx.fail(path + "sigma_db", "must be non-negative");
+  }
+  if (spec.decorr_distance <= 0.0) {
+    return ctx.fail(path + "decorrelation_distance", "must be positive");
+  }
+  if (spec.decorr_time <= 0.0) {
+    return ctx.fail(path + "decorrelation_time", "must be positive");
+  }
+  if (spec.sample_interval <= 0.0) {
+    return ctx.fail(path + "sample_interval", "must be positive");
+  }
+  s.shadowing = spec;
+  return true;
+}
+
 // ------------------------------------------------------------- emitters
 
 JsonValue point_value(const sim::TimedPoint& tp) {
@@ -362,6 +433,8 @@ ScenarioParseResult scenario_from_value(const JsonValue& v) {
     parse_interference(ctx, v, s);
     parse_churn(ctx, v, s);
     parse_traffic(ctx, v, s);
+    parse_snr_trace(ctx, v, s);
+    parse_shadowing(ctx, v, s);
   }
   if (!ctx.failed) {
     const JsonValue* inj = v.find("inject_violation");
@@ -478,6 +551,26 @@ JsonValue scenario_to_value(const Scenario& s) {
       traffic.push_back(JsonValue(std::move(o)));
     }
     json_set(root, "traffic", JsonValue(std::move(traffic)));
+  }
+  if (!s.snr_trace.empty()) {
+    JsonArray samples;
+    for (const SnrSample& sample : s.snr_trace.samples()) {
+      JsonObject o;
+      json_set(o, "t", JsonValue(sample.time));
+      json_set(o, "sta", JsonValue(static_cast<double>(sample.sta)));
+      json_set(o, "snr_db", JsonValue(sample.snr_db));
+      samples.push_back(JsonValue(std::move(o)));
+    }
+    json_set(root, "snr_trace", JsonValue(std::move(samples)));
+  }
+  if (s.shadowing) {
+    JsonObject o;
+    json_set(o, "sigma_db", JsonValue(s.shadowing->sigma_db));
+    json_set(o, "decorrelation_distance",
+             JsonValue(s.shadowing->decorr_distance));
+    json_set(o, "decorrelation_time", JsonValue(s.shadowing->decorr_time));
+    json_set(o, "sample_interval", JsonValue(s.shadowing->sample_interval));
+    json_set(root, "shadowing", JsonValue(std::move(o)));
   }
   if (s.inject) {
     JsonObject o;

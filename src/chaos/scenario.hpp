@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "chaos/json.hpp"
+#include "chaos/snr_trace.hpp"
 #include "mac/link_state.hpp"
 #include "mac/scheme.hpp"
 #include "sim/testbed.hpp"
@@ -65,6 +66,19 @@ struct TrafficPhase {
   double interval = 4e-3;          ///< CBR / Poisson mean interval (s)
 };
 
+/// Gudmundson-style correlated shadowing between stations
+/// (channel/shadowing.hpp): per-STA log-normal dB offsets with
+/// exponential spatial correlation between nearby STAs and AR(1)
+/// temporal correlation, layered on top of the synthetic or recorded SNR
+/// base. The runner derives the process seed from (scenario seed,
+/// repeat), so campaigns stay bit-reproducible.
+struct ShadowingSpec {
+  double sigma_db = 4.0;          ///< marginal std-dev (dB)
+  double decorr_distance = 5.0;   ///< spatial e-folding distance (m)
+  double decorr_time = 1.0;       ///< temporal e-folding time (s)
+  double sample_interval = 0.1;   ///< process time-grid step (s)
+};
+
 /// A deliberately seeded fault: the runner reports an "injected"
 /// violation the moment the campaign-wide reception-judgement count
 /// crosses `frame`. Exists so repro bundles and the shrinker can be
@@ -89,6 +103,13 @@ struct Scenario {
   std::vector<ChurnEvent> churn;
   std::vector<TrafficPhase> traffic;
   std::optional<InjectedViolation> inject;
+
+  /// Recorded per-STA SNR timeline (chaos/snr_trace.hpp); where samples
+  /// exist they replace the synthetic mobility/testbed SNR base. Empty =
+  /// fully synthetic channel.
+  SnrTrace snr_trace;
+  /// Correlated shadowing layered on the SNR base; disengaged = none.
+  std::optional<ShadowingSpec> shadowing;
 
   /// Total timeline length — the quantity the shrinker's acceptance
   /// ratio is measured against.

@@ -47,6 +47,16 @@ ShrinkResult shrink_bundle(const ReproBundle& bundle) {
   out.violation = bundle.violation;
   const double original_timeline = bundle.scenario.timeline_seconds();
 
+  // Degenerate input guard: a bundle that does not reproduce as given
+  // cannot shrink — every candidate would fail the same comparison, so
+  // running the passes would just burn dozens of pointless soaks. Verify
+  // once up front and bail with the scenario unchanged.
+  ++out.attempts;
+  if (!reproduces(bundle.scenario, bundle.violation)) {
+    obs::Registry::current().counter("chaos.shrink_attempts").add(1);
+    return out;
+  }
+
   // A greedy acceptance step shared by every pass: evaluate `candidate`,
   // keep it if the violation survives.
   auto try_accept = [&](Scenario candidate) {

@@ -203,6 +203,32 @@ class HeaderBitCorruption final : public ImpairmentStage {
   HeaderCorruptionConfig config_;
 };
 
+class SnrOffsetTrace final : public ImpairmentStage {
+ public:
+  explicit SnrOffsetTrace(SnrOffsetTraceConfig config)
+      : config_(std::move(config)) {}
+
+  void apply(CxVec& wave, Rng& rng) const override {
+    apply_frame(wave, rng, 0);
+  }
+
+  void apply_frame(CxVec& wave, Rng& /*rng*/,
+                   std::uint64_t frame) const override {
+    if (frame >= config_.offset_db.size()) return;
+    const double scale = std::pow(10.0, config_.offset_db[frame] / 20.0);
+    if (scale == 1.0) return;
+    obs::Registry::current().counter("impair.snr_offset_frames").add();
+    for (Cx& s : wave) s *= scale;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "snr_offset_trace";
+  }
+
+ private:
+  SnrOffsetTraceConfig config_;
+};
+
 class TraceGated final : public ImpairmentStage {
  public:
   TraceGated(EpisodeTrace trace, std::unique_ptr<ImpairmentStage> inner)
@@ -258,6 +284,11 @@ std::unique_ptr<ImpairmentStage> make_clock_drift(
 std::unique_ptr<ImpairmentStage> make_header_corruption(
     const HeaderCorruptionConfig& config) {
   return std::make_unique<HeaderBitCorruption>(config);
+}
+
+std::unique_ptr<ImpairmentStage> make_snr_offset_trace(
+    SnrOffsetTraceConfig config) {
+  return std::make_unique<SnrOffsetTrace>(std::move(config));
 }
 
 std::unique_ptr<ImpairmentStage> make_trace_gated(

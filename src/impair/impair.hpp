@@ -124,6 +124,16 @@ struct HeaderCorruptionConfig {
   std::size_t flip_bins = 12;  ///< of the 48 data subcarriers
 };
 
+/// Recorded per-frame channel-gain timeline: frame i's waveform is scaled
+/// by 10^(offset_db[i] / 20) (negative = attenuation), so a measured SNR
+/// capture (chaos::SnrTrace, sampled at the probe schedule) drives the
+/// real PHY decode path instead of a synthetic channel. Frames beyond the
+/// recorded range pass through untouched. Deterministic; draws no
+/// randomness.
+struct SnrOffsetTraceConfig {
+  std::vector<double> offset_db;  ///< indexed by chain frame number
+};
+
 /// A scripted (or recorded) interference timeline, indexed by frame: the
 /// inner stage of a trace-gated wrapper runs only while the trace is
 /// inside an episode. Spans are inclusive on both ends and may come from
@@ -160,6 +170,8 @@ std::unique_ptr<ImpairmentStage> make_clock_drift(
     const ClockDriftConfig& config);
 std::unique_ptr<ImpairmentStage> make_header_corruption(
     const HeaderCorruptionConfig& config);
+std::unique_ptr<ImpairmentStage> make_snr_offset_trace(
+    SnrOffsetTraceConfig config);
 
 /// Gate `inner` behind an episode trace: frames inside a span are
 /// impaired, frames outside pass through untouched. The inner stage still

@@ -38,6 +38,9 @@ constexpr std::array kCatalog{
     CatalogEntry{"impair.trace_gated_frames",
                  {"count", "impair",
                   "Frames gated by a replayed SNR trace segment"}},
+    CatalogEntry{"impair.snr_offset_frames",
+                 {"count", "impair",
+                  "Frames scaled by a recorded-channel SNR offset"}},
 
     // --- phy: frontend, estimation, decode (src/phy, src/carpool) ---
     CatalogEntry{"phy.subframes_decoded",
@@ -84,6 +87,18 @@ constexpr std::array kCatalog{
     CatalogEntry{"chaos.shrink_attempts",
                  {"count", "chaos", "Scenario mutations tried by the "
                                     "ddmin shrinker"}},
+    CatalogEntry{"chaos.fuzz.rounds",
+                 {"count", "chaos", "Fuzz mutation rounds completed"}},
+    CatalogEntry{"chaos.fuzz.evals",
+                 {"count", "chaos",
+                  "Fuzz scenario evaluations consumed"}},
+    CatalogEntry{"chaos.fuzz.corpus_adds",
+                 {"count", "chaos",
+                  "Fuzz corpus admissions (novel coverage or tightened "
+                  "margin)"}},
+    CatalogEntry{"chaos.fuzz.violations",
+                 {"count", "chaos", "Invariant violations found by the "
+                                    "fuzzer"}},
 
     // --- obs: the observability layer itself ---
     CatalogEntry{"obs.trace_dropped",

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "channel/awgn.hpp"
 #include "channel/fading.hpp"
 #include "channel/pathloss.hpp"
+#include "channel/shadowing.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 
@@ -229,6 +232,110 @@ TEST(PathLoss, UsrpPowerMagnitudeMapping) {
               6.0, 0.05);
   EXPECT_THROW(usrp_power_magnitude_to_dbm(0.0), std::invalid_argument);
   EXPECT_THROW(usrp_power_magnitude_to_dbm(1.5), std::invalid_argument);
+}
+
+// -------------------------------------------- correlated shadowing
+
+TEST(Shadowing, SameSeedBitIdenticalOffsets) {
+  const channel::ShadowingConfig cfg{};
+  const std::vector<std::pair<double, double>> pos{{0, 0}, {3, 4}, {8, 1}};
+  const channel::CorrelatedShadowing a(cfg, pos, 5.0, 77);
+  const channel::CorrelatedShadowing b(cfg, pos, 5.0, 77);
+  for (double t = 0.0; t < 5.0; t += 0.37) {
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      ASSERT_EQ(a.offset_db(i, t), b.offset_db(i, t))
+          << "sta " << i << " t " << t;
+    }
+  }
+}
+
+TEST(Shadowing, DifferentSeedsDecorrelate) {
+  const channel::ShadowingConfig cfg{};
+  const std::vector<std::pair<double, double>> pos{{0, 0}, {5, 5}};
+  const channel::CorrelatedShadowing a(cfg, pos, 5.0, 1);
+  const channel::CorrelatedShadowing b(cfg, pos, 5.0, 2);
+  bool any_diff = false;
+  for (double t = 0.0; t < 5.0 && !any_diff; t += 0.5) {
+    any_diff = a.offset_db(0, t) != b.offset_db(0, t);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Shadowing, CoLocatedStationsShadowTogether) {
+  // d = 0 => spatial correlation exp(-0/d0) = 1. The singular matrix
+  // forces the Cholesky's diagonal-jitter retry, so the two stations are
+  // near-identical (within the jitter's footprint), not bit-equal.
+  const channel::ShadowingConfig cfg{};
+  const std::vector<std::pair<double, double>> pos{{2, 2}, {2, 2}};
+  const channel::CorrelatedShadowing sh(cfg, pos, 4.0, 9);
+  for (double t = 0.0; t < 4.0; t += 0.21) {
+    EXPECT_NEAR(sh.offset_db(0, t), sh.offset_db(1, t), 1e-2) << t;
+  }
+}
+
+TEST(Shadowing, NearbyStationsCorrelateMoreThanDistantOnes) {
+  channel::ShadowingConfig cfg;
+  cfg.decorr_distance_m = 5.0;
+  cfg.decorr_time_s = 0.05;  // fast temporal churn -> many samples
+  cfg.sample_interval_s = 0.05;
+  const std::vector<std::pair<double, double>> pos{
+      {0, 0}, {0.5, 0}, {50, 0}};
+  const channel::CorrelatedShadowing sh(cfg, pos, 400.0, 13);
+  double c_near = 0.0, c_far = 0.0, v0 = 0.0, v1 = 0.0, v2 = 0.0;
+  std::size_t n = 0;
+  for (double t = 0.0; t < 400.0; t += 0.05, ++n) {
+    const double a = sh.offset_db(0, t);
+    const double b = sh.offset_db(1, t);
+    const double c = sh.offset_db(2, t);
+    c_near += a * b;
+    c_far += a * c;
+    v0 += a * a;
+    v1 += b * b;
+    v2 += c * c;
+  }
+  const double rho_near = c_near / std::sqrt(v0 * v1);
+  const double rho_far = c_far / std::sqrt(v0 * v2);
+  EXPECT_GT(rho_near, 0.7);          // 0.5 m apart, d0 = 5 m
+  EXPECT_LT(rho_far, 0.3);           // 50 m apart: essentially independent
+  EXPECT_GT(rho_near, rho_far + 0.3);
+}
+
+TEST(Shadowing, MarginalStdDevTracksSigma) {
+  channel::ShadowingConfig cfg;
+  cfg.sigma_db = 4.0;
+  cfg.decorr_time_s = 0.05;
+  cfg.sample_interval_s = 0.05;
+  const std::vector<std::pair<double, double>> pos{{0, 0}};
+  const channel::CorrelatedShadowing sh(cfg, pos, 500.0, 21);
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t n = 0;
+  for (double t = 0.0; t < 500.0; t += 0.05, ++n) {
+    const double x = sh.offset_db(0, t);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double sd =
+      std::sqrt(sum_sq / static_cast<double>(n) - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.5);
+  EXPECT_NEAR(sd, cfg.sigma_db, 0.8);
+}
+
+TEST(Shadowing, OutOfRangeAndDegenerateInputsAreZero) {
+  const channel::ShadowingConfig cfg{};
+  const channel::CorrelatedShadowing sh(
+      cfg, {{0, 0}}, 2.0, 3);
+  EXPECT_EQ(sh.offset_db(5, 1.0), 0.0);  // index past the last station
+  // Time clamping at the grid ends: finite values, no crash.
+  EXPECT_TRUE(std::isfinite(sh.offset_db(0, -10.0)));
+  EXPECT_TRUE(std::isfinite(sh.offset_db(0, 100.0)));
+
+  const channel::CorrelatedShadowing empty(cfg, {}, 2.0, 3);
+  EXPECT_EQ(empty.num_stations(), 0u);
+  EXPECT_EQ(empty.offset_db(0, 1.0), 0.0);
+
+  const channel::CorrelatedShadowing flat(cfg, {{0, 0}}, 0.0, 3);
+  EXPECT_TRUE(std::isfinite(flat.offset_db(0, 0.0)));
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "chaos/runner.hpp"
 #include "chaos/scenario.hpp"
 #include "chaos/shrink.hpp"
+#include "chaos/snr_trace.hpp"
 #include "carpool/transceiver.hpp"
 #include "mac/params.hpp"
 #include "mac/simulator.hpp"
@@ -514,6 +515,226 @@ TEST(ReproBundle, ShrinkerReducesTimelineAndStillReproduces) {
   ASSERT_TRUE(parsed.ok()) << parsed.error.to_string();
   const ReplayResult replay = replay_bundle(*parsed.bundle);
   EXPECT_TRUE(replay.reproduced);
+}
+
+// ---------------------------------------------------- recorded SNR traces
+
+TEST(SnrTraceIngest, CsvParsesAndStepHolds) {
+  const SnrTraceParseResult r = snr_trace_from_csv(
+      "time,sta,snr_db\n"
+      "# capture from lab AP\n"
+      "0.0,1,20\n"
+      "1.0,1,10\n"
+      "0.5,2,30\n"
+      "\n");
+  ASSERT_TRUE(r.ok()) << r.error.to_string();
+  const SnrTrace& t = *r.trace;
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.max_sta(), 2u);
+  // Step-hold: latest sample at or before the query time.
+  EXPECT_DOUBLE_EQ(t.snr_at(1, 0.0, -1.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.snr_at(1, 0.99, -1.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.snr_at(1, 1.0, -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.snr_at(1, 50.0, -1.0), 10.0);
+  // Before the STA's first sample, or for an unknown STA: fallback.
+  EXPECT_DOUBLE_EQ(t.snr_at(2, 0.2, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(t.snr_at(7, 1.0, 25.0), 25.0);
+  // Broadcast mean over STAs with a sample at or before t.
+  EXPECT_DOUBLE_EQ(t.mean_snr_at(0.1, -1.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.mean_snr_at(0.75, -1.0), 25.0);  // (20 + 30) / 2
+  EXPECT_DOUBLE_EQ(SnrTrace{}.mean_snr_at(1.0, 4.0), 4.0);
+}
+
+TEST(SnrTraceIngest, JsonlParsesAndSniffs) {
+  const std::string text =
+      "{\"t\": 0.0, \"sta\": 1, \"snr_db\": 18}\n"
+      "# comment\n"
+      "{\"time\": 2.0, \"sta\": 1, \"snr\": 12}\n";
+  const SnrTraceParseResult r = snr_trace_from_jsonl(text);
+  ASSERT_TRUE(r.ok()) << r.error.to_string();
+  EXPECT_EQ(r.trace->size(), 2u);
+  EXPECT_DOUBLE_EQ(r.trace->snr_at(1, 1.0, 0.0), 18.0);
+  EXPECT_DOUBLE_EQ(r.trace->snr_at(1, 2.0, 0.0), 12.0);
+
+  // The sniffer keys off the first non-space character.
+  const SnrTraceParseResult sniffed = snr_trace_from_text("  " + text);
+  ASSERT_TRUE(sniffed.ok());
+  EXPECT_EQ(sniffed.trace->size(), 2u);
+  EXPECT_TRUE(snr_trace_from_text("time,sta,snr_db\n0,1,5\n").ok());
+}
+
+TEST(SnrTraceIngest, RejectsMalformedRowsWithLineNumbers) {
+  // STA 0 is the AP: recorded traces address stations only.
+  const SnrTraceParseResult sta0 = snr_trace_from_csv("0.0,0,20\n");
+  ASSERT_FALSE(sta0.ok());
+  EXPECT_EQ(sta0.error.line, 1u);
+
+  EXPECT_FALSE(snr_trace_from_csv("0.0,1\n").ok());         // short row
+  EXPECT_FALSE(snr_trace_from_csv("-1.0,1,20\n").ok());     // negative t
+  EXPECT_FALSE(snr_trace_from_csv("0.0,1,nan\n").ok());     // non-finite
+  EXPECT_FALSE(snr_trace_from_csv("x,1,20\n").ok());        // garbage
+
+  const SnrTraceParseResult late = snr_trace_from_csv(
+      "0.0,1,20\n1.0,1,21\nbogus\n");
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.error.line, 3u);
+
+  EXPECT_FALSE(snr_trace_from_jsonl("{\"t\": 0.0}\n").ok());
+  EXPECT_FALSE(snr_trace_from_jsonl("{not json}\n").ok());
+}
+
+TEST(ScenarioSchema, RoundTripsRecordedTraceAndShadowing) {
+  Scenario s;
+  s.name = "measured";
+  s.duration = 3.0;
+  s.num_stas = 2;
+  s.snr_trace = SnrTrace{{{0.0, 1, 22.0}, {1.5, 2, 17.0}}};
+  s.shadowing = ShadowingSpec{3.0, 4.0, 0.5, 0.2};
+
+  const ScenarioParseResult round = scenario_from_json(scenario_to_json(s));
+  ASSERT_TRUE(round.ok()) << round.error.to_string();
+  EXPECT_EQ(round.scenario->snr_trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(round.scenario->snr_trace.snr_at(2, 2.0, 0.0), 17.0);
+  ASSERT_TRUE(round.scenario->shadowing.has_value());
+  EXPECT_DOUBLE_EQ(round.scenario->shadowing->sigma_db, 3.0);
+  EXPECT_DOUBLE_EQ(round.scenario->shadowing->decorr_distance, 4.0);
+  EXPECT_DOUBLE_EQ(round.scenario->shadowing->decorr_time, 0.5);
+  EXPECT_DOUBLE_EQ(round.scenario->shadowing->sample_interval, 0.2);
+  // Serialization is canonical: a second round trip is a fixpoint.
+  EXPECT_EQ(scenario_to_json(*round.scenario), scenario_to_json(s));
+}
+
+// --------------------------------------------------------- margin tracker
+
+TEST(Margins, TrackerKeepsPerInvariantMinima) {
+  MarginTracker m;
+  EXPECT_DOUBLE_EQ(m.overall(), 1.0);
+  m.observe("a", 0.8);
+  m.observe("a", 0.3);
+  m.observe("a", 0.5);
+  m.observe("b", -0.2);
+  ASSERT_EQ(m.minima().size(), 2u);
+  EXPECT_DOUBLE_EQ(m.minima().at("a"), 0.3);
+  EXPECT_DOUBLE_EQ(m.minima().at("b"), -0.2);
+  EXPECT_DOUBLE_EQ(m.overall(), -0.2);
+}
+
+TEST(Margins, MergeIsCommutativePointwiseMin) {
+  MarginTracker a, b;
+  a.observe("x", 0.5);
+  a.observe("y", 0.9);
+  b.observe("x", 0.2);
+  b.observe("z", 0.1);
+  MarginTracker ab = a;
+  ab.merge_from(b);
+  MarginTracker ba = b;
+  ba.merge_from(a);
+  EXPECT_EQ(ab.minima(), ba.minima());
+  EXPECT_DOUBLE_EQ(ab.minima().at("x"), 0.2);
+  EXPECT_DOUBLE_EQ(ab.minima().at("y"), 0.9);
+  EXPECT_DOUBLE_EQ(ab.minima().at("z"), 0.1);
+}
+
+// ------------------------------------------- fairness / energy invariants
+
+mac::SimResult served_result(std::vector<double> goodputs) {
+  mac::SimResult res;
+  res.duration = 1.0;
+  res.dl_frames_delivered = 1000;
+  res.per_sta_goodput_bps = std::move(goodputs);  // index 0 = AP
+  return res;
+}
+
+TEST(FairnessInvariant, BalancedSharesPassWithHeadroom) {
+  MarginTracker m;
+  const auto v = check_fairness(served_result({0.0, 1e6, 0.9e6, 1.1e6}),
+                                FairnessConfig{}, 1, 0.0, 0, 0, &m);
+  EXPECT_FALSE(v.has_value());
+  ASSERT_EQ(m.minima().count("fairness_floor"), 1u);
+  EXPECT_GT(m.minima().at("fairness_floor"), 0.5);
+}
+
+TEST(FairnessInvariant, StarvedStationTripsTheFloor) {
+  // One STA at ~0.1% of the mean: below the 1% min-share floor.
+  MarginTracker m;
+  const auto v = check_fairness(served_result({0.0, 1e6, 1e6, 1e3}),
+                                FairnessConfig{}, 7, 2.5, 1, 3, &m);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "fairness_floor");
+  EXPECT_EQ(v->frame, 7u);
+  EXPECT_EQ(v->episode, 1u);
+  EXPECT_EQ(v->repeat, 3u);
+  EXPECT_LT(m.minima().at("fairness_floor"), 0.0);
+}
+
+TEST(FairnessInvariant, SkipsStarvedOrSingleStaEpisodes) {
+  MarginTracker m;
+  // Too few judged downlink frames: share statistics are meaningless.
+  mac::SimResult idle = served_result({0.0, 1e6, 1e3});
+  idle.dl_frames_delivered = 10;
+  EXPECT_FALSE(
+      check_fairness(idle, FairnessConfig{}, 0, 0, 0, 0, &m).has_value());
+  // Only one served STA: no distribution to judge.
+  EXPECT_FALSE(check_fairness(served_result({0.0, 1e6, 0.0}),
+                              FairnessConfig{}, 0, 0, 0, 0, &m)
+                   .has_value());
+  EXPECT_TRUE(m.minima().empty());  // skipped checks record no margin
+}
+
+TEST(EnergyInvariant, ConsistentLedgerPasses) {
+  const mac::PowerModel power{};
+  mac::SimResult res;
+  res.duration = 2.0;
+  mac::NodeEnergy ne;
+  ne.tx_seconds = 0.5;
+  ne.rx_seconds = 0.7;
+  ne.idle_seconds = 0.8;
+  ne.joules = 0.5 * power.tx_watts + 0.7 * power.rx_watts +
+              0.8 * power.idle_watts;
+  res.node_energy = {ne};
+  MarginTracker m;
+  EXPECT_FALSE(check_energy(res, 0, 0, 0, 0, &m).has_value());
+  ASSERT_EQ(m.minima().count("energy_consistency"), 1u);
+  EXPECT_GT(m.minima().at("energy_consistency"), 0.0);
+}
+
+TEST(EnergyInvariant, OveractiveNodeViolates) {
+  mac::SimResult res;
+  res.duration = 1.0;
+  mac::NodeEnergy ne;
+  ne.tx_seconds = 0.9;
+  ne.rx_seconds = 0.9;  // tx + rx = 1.8 s inside a 1 s episode
+  res.node_energy = {ne};
+  const auto v = check_energy(res, 3, 1.0, 0, 0, nullptr);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "energy_consistency");
+}
+
+TEST(EnergyInvariant, LedgerDriftViolates) {
+  const mac::PowerModel power{};
+  mac::SimResult res;
+  res.duration = 1.0;
+  mac::NodeEnergy ne;
+  ne.tx_seconds = 0.2;
+  ne.rx_seconds = 0.3;
+  ne.idle_seconds = 0.5;
+  ne.joules = 0.2 * power.tx_watts + 0.3 * power.rx_watts +
+              0.5 * power.idle_watts + 0.5;  // half a joule of drift
+  res.node_energy = {ne};
+  MarginTracker m;
+  const auto v = check_energy(res, 0, 0, 0, 0, &m);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "energy_consistency");
+  EXPECT_LT(m.minima().at("energy_consistency"), 0.0);
+}
+
+TEST(EnergyInvariant, SoakedScenariosCarryEnergyMargins) {
+  // End to end: a clean soak records both episode-level margins.
+  Scenario s = small_clean_scenario();
+  const SoakReport report = SoakRunner{}.run(s);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.margins.minima().count("energy_consistency"), 1u);
+  EXPECT_GT(report.margins.minima().at("energy_consistency"), 0.0);
 }
 
 }  // namespace

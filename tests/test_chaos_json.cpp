@@ -1,0 +1,150 @@
+// chaos/json error-path coverage: the parser's contract is that it
+// NEVER throws and never crashes — every malformed input becomes a
+// structured JsonError with a 1-based line/column. These tests pin that
+// contract on the inputs most likely to slip through a hand-rolled
+// parser: malformed numbers, truncated documents, duplicate keys, and
+// pathological nesting depth.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "chaos/json.hpp"
+
+namespace carpool::chaos {
+namespace {
+
+JsonParseResult parse_nothrow(const std::string& text) {
+  JsonParseResult out;
+  EXPECT_NO_THROW(out = json_parse(text)) << "input: " << text;
+  return out;
+}
+
+// ------------------------------------------------------ malformed numbers
+
+TEST(ChaosJsonNumbers, BareMinusSignIsAnError) {
+  const JsonParseResult r = parse_nothrow("-");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error.line, 1u);
+  EXPECT_FALSE(r.error.message.empty());
+}
+
+TEST(ChaosJsonNumbers, ExponentWithoutDigitsIsAnError) {
+  EXPECT_FALSE(parse_nothrow("1e").ok());
+  EXPECT_FALSE(parse_nothrow("1e+").ok());
+  EXPECT_FALSE(parse_nothrow("[1, 2e]").ok());
+}
+
+TEST(ChaosJsonNumbers, LeadingPlusIsAnError) {
+  EXPECT_FALSE(parse_nothrow("+1").ok());
+}
+
+TEST(ChaosJsonNumbers, HexLiteralIsAnError) {
+  // "0x10" parses "0" then leaves "x10" as trailing garbage.
+  EXPECT_FALSE(parse_nothrow("0x10").ok());
+}
+
+TEST(ChaosJsonNumbers, DoubleDecimalPointIsAnError) {
+  EXPECT_FALSE(parse_nothrow("1.2.3").ok());
+  EXPECT_FALSE(parse_nothrow("{\"v\": 1..5}").ok());
+}
+
+TEST(ChaosJsonNumbers, ValidEdgeNumbersStillParse) {
+  EXPECT_TRUE(parse_nothrow("-0.5").ok());
+  EXPECT_TRUE(parse_nothrow("1e3").ok());
+  EXPECT_TRUE(parse_nothrow("2.5E-4").ok());
+}
+
+// ----------------------------------------------------- truncated documents
+
+TEST(ChaosJsonTruncation, LoneOpenBraceReportsError) {
+  const JsonParseResult r = parse_nothrow("{");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.to_string().find("line 1"), std::string::npos);
+}
+
+TEST(ChaosJsonTruncation, ArrayCutAfterCommaReportsError) {
+  EXPECT_FALSE(parse_nothrow("[1,").ok());
+}
+
+TEST(ChaosJsonTruncation, UnterminatedStringReportsError) {
+  const JsonParseResult r = parse_nothrow("\"abc");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.message.find("unterminated"), std::string::npos);
+}
+
+TEST(ChaosJsonTruncation, ObjectCutMidValueReportsError) {
+  EXPECT_FALSE(parse_nothrow("{\"k\":").ok());
+  EXPECT_FALSE(parse_nothrow("{\"k\": 1,").ok());
+  EXPECT_FALSE(parse_nothrow("{\"k\": \"v").ok());
+}
+
+TEST(ChaosJsonTruncation, TruncatedEscapesReportError) {
+  EXPECT_FALSE(parse_nothrow("\"a\\").ok());
+  EXPECT_FALSE(parse_nothrow("\"a\\u12").ok());
+}
+
+TEST(ChaosJsonTruncation, EmptyInputReportsError) {
+  const JsonParseResult r = parse_nothrow("");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.message.find("end of input"), std::string::npos);
+}
+
+// --------------------------------------------------------- duplicate keys
+
+TEST(ChaosJsonDuplicates, FirstKeyWins) {
+  // The ordered-object representation keeps both members; find() returns
+  // the first. Schema readers therefore see the first occurrence — the
+  // behaviour scenario_from_json relies on, pinned here so a change to
+  // the lookup order cannot slip in silently.
+  const JsonParseResult r = parse_nothrow("{\"a\": 1, \"a\": 2}");
+  ASSERT_TRUE(r.ok());
+  const JsonValue* a = r.value->find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->as_number(), 1.0);
+  EXPECT_EQ(r.value->as_object().size(), 2u);  // both retained
+}
+
+// ----------------------------------------------------------- depth limit
+
+TEST(ChaosJsonDepth, PathologicalNestingFailsGracefully) {
+  // A megabyte of '[' used to be a stack overflow (a crash, not an
+  // error). The parser bounds container nesting instead.
+  const std::string bombs[] = {
+      std::string(100000, '['),
+      std::string(300, '[') + "1" + std::string(300, ']'),
+      [] {
+        std::string s;
+        for (int i = 0; i < 5000; ++i) s += "{\"k\":";
+        return s;
+      }(),
+  };
+  for (const std::string& bomb : bombs) {
+    const JsonParseResult r = parse_nothrow(bomb);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.message.find("nesting"), std::string::npos);
+  }
+}
+
+TEST(ChaosJsonDepth, DeepButBoundedNestingStillParses) {
+  // 200 levels is comfortably inside the 256 cap.
+  std::string doc = std::string(200, '[') + "42" + std::string(200, ']');
+  const JsonParseResult r = parse_nothrow(doc);
+  ASSERT_TRUE(r.ok());
+}
+
+// ---------------------------------------------------------- misc garbage
+
+TEST(ChaosJsonGarbage, NeverThrowsOnAssortedInvalidInputs) {
+  const char* inputs[] = {
+      "tru",          "nul",   "[1 2]",      "{\"k\" 1}",
+      "{k: 1}",       "[,]",   "{,}",        "\x01",
+      "[1]]",         "1 2",   "\"\\x41\"",  "{\"k\": }",
+  };
+  for (const char* text : inputs) {
+    EXPECT_FALSE(parse_nothrow(text).ok()) << "input: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace carpool::chaos

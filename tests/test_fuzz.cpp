@@ -1,0 +1,294 @@
+// Coverage-guided scenario fuzzer (chaos/fuzz.hpp): determinism across
+// thread counts, schema validity of every mutant, coverage-signature
+// bucketing, and the acceptance property that an inject-armed campaign
+// rediscovers the injected_fault.json-style violation from a mutated
+// steady seed within a bounded budget.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/fuzz.hpp"
+#include "chaos/runner.hpp"
+#include "chaos/scenario.hpp"
+#include "chaos/shrink.hpp"
+#include "common/rng.hpp"
+#include "obs/registry.hpp"
+
+namespace carpool::chaos {
+namespace {
+
+/// Small steady-state seed scenario: quick to evaluate, rich enough for
+/// every mutation operator to have something to chew on.
+Scenario small_steady() {
+  Scenario s;
+  s.name = "fuzz_steady";
+  s.seed = 42;
+  s.duration = 2.0;
+  s.num_stas = 3;
+  s.probe_interval = 0.0;
+  s.traffic.push_back({0.0, TrafficKind::kCbr, 1200, 4e-3});
+  return s;
+}
+
+FuzzOptions quick_opts() {
+  FuzzOptions o;
+  o.rounds = 3;
+  o.batch = 4;
+  o.eval_frames = 500;
+  o.seed = 7;
+  o.shrink_hits = false;
+  return o;
+}
+
+// -------------------------------------------------- coverage signature
+
+TEST(FuzzCoverage, SignatureBucketsHitCountsLogarithmically) {
+  obs::Registry a, b, c;
+  a.counter("x").add(3);
+  b.counter("x").add(3);
+  EXPECT_EQ(coverage_signature(a), coverage_signature(b));
+
+  b.counter("x").add(280);  // 3 -> 283: new log2 bucket
+  EXPECT_NE(coverage_signature(a), coverage_signature(b));
+
+  // Same bucket (floor(log2)+1 of 5 == of 7) -> same signature.
+  c.counter("x").add(5);
+  obs::Registry d;
+  d.counter("x").add(7);
+  EXPECT_EQ(coverage_signature(c), coverage_signature(d));
+}
+
+TEST(FuzzCoverage, ZeroCountersDoNotContribute) {
+  obs::Registry a, b;
+  b.counter("never_hit");  // registered but zero
+  EXPECT_EQ(coverage_signature(a), coverage_signature(b));
+}
+
+// ----------------------------------------------------------- mutator
+
+TEST(FuzzMutator, EveryMutantIsSchemaValidByConstruction) {
+  MutatorConfig cfg;
+  cfg.allow_inject = true;
+  cfg.inject_max_frame = 1000;
+  const ScenarioMutator mutator(cfg);
+  Rng rng(123);
+  Scenario current = small_steady();
+  for (int i = 0; i < 300; ++i) {
+    Mutation m = mutator.mutate(current, rng);
+    EXPECT_FALSE(m.op.empty());
+    const ScenarioParseResult round =
+        scenario_from_json(scenario_to_json(m.scenario));
+    ASSERT_TRUE(round.ok())
+        << "op " << m.op << " broke the schema after " << i
+        << " mutations: " << round.error.to_string();
+    current = std::move(m.scenario);  // walk, compounding mutations
+  }
+}
+
+TEST(FuzzMutator, InjectOperatorIsGatedOff) {
+  const ScenarioMutator mutator;  // allow_inject defaults false
+  Rng rng(5);
+  Scenario base = small_steady();
+  for (int i = 0; i < 200; ++i) {
+    const Mutation m = mutator.mutate(base, rng);
+    EXPECT_NE(m.op, "inject_fault");
+    EXPECT_FALSE(m.scenario.inject.has_value());
+  }
+}
+
+TEST(FuzzMutator, IsDeterministicForEqualRngState) {
+  const ScenarioMutator mutator;
+  Rng rng1(99), rng2(99);
+  const Scenario base = small_steady();
+  for (int i = 0; i < 50; ++i) {
+    const Mutation a = mutator.mutate(base, rng1);
+    const Mutation b = mutator.mutate(base, rng2);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(scenario_to_json(a.scenario), scenario_to_json(b.scenario));
+  }
+}
+
+// ----------------------------------------------------------- engine
+
+TEST(FuzzEngineBasics, EmptySeedCorpusRunsNoRounds) {
+  obs::Registry reg;
+  const obs::Registry::ScopedCurrent scope(reg);
+  const FuzzEngine engine(quick_opts());
+  const FuzzReport report = engine.run({});
+  EXPECT_EQ(report.evals, 0u);
+  EXPECT_EQ(report.rounds_run, 0u);
+  EXPECT_TRUE(report.corpus.empty());
+  EXPECT_FALSE(report.found());
+}
+
+TEST(FuzzEngineBasics, CleanCampaignGrowsACorpus) {
+  obs::Registry reg;
+  const obs::Registry::ScopedCurrent scope(reg);
+  const FuzzEngine engine(quick_opts());
+  const FuzzReport report = engine.run({small_steady()});
+  EXPECT_FALSE(report.found());
+  EXPECT_GE(report.corpus.size(), 1u);
+  EXPECT_EQ(report.rounds_run, quick_opts().rounds);
+  EXPECT_EQ(report.evals,
+            1 + quick_opts().rounds * quick_opts().batch);
+  // Engine instrumentation landed in the scoped registry.
+  EXPECT_EQ(reg.counter_value("chaos.fuzz.evals"), report.evals);
+  EXPECT_EQ(reg.counter_value("chaos.fuzz.violations"), 0u);
+}
+
+TEST(FuzzEngineBasics, CorpusEvictionHoldsTheCap) {
+  FuzzOptions o = quick_opts();
+  o.rounds = 4;
+  o.corpus_max = 2;
+  obs::Registry reg;
+  const obs::Registry::ScopedCurrent scope(reg);
+  const FuzzReport report = FuzzEngine(o).run({small_steady()});
+  EXPECT_LE(report.corpus.size(), 2u);
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(FuzzDeterminism, CorpusEvolutionBitIdenticalAcrossThreadCounts) {
+  FuzzReport serial, parallel;
+  obs::Registry reg_serial, reg_parallel;
+  {
+    FuzzOptions o = quick_opts();
+    o.threads = 1;
+    const obs::Registry::ScopedCurrent scope(reg_serial);
+    serial = FuzzEngine(o).run({small_steady()});
+  }
+  {
+    FuzzOptions o = quick_opts();
+    o.threads = 4;
+    const obs::Registry::ScopedCurrent scope(reg_parallel);
+    parallel = FuzzEngine(o).run({small_steady()});
+  }
+  EXPECT_EQ(serial.corpus_digest(), parallel.corpus_digest());
+  EXPECT_EQ(serial.evals, parallel.evals);
+  EXPECT_EQ(serial.corpus.size(), parallel.corpus.size());
+  EXPECT_EQ(serial.hits.size(), parallel.hits.size());
+  // The whole deterministic metric surface, not just the corpus.
+  EXPECT_EQ(reg_serial.fingerprint(), reg_parallel.fingerprint());
+}
+
+// -------------------------------------------- injected-fault rediscovery
+
+/// The acceptance property: from a mutated steady seed, an inject-armed
+/// campaign must deterministically rediscover the scripted violation
+/// (the injected_fault.json scenario's failure mode) within a bounded
+/// budget — and identically at any thread count.
+TEST(FuzzRediscovery, FindsInjectedFaultFromMutatedSteadySeed) {
+  FuzzOptions o;
+  o.rounds = 12;
+  o.batch = 6;
+  o.eval_frames = 1000;
+  o.seed = 1;
+  o.allow_inject = true;
+  o.shrink_hits = true;
+  // Collect every hit: an inject-armed campaign may also trip organic
+  // violations (e.g. a goodput cliff from an intensified episode), and
+  // the acceptance property is about the scripted fault specifically.
+  o.stop_on_violation = false;
+
+  const auto injected_hit = [](const FuzzReport& r) -> const FuzzHit* {
+    for (const FuzzHit& h : r.hits)
+      if (h.violation.invariant == "injected") return &h;
+    return nullptr;
+  };
+
+  FuzzReport serial, parallel;
+  obs::Registry reg_serial, reg_parallel;
+  {
+    FuzzOptions s = o;
+    s.threads = 1;
+    const obs::Registry::ScopedCurrent scope(reg_serial);
+    serial = FuzzEngine(s).run({small_steady()});
+  }
+  const FuzzHit* hit = injected_hit(serial);
+  ASSERT_NE(hit, nullptr) << "bounded budget must rediscover the "
+                             "injected fault (" << serial.hits.size()
+                          << " hits total)";
+  EXPECT_EQ(hit->op, "inject_fault");
+  ASSERT_TRUE(hit->scenario.inject.has_value());
+  EXPECT_EQ(hit->violation.frame, hit->scenario.inject->frame);
+  // The hit auto-shrunk into a minimal reproduction that still replays.
+  EXPECT_LT(hit->timeline_ratio, 1.0);
+  ASSERT_TRUE(hit->shrunk.inject.has_value());
+  EXPECT_EQ(hit->shrunk_violation.invariant, "injected");
+  EXPECT_EQ(hit->shrunk_violation.frame, hit->violation.frame);
+  const ReplayResult replay =
+      replay_bundle({hit->shrunk, hit->shrunk_violation});
+  EXPECT_TRUE(replay.reproduced);
+
+  {
+    FuzzOptions p = o;
+    p.threads = 4;
+    const obs::Registry::ScopedCurrent scope(reg_parallel);
+    parallel = FuzzEngine(p).run({small_steady()});
+  }
+  const FuzzHit* phit = injected_hit(parallel);
+  ASSERT_NE(phit, nullptr);
+  EXPECT_EQ(serial.corpus_digest(), parallel.corpus_digest());
+  EXPECT_EQ(serial.hits.size(), parallel.hits.size());
+  EXPECT_EQ(phit->violation.frame, hit->violation.frame);
+  EXPECT_EQ(phit->round, hit->round);
+  EXPECT_EQ(phit->batch_index, hit->batch_index);
+  EXPECT_EQ(reg_serial.fingerprint(), reg_parallel.fingerprint());
+}
+
+// ------------------------------------------- shrinker degenerate inputs
+
+TEST(FuzzShrinkHardening, NonReproducingBundleReturnsUnchanged) {
+  // A bundle whose scenario never produces the recorded violation must
+  // come back unchanged after ONE verification soak — not after burning
+  // every reduction pass on candidates that all fail the same check.
+  const Scenario s = small_steady();  // no injected fault
+  Violation v;
+  v.invariant = "injected";
+  v.frame = 100;
+  obs::Registry reg;
+  const obs::Registry::ScopedCurrent scope(reg);
+  const ShrinkResult sr = shrink_bundle({s, v});
+  EXPECT_EQ(sr.attempts, 1u);
+  EXPECT_EQ(sr.accepted, 0u);
+  EXPECT_DOUBLE_EQ(sr.timeline_ratio, 1.0);
+  EXPECT_EQ(scenario_to_json(sr.scenario), scenario_to_json(s));
+}
+
+TEST(FuzzShrinkHardening, MinimalScenarioAtTheFloorsDoesNotUnderflow) {
+  // Single STA, duration already at the shrink floor, no optional
+  // sections: every reduction axis is exhausted from the start.
+  Scenario s = small_steady();
+  s.num_stas = 1;
+  s.duration = 0.05;
+  s.inject = InjectedViolation{3};
+
+  const SoakReport report = SoakRunner{}.run(s);
+  ASSERT_FALSE(report.ok());
+  const ShrinkResult sr = shrink_bundle({s, report.violations.front()});
+  EXPECT_GE(sr.attempts, 1u);
+  EXPECT_GT(sr.timeline_ratio, 0.0);
+  EXPECT_LE(sr.timeline_ratio, 1.0);
+  EXPECT_GE(sr.scenario.num_stas, 1u);
+  const ReplayResult replay = replay_bundle({sr.scenario, sr.violation});
+  EXPECT_TRUE(replay.reproduced);
+}
+
+TEST(FuzzShrinkHardening, ScenarioWithNoOptionalSectionsShrinks) {
+  Scenario s = small_steady();
+  s.traffic.clear();  // even the traffic list is optional
+  s.inject = InjectedViolation{50};
+  const SoakReport report = SoakRunner{}.run(s);
+  ASSERT_FALSE(report.ok());
+  const ShrinkResult sr = shrink_bundle({s, report.violations.front()});
+  EXPECT_LE(sr.timeline_ratio, 1.0);
+  EXPECT_EQ(sr.violation.invariant, "injected");
+  EXPECT_EQ(sr.violation.frame, 50u);
+  const ReplayResult replay = replay_bundle({sr.scenario, sr.violation});
+  EXPECT_TRUE(replay.reproduced);
+}
+
+}  // namespace
+}  // namespace carpool::chaos

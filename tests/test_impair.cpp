@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "impair/impair.hpp"
+#include "obs/registry.hpp"
 #include "phy/constellation.hpp"
 #include "phy/ofdm.hpp"
 #include "phy/preamble.hpp"
@@ -331,6 +332,67 @@ TEST(ImpairEdge, EpisodeTraceInclusiveBounds) {
   EXPECT_TRUE(trace.active(10));
   EXPECT_FALSE(trace.active(11));
   EXPECT_FALSE(EpisodeTrace{}.active(0));
+}
+
+// ------------------------------------------------- recorded SNR offsets
+
+TEST(SnrOffsetTraceStage, AppliesRecordedGainPerFrame) {
+  obs::Registry reg;
+  const obs::Registry::ScopedCurrent scope(reg);
+  const CxVec tx = test_wave(256, 7);
+  ImpairmentChain chain(1);
+  chain.add(make_snr_offset_trace({.offset_db = {6.0, 0.0, -6.0}}));
+
+  const CxVec f0 = chain.run(tx);  // +6 dB
+  const CxVec f1 = chain.run(tx);  // 0 dB: identity, not even counted
+  const CxVec f2 = chain.run(tx);  // -6 dB
+  const CxVec f3 = chain.run(tx);  // past the trace: untouched
+
+  const double up = std::pow(10.0, 6.0 / 20.0);
+  const double down = std::pow(10.0, -6.0 / 20.0);
+  for (std::size_t n = 0; n < tx.size(); ++n) {
+    ASSERT_NEAR(std::abs(f0[n]), up * std::abs(tx[n]), 1e-12);
+    ASSERT_EQ(f1[n], tx[n]);
+    ASSERT_NEAR(std::abs(f2[n]), down * std::abs(tx[n]), 1e-12);
+    ASSERT_EQ(f3[n], tx[n]);
+  }
+  // Only the two frames that actually changed amplitude are counted.
+  EXPECT_EQ(reg.counter_value("impair.snr_offset_frames"), 2u);
+}
+
+TEST(SnrOffsetTraceStage, EmptyTraceIsIdentity) {
+  const CxVec tx = test_wave(64, 11);
+  ImpairmentChain chain(1);
+  chain.add(make_snr_offset_trace({}));
+  for (int frame = 0; frame < 3; ++frame) {
+    const CxVec out = chain.run(tx);
+    for (std::size_t n = 0; n < tx.size(); ++n) ASSERT_EQ(out[n], tx[n]);
+  }
+}
+
+TEST(SnrOffsetTraceStage, ComposesDeterministicallyWithNoiseStages) {
+  // The offset stage draws no randomness, so inserting it must not
+  // perturb what a downstream stochastic stage produces frame to frame.
+  const CxVec tx = test_wave(1024, 3);
+  ImpairmentChain plain(42);
+  plain.add(make_gilbert_elliott({.p_good_to_bad = 0.2,
+                                  .p_bad_to_good = 0.3,
+                                  .bad_noise_power = 0.5}));
+  ImpairmentChain with_offset(42);
+  with_offset.add(make_gilbert_elliott({.p_good_to_bad = 0.2,
+                                        .p_bad_to_good = 0.3,
+                                        .bad_noise_power = 0.5}));
+  // Streams are (frame, stage-index)-addressed, so the no-op offset
+  // stage rides at index 1 and the noise stage keeps its stream.
+  with_offset.add(make_snr_offset_trace({.offset_db = {0.0, 0.0}}));
+  for (int frame = 0; frame < 4; ++frame) {
+    const CxVec a = plain.run(tx);
+    const CxVec b = with_offset.run(tx);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t n = 0; n < a.size(); ++n) {
+      ASSERT_EQ(a[n], b[n]) << "frame " << frame << " sample " << n;
+    }
+  }
 }
 
 }  // namespace

@@ -8,6 +8,20 @@
 //   soak --frames 200000 --threads 0       # fan repeats across all cores
 //   soak --replay b.json --chrome-trace t.json  # Perfetto timeline of
 //                                               # the failing frame
+//   soak --validate --scenario scenarios/steady.json  # schema check only
+//   soak --trace capture.csv               # recorded SNR timeline overlay
+//   soak --fuzz --fuzz-rounds 20           # coverage-guided fuzz campaign
+//
+// --validate parses and round-trips every --scenario file without
+// running anything; exit 0 iff all are schema-valid. --trace FILE loads
+// a recorded per-STA SNR timeline (CSV "time,sta,snr_db" or JSONL;
+// chaos/snr_trace.hpp) and overlays it on every scenario run. --fuzz
+// runs the coverage-guided scenario fuzzer (chaos/fuzz.hpp) with the
+// loaded scenarios (or built-ins) as the seed corpus: --fuzz-rounds /
+// --fuzz-batch / --fuzz-frames / --fuzz-seed shape the campaign,
+// --fuzz-inject arms the inject_fault mutation operator, --corpus-dir
+// writes the evolved corpus as scenario JSON files. The printed
+// `corpus digest` is bit-identical at any --threads count.
 //
 // --chrome-trace PATH writes the run's frame-lifecycle spans (TXOP ->
 // frame -> subframe -> decode; docs/OBSERVABILITY.md) as a Chrome
@@ -27,8 +41,10 @@
 // Exit codes: 0 = campaign clean, 1 = invariant violation (bundle
 // written when --bundle-dir is set), 2 = usage or scenario-file error.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -37,9 +53,11 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fuzz.hpp"
 #include "chaos/runner.hpp"
 #include "chaos/scenario.hpp"
 #include "chaos/shrink.hpp"
+#include "chaos/snr_trace.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -57,7 +75,12 @@ void usage() {
                "[--bundle-dir DIR] [--shrink]\n"
                "            [--replay BUNDLE] [--metrics FILE] [--list] "
                "[--threads N]\n"
-               "            [--chrome-trace FILE] [--span-jsonl FILE]\n");
+               "            [--chrome-trace FILE] [--span-jsonl FILE]\n"
+               "            [--validate] [--trace FILE]\n"
+               "            [--fuzz] [--fuzz-rounds N] [--fuzz-batch N] "
+               "[--fuzz-frames N]\n"
+               "            [--fuzz-seed N] [--fuzz-inject] "
+               "[--corpus-dir DIR]\n");
 }
 
 /// Export collected frame-lifecycle spans to the requested files.
@@ -115,6 +138,13 @@ void print_report(const Scenario& s, const SoakReport& r) {
                 static_cast<unsigned long long>(v.frame), v.time,
                 v.episode, v.repeat, v.detail.c_str());
   }
+  if (!r.margins.minima().empty()) {
+    const auto tightest = std::min_element(
+        r.margins.minima().begin(), r.margins.minima().end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    std::printf("  min margin: %.4f (%s)\n", tightest->second,
+                tightest->first.c_str());
+  }
   if (!r.bundle_path.empty()) {
     std::printf("  repro bundle: %s\n", r.bundle_path.c_str());
   }
@@ -152,6 +182,98 @@ int replay_mode(const std::string& path) {
   return 1;
 }
 
+/// --validate: parse + round-trip every scenario file without running
+/// anything. Reports every file (not just the first failure) so a CI
+/// sweep over scenarios/*.json gives one complete answer.
+int validate_mode(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "soak: --validate needs at least one --scenario FILE\n");
+    return 2;
+  }
+  int exit_code = 0;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+      exit_code = 2;
+      continue;
+    }
+    const ScenarioParseResult parsed = scenario_from_json(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                   parsed.error.to_string().c_str());
+      exit_code = 2;
+      continue;
+    }
+    // Serialize -> parse must also hold, or repro bundles embedding this
+    // scenario would not round-trip.
+    const ScenarioParseResult round =
+        scenario_from_json(scenario_to_json(*parsed.scenario));
+    if (!round.ok()) {
+      std::fprintf(stderr, "%s: INVALID: round-trip failed: %s\n",
+                   path.c_str(), round.error.to_string().c_str());
+      exit_code = 2;
+      continue;
+    }
+    std::printf("%s: OK (%s, %.1fs, %zu STAs)\n", path.c_str(),
+                parsed.scenario->name.c_str(), parsed.scenario->duration,
+                parsed.scenario->num_stas);
+  }
+  return exit_code;
+}
+
+/// --fuzz: coverage-guided campaign over the loaded scenarios.
+int fuzz_mode(const std::vector<Scenario>& seeds, const FuzzOptions& fopts,
+              const std::string& corpus_dir) {
+  const FuzzEngine engine(fopts);
+  const FuzzReport report = engine.run(seeds);
+
+  std::printf("fuzz: %zu seeds, %zu rounds, %llu evals, corpus %zu "
+              "(%llu admissions)\n",
+              seeds.size(), report.rounds_run,
+              static_cast<unsigned long long>(report.evals),
+              report.corpus.size(),
+              static_cast<unsigned long long>(report.corpus_adds));
+  for (const FuzzHit& hit : report.hits) {
+    std::printf("  HIT r%zu/b%zu op=%s: %s at frame %llu\n    %s\n",
+                hit.round, hit.batch_index, hit.op.c_str(),
+                hit.violation.invariant.c_str(),
+                static_cast<unsigned long long>(hit.violation.frame),
+                hit.violation.detail.c_str());
+    if (!hit.bundle_path.empty()) {
+      std::printf("    repro bundle: %s\n", hit.bundle_path.c_str());
+    }
+    if (hit.timeline_ratio < 1.0) {
+      std::printf("    shrunk timeline: %.1fs -> %.1fs (ratio %.3f)\n",
+                  hit.scenario.timeline_seconds(),
+                  hit.shrunk.timeline_seconds(), hit.timeline_ratio);
+    }
+  }
+  if (!corpus_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(corpus_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "soak: cannot create %s\n", corpus_dir.c_str());
+      return 2;
+    }
+    for (std::size_t i = 0; i < report.corpus.size(); ++i) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "/corpus_%03zu_%016" PRIx64
+                    ".json", i, report.corpus[i].signature);
+      std::ofstream out(corpus_dir + name);
+      if (out) out << scenario_to_json(report.corpus[i].scenario);
+    }
+    std::printf("corpus: %zu entries -> %s\n", report.corpus.size(),
+                corpus_dir.c_str());
+  }
+  // The determinism canary: equal at any --threads count.
+  std::printf("corpus digest: 0x%016" PRIx64 "\n", report.corpus_digest());
+  std::printf("metrics fingerprint: 0x%016" PRIx64 "\n",
+              obs::Registry::global().fingerprint());
+  return report.found() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -164,6 +286,11 @@ int main(int argc, char** argv) {
   opts.threads = carpool::par::resolve_threads();  // CARPOOL_THREADS or 1
   bool do_shrink = false;
   bool list_only = false;
+  bool validate_only = false;
+  bool do_fuzz = false;
+  std::string trace_path;
+  std::string corpus_dir;
+  FuzzOptions fuzz_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -195,6 +322,24 @@ int main(int argc, char** argv) {
       span_jsonl_path = next();
     } else if (arg == "--list") {
       list_only = true;
+    } else if (arg == "--validate") {
+      validate_only = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--fuzz") {
+      do_fuzz = true;
+    } else if (arg == "--fuzz-rounds") {
+      fuzz_opts.rounds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fuzz-batch") {
+      fuzz_opts.batch = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fuzz-frames") {
+      fuzz_opts.eval_frames = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fuzz-seed") {
+      fuzz_opts.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fuzz-inject") {
+      fuzz_opts.allow_inject = true;
+    } else if (arg == "--corpus-dir") {
+      corpus_dir = next();
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -218,6 +363,8 @@ int main(int argc, char** argv) {
   obs::SpanCollector span_collector;
   std::optional<obs::SpanCollector::ScopedCurrent> span_scope;
   if (want_spans) span_scope.emplace(span_collector);
+
+  if (validate_only) return validate_mode(scenario_files);
 
   if (!replay_path.empty()) {
     const int code = replay_mode(replay_path);
@@ -246,6 +393,31 @@ int main(int argc, char** argv) {
       }
       scenarios.push_back(std::move(*parsed.scenario));
     }
+  }
+
+  if (!trace_path.empty()) {
+    std::string text;
+    if (!read_file(trace_path, text)) {
+      std::fprintf(stderr, "soak: cannot read trace %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    const SnrTraceParseResult parsed = snr_trace_from_text(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "soak: bad trace %s: %s\n", trace_path.c_str(),
+                   parsed.error.to_string().c_str());
+      return 2;
+    }
+    std::printf("trace %s: %zu samples, %u STAs\n", trace_path.c_str(),
+                parsed.trace->size(), parsed.trace->max_sta());
+    for (Scenario& s : scenarios) s.snr_trace = *parsed.trace;
+  }
+
+  if (do_fuzz) {
+    fuzz_opts.threads = opts.threads;
+    fuzz_opts.bundle_dir = opts.bundle_dir;
+    fuzz_opts.rte_norm_bound = opts.rte_norm_bound;
+    return fuzz_mode(scenarios, fuzz_opts, corpus_dir);
   }
 
   if (list_only) {
