@@ -10,16 +10,42 @@
 #include "carpool/transceiver.hpp"
 #include "channel/shadowing.hpp"
 #include "impair/impair.hpp"
+#include "mac/domain_sim.hpp"
 #include "mac/simulator.hpp"
 #include "obs/registry.hpp"
 #include "par/par.hpp"
 #include "phy/frame.hpp"
+#include "sim/multi_bss.hpp"
+#include "sim/topology.hpp"
 #include "traffic/generators.hpp"
 
 namespace carpool::chaos {
 namespace {
 
 constexpr double kBoundaryEps = 1e-9;
+
+/// Multi-BSS context for a topology scenario, built once per campaign:
+/// the AP grid, every STA's mobility path, and the pre-computed
+/// association timeline whose handover instants become episode cuts.
+/// Null for classic single-collision-domain scenarios.
+struct TopoCtx {
+  sim::Topology topo;
+  std::vector<sim::MobilityPath> paths;  ///< indexed by STA id; [0] unused
+  sim::AssociationTimeline timeline;
+};
+
+std::optional<TopoCtx> make_topo_ctx(const Scenario& s) {
+  if (!s.topology.has_value()) return std::nullopt;
+  sim::Topology topo(*s.topology, s.power_magnitude);
+  std::vector<sim::MobilityPath> paths(s.num_stas + 1);
+  for (const MobilityTrack& t : s.mobility) {
+    if (t.sta < paths.size()) {
+      paths[t.sta] = sim::MobilityPath(t.waypoints);
+    }
+  }
+  sim::AssociationTimeline timeline(topo, s.num_stas, paths, s.duration);
+  return TopoCtx{std::move(topo), std::move(paths), std::move(timeline)};
+}
 
 /// One contiguous slice of the timeline with constant membership,
 /// traffic phase, and interference set.
@@ -33,7 +59,11 @@ struct Episode {
 
 /// Timeline -> episodes: split at churn, traffic, and interference
 /// boundaries so each slice runs under a constant configuration.
-std::vector<Episode> segment_timeline(const Scenario& s) {
+/// `extra_cuts` adds topology handover instants, so within an episode
+/// every STA's association is constant too.
+std::vector<Episode> segment_timeline(const Scenario& s,
+                                      const std::vector<double>& extra_cuts =
+                                          {}) {
   std::vector<double> cuts{0.0, s.duration};
   for (const ChurnEvent& e : s.churn) cuts.push_back(e.time);
   for (const TrafficPhase& p : s.traffic) cuts.push_back(p.start);
@@ -41,6 +71,7 @@ std::vector<Episode> segment_timeline(const Scenario& s) {
     cuts.push_back(e.start);
     cuts.push_back(e.stop);
   }
+  cuts.insert(cuts.end(), extra_cuts.begin(), extra_cuts.end());
   std::sort(cuts.begin(), cuts.end());
   cuts.erase(std::unique(cuts.begin(), cuts.end(),
                          [](double a, double b) {
@@ -80,38 +111,45 @@ std::vector<Episode> segment_timeline(const Scenario& s) {
   return out;
 }
 
+/// Append the traffic-phase flows of one STA (`sta` is the id the flows
+/// address inside the simulator that consumes them — the global id in the
+/// single-domain path, the domain-local id in a multi-BSS domain).
+void append_flows(std::vector<mac::FlowSpec>& flows, const TrafficPhase& p,
+                  mac::NodeId sta) {
+  switch (p.kind) {
+    case TrafficKind::kCbr:
+      flows.push_back(traffic::make_cbr_flow(sta, p.frame_bytes,
+                                             p.interval));
+      break;
+    case TrafficKind::kVoip: {
+      auto call = traffic::make_voip_call(sta);
+      flows.insert(flows.end(), std::make_move_iterator(call.begin()),
+                   std::make_move_iterator(call.end()));
+      break;
+    }
+    case TrafficKind::kPoisson:
+      flows.push_back(traffic::make_poisson_flow(
+          sta, p.interval, traffic::TraceKind::kLibrary, false));
+      break;
+    case TrafficKind::kSigcomm: {
+      auto bg = traffic::make_sigcomm_background(sta);
+      flows.insert(flows.end(), std::make_move_iterator(bg.begin()),
+                   std::make_move_iterator(bg.end()));
+      flows.push_back(traffic::make_cbr_flow(sta, p.frame_bytes,
+                                             p.interval));
+      break;
+    }
+  }
+}
+
 /// Flows for one episode under its traffic phase.
 std::vector<mac::FlowSpec> build_flows(const Episode& ep,
                                        const Scenario& s) {
   std::vector<mac::FlowSpec> flows;
   if (ep.phase == nullptr) return flows;
-  const TrafficPhase& p = *ep.phase;
   for (mac::NodeId sta = 1; sta <= s.num_stas; ++sta) {
     if (!ep.joined[sta]) continue;
-    switch (p.kind) {
-      case TrafficKind::kCbr:
-        flows.push_back(traffic::make_cbr_flow(sta, p.frame_bytes,
-                                               p.interval));
-        break;
-      case TrafficKind::kVoip: {
-        auto call = traffic::make_voip_call(sta);
-        flows.insert(flows.end(), std::make_move_iterator(call.begin()),
-                     std::make_move_iterator(call.end()));
-        break;
-      }
-      case TrafficKind::kPoisson:
-        flows.push_back(traffic::make_poisson_flow(
-            sta, p.interval, traffic::TraceKind::kLibrary, false));
-        break;
-      case TrafficKind::kSigcomm: {
-        auto bg = traffic::make_sigcomm_background(sta);
-        flows.insert(flows.end(), std::make_move_iterator(bg.begin()),
-                     std::make_move_iterator(bg.end()));
-        flows.push_back(traffic::make_cbr_flow(sta, p.frame_bytes,
-                                               p.interval));
-        break;
-      }
-    }
+    append_flows(flows, *ep.phase, sta);
   }
   return flows;
 }
@@ -121,35 +159,57 @@ std::vector<mac::FlowSpec> build_flows(const Episode& ep,
 /// CarpoolReceiver. Probe index == chain frame index, so the episode
 /// trace is computable up front from the scenario's interference
 /// schedule and the whole probe sequence replays bit for bit.
+///
+/// Each probe targets one STA, and a multi-BSS campaign runs one harness
+/// per collision domain holding exactly the probes whose target STA is
+/// associated with that domain's AP at probe time: a probe measures the
+/// link the STA is actually on, not AP 0's. Domain 0 keeps the legacy
+/// chain salt, so single-domain scenarios are unchanged.
 class ProbeHarness {
  public:
+  struct Probe {
+    double time = 0.0;
+    std::uint32_t sta = 1;  ///< target STA (global id)
+  };
+
   /// `shadow` (nullable) is the repeat's correlated-shadowing process;
-  /// together with the scenario's recorded SNR trace it contributes a
-  /// per-probe gain offset so measured channels reach the real PHY
-  /// decode path, not just the analytic MAC model.
+  /// together with the scenario's recorded SNR trace and the topology
+  /// SINR of the probed link it contributes a per-probe gain offset so
+  /// measured channels reach the real PHY decode path, not just the
+  /// analytic MAC model.
   ProbeHarness(const Scenario& s, std::uint64_t repeat,
-               const channel::CorrelatedShadowing* shadow)
-      : chain_(derive_seed(s.seed, repeat, 0x70726f62ULL)) {
-    if (s.probe_interval <= 0.0) return;
-    for (double t = s.probe_interval; t < s.duration;
-         t += s.probe_interval) {
-      times_.push_back(t);
-    }
-    // Recorded-trace / shadowing gain per probe, applied before the
-    // interference stage (signal power moves first, interference power
-    // is layered on top). The probe frame is a broadcast to the harness
-    // receiver, so the trace contributes its across-STA mean and the
-    // shadowing process its first station's offset.
-    if (!s.snr_trace.empty() || shadow != nullptr) {
+               const channel::CorrelatedShadowing* shadow,
+               const TopoCtx* topo, std::uint32_t domain,
+               std::vector<Probe> probes)
+      : chain_(derive_seed(s.seed, repeat, 0x70726f62ULL + domain)),
+        probes_(std::move(probes)) {
+    if (probes_.empty()) return;
+    // Recorded-trace / shadowing / topology gain per probe, applied
+    // before the interference stage (signal power moves first,
+    // interference power is layered on top). Offsets are evaluated for
+    // the probe's target STA on its associated AP's link.
+    if (!s.snr_trace.empty() || shadow != nullptr || topo != nullptr) {
+      static const sim::MobilityPath kNoPath;
       impair::SnrOffsetTraceConfig offsets;
-      offsets.offset_db.resize(times_.size(), 0.0);
-      for (std::size_t i = 0; i < times_.size(); ++i) {
+      offsets.offset_db.resize(probes_.size(), 0.0);
+      for (std::size_t i = 0; i < probes_.size(); ++i) {
+        const double t = probes_[i].time;
+        const std::uint32_t sta = probes_[i].sta;
         double off = 0.0;
-        if (!s.snr_trace.empty()) {
-          off += s.snr_trace.mean_snr_at(times_[i], s.default_snr_db) -
+        if (topo != nullptr) {
+          const sim::MobilityPath& path =
+              sta < topo->paths.size() ? topo->paths[sta] : kNoPath;
+          off += topo->topo.sinr_db(domain,
+                                    topo->topo.position(sta, path, t)) -
                  s.default_snr_db;
         }
-        if (shadow != nullptr) off += shadow->offset_db(0, times_[i]);
+        if (!s.snr_trace.empty()) {
+          off += s.snr_trace.snr_at(sta, t, s.default_snr_db) -
+                 s.default_snr_db;
+        }
+        if (shadow != nullptr && sta >= 1) {
+          off += shadow->offset_db(sta - 1, t);
+        }
         offsets.offset_db[i] = off;
       }
       chain_.add(impair::make_snr_offset_trace(std::move(offsets)));
@@ -158,10 +218,10 @@ class ProbeHarness {
     impair::EpisodeTrace trace;
     std::uint64_t span_first = 0;
     bool open = false;
-    for (std::size_t i = 0; i < times_.size(); ++i) {
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
       bool inside = false;
       for (const InterferenceEpisode& e : s.interference) {
-        if (times_[i] >= e.start && times_[i] < e.stop) {
+        if (probes_[i].time >= e.start && probes_[i].time < e.stop) {
           inside = true;
           break;
         }
@@ -174,7 +234,7 @@ class ProbeHarness {
         open = false;
       }
     }
-    if (open) trace.spans.push_back({span_first, times_.size() - 1});
+    if (open) trace.spans.push_back({span_first, probes_.size() - 1});
 
     impair::GilbertElliottConfig ge;
     ge.bad_noise_power = 1.0;
@@ -203,8 +263,8 @@ class ProbeHarness {
     rx_ = std::make_unique<CarpoolReceiver>(rx_cfg);
   }
 
-  [[nodiscard]] const std::vector<double>& times() const noexcept {
-    return times_;
+  [[nodiscard]] const std::vector<Probe>& probes() const noexcept {
+    return probes_;
   }
 
   /// Run the next scheduled probe and return the decode result.
@@ -215,11 +275,34 @@ class ProbeHarness {
   }
 
  private:
-  std::vector<double> times_;
   impair::ImpairmentChain chain_;
+  std::vector<Probe> probes_;
   CxVec wave_;
   std::unique_ptr<CarpoolReceiver> rx_;
 };
+
+/// The whole timeline's probe schedule, partitioned by collision domain:
+/// probe k fires at (k+1)*probe_interval and targets STA (k % num_stas)+1;
+/// its domain is that STA's associated AP at probe time (always 0 without
+/// a topology — the classic single-domain schedule, unchanged).
+std::vector<std::vector<ProbeHarness::Probe>> plan_probes(
+    const Scenario& s, const TopoCtx* topo) {
+  const std::size_t n_domains =
+      topo != nullptr ? topo->topo.ap_count() : 1;
+  std::vector<std::vector<ProbeHarness::Probe>> plan(n_domains);
+  if (s.probe_interval <= 0.0 || s.num_stas == 0) return plan;
+  std::size_t k = 0;
+  for (double t = s.probe_interval; t < s.duration;
+       t += s.probe_interval, ++k) {
+    ProbeHarness::Probe probe;
+    probe.time = t;
+    probe.sta = static_cast<std::uint32_t>(k % s.num_stas) + 1;
+    std::size_t domain = 0;
+    if (topo != nullptr) domain = topo->timeline.ap_at(probe.sta, t);
+    plan[domain].push_back(probe);
+  }
+  return plan;
+}
 
 // ----------------------------------------------------- repeat execution
 //
@@ -247,7 +330,7 @@ struct RepeatOutcome {
 
 RepeatOutcome run_one_repeat(const Scenario& s,
                              const std::vector<Episode>& episodes,
-                             std::size_t repeat,
+                             const TopoCtx* topo, std::size_t repeat,
                              std::uint64_t campaign_base,
                              const SoakOptions& opts, bool live) {
   RepeatOutcome out;
@@ -289,165 +372,267 @@ RepeatOutcome run_one_repeat(const Scenario& s,
   const channel::CorrelatedShadowing* shadow =
       shadowing.has_value() ? &*shadowing : nullptr;
 
-  ProbeHarness probes(s, repeat, shadow);
-  std::size_t next_probe = 0;
+  // One probe harness per collision domain, each holding the probes whose
+  // target STA is associated with that domain (always one domain, all
+  // probes, without a topology).
+  std::vector<std::vector<ProbeHarness::Probe>> probe_plan =
+      plan_probes(s, topo);
+  const std::size_t n_domains = probe_plan.size();
+  std::vector<ProbeHarness> probes;
+  probes.reserve(n_domains);
+  for (std::size_t d = 0; d < n_domains; ++d) {
+    probes.emplace_back(s, repeat, shadow, topo,
+                        static_cast<std::uint32_t>(d),
+                        std::move(probe_plan[d]));
+  }
+  std::vector<std::size_t> next_probe(n_domains, 0);
   bool stop_campaign = false;
   bool injected_done = false;
 
   for (std::size_t ei = 0; ei < episodes.size() && !stop_campaign; ++ei) {
     const Episode& ep = episodes[ei];
-    const std::uint64_t frame_base = campaign_base + out.judged;
-
-    mac::SimConfig cfg;
-    cfg.scheme = s.scheme;
-    cfg.num_stas = s.num_stas;
-    cfg.duration = ep.stop - ep.start;
-    cfg.seed = derive_seed(s.seed, repeat, ei);
-    cfg.link_policy = s.link_policy;
-    cfg.default_snr_db = s.default_snr_db;
-
-    // Time-varying SNR: mobility via the testbed pathloss map, plus the
-    // penalty of every interference episode in force at the absolute
-    // time of the judgement.
-    const sim::TestbedLayout layout;
-    std::vector<sim::MobilityPath> paths(s.num_stas + 1);
-    std::vector<bool> has_path(s.num_stas + 1, false);
-    for (const MobilityTrack& t : s.mobility) {
-      if (t.sta < paths.size()) {
-        paths[t.sta] = sim::MobilityPath(t.waypoints);
-        has_path[t.sta] = true;
-      }
-    }
     const double ep_start = ep.start;
-    cfg.sta_snr_fn = [&s, layout, paths = std::move(paths),
-                      has_path = std::move(has_path), ep_start,
-                      shadow](mac::NodeId sta, double now) {
-      const double t = ep_start + now;
-      double snr = s.default_snr_db;
-      if (sta < has_path.size() && has_path[sta]) {
-        snr = layout.snr_db_along(paths[sta], t, s.power_magnitude);
-      }
-      // Recorded channel: where the capture has samples for this STA the
-      // measured SNR replaces the synthetic base (step-hold between
-      // samples); interference penalties and shadowing still layer on.
-      if (!s.snr_trace.empty()) {
-        snr = s.snr_trace.snr_at(static_cast<std::uint32_t>(sta), t, snr);
-      }
-      for (const InterferenceEpisode& e : s.interference) {
-        if (t < e.start || t >= e.stop) continue;
-        if (!e.stas.empty() &&
-            std::find(e.stas.begin(), e.stas.end(),
-                      static_cast<std::uint32_t>(sta)) == e.stas.end()) {
-          continue;
-        }
-        snr -= e.snr_penalty_db;
-      }
-      if (shadow != nullptr && sta >= 1) {
-        snr += shadow->offset_db(static_cast<std::size_t>(sta) - 1, t);
-      }
-      return snr;
-    };
 
-    StepInvariants checker(frame_base, ep.start, ei, repeat,
-                           &out.margins);
-    std::uint64_t episode_judged = 0;
-    std::uint64_t episode_steps = 0;
     bool stop_episode = false;
-    cfg.observer = [&](const mac::SimStepView& view) {
-      ++out.steps;
-      ++episode_steps;
-      episode_judged = view.frames_judged;
-
-      if (auto v = checker.check(view)) {
-        out.violations.push_back(std::move(*v));
-        stop_campaign = stop_episode = true;
-        return false;
-      }
-
-      // Deliberately seeded fault: trips the moment the campaign-wide
-      // judgement count crosses the scripted frame. Recorded with
-      // exactly that frame so replay and shrinking compare bit for bit.
-      if (live && s.inject && !injected_done &&
-          frame_base + view.frames_judged >= s.inject->frame) {
-        injected_done = true;
-        Violation v;
-        v.invariant = "injected";
-        v.detail = "deliberately seeded fault (scenario "
-                   "inject_violation)";
-        v.frame = s.inject->frame;
-        v.time = ep.start + view.now;
-        v.episode = ei;
-        v.repeat = repeat;
-        out.violations.push_back(std::move(v));
-        stop_campaign = stop_episode = true;
-        return false;
-      }
-
-      // PHY decode probes due by now.
-      while (next_probe < probes.times().size() &&
-             probes.times()[next_probe] <= ep.start + view.now) {
-        ++next_probe;
-        ++out.probes;
-        const CarpoolRxResult rx = probes.fire();
-        if (auto v = check_decode(rx, frame_base + view.frames_judged,
-                                  ep.start + view.now, ei, repeat,
-                                  opts.rte_norm_bound, &out.margins)) {
-          out.violations.push_back(std::move(*v));
-          stop_campaign = stop_episode = true;
-          return false;
-        }
-      }
-
-      if (live && opts.max_frames > 0 &&
-          frame_base + view.frames_judged >= opts.max_frames) {
-        stop_campaign = stop_episode = true;  // budget, not a violation
-        return false;
-      }
-      return true;
-    };
-
-    mac::Simulator sim(cfg);
-    for (mac::FlowSpec& f : build_flows(ep, s)) {
-      sim.add_flow(std::move(f));
-    }
-    const mac::SimResult res = sim.run();
-
-    // Episode-end invariants run only on episodes that completed without
-    // a stop event: a stopping repeat is re-run live anyway, so skipping
-    // its partial episode keeps detached and live passes bit-identical.
-    if (!stop_episode) {
-      if (opts.check_fairness) {
-        if (auto v = check_fairness(res, opts.fairness,
-                                    frame_base + episode_judged, ep.stop,
-                                    ei, repeat, &out.margins)) {
-          out.violations.push_back(std::move(*v));
-          stop_campaign = stop_episode = true;
-        }
-      }
-      if (!stop_episode && opts.check_energy) {
-        if (auto v = check_energy(res, frame_base + episode_judged,
-                                  ep.stop, ei, repeat, &out.margins)) {
-          out.violations.push_back(std::move(*v));
-          stop_campaign = stop_episode = true;
-        }
-      }
-    }
-
-    out.judged += episode_judged;
-    out.sim_seconds += res.duration;
-    ++out.episodes_run;
-
+    std::uint64_t episode_judged_total = 0;
+    std::uint64_t episode_steps_total = 0;
     EpisodeSummary summary;
     summary.index = ei;
     summary.repeat = repeat;
     summary.start = ep.start;
     summary.stop = ep.stop;
     summary.intensity = ep.max_intensity;
-    summary.goodput_bps =
-        res.downlink_goodput_bps + res.uplink_goodput_bps;
-    summary.frames_judged = episode_judged;
+
+    // One collision domain per AP, run sequentially in AP order (the
+    // multi-BSS serial reference; whole-repeat sharding happens a level
+    // up). The classic path is the one-domain special case.
+    for (std::size_t d = 0; d < n_domains && !stop_episode; ++d) {
+      // STAs this domain serves during the episode: joined, and (with a
+      // topology) associated with AP `d` for the whole slice — episodes
+      // are cut at handover instants, so association is constant here.
+      std::vector<mac::NodeId> members;
+      for (mac::NodeId sta = 1; sta <= s.num_stas; ++sta) {
+        if (!ep.joined[sta]) continue;
+        if (topo != nullptr &&
+            topo->timeline.ap_at(sta, ep.start) != d) {
+          continue;
+        }
+        members.push_back(sta);
+      }
+      if (topo != nullptr && members.empty()) {
+        // An AP serving nobody this slice has no collision domain to
+        // run; its pending probes fire at catch-up the next time the
+        // domain is active. The classic path never skips: it always ran
+        // a full-width simulator even when churn emptied the cell.
+        continue;
+      }
+
+      const std::uint64_t frame_base =
+          campaign_base + out.judged + episode_judged_total;
+
+      mac::SimConfig cfg;
+      cfg.scheme = s.scheme;
+      cfg.duration = ep.stop - ep.start;
+      cfg.link_policy = s.link_policy;
+      cfg.default_snr_db = s.default_snr_db;
+
+      if (topo == nullptr) {
+        // Single collision domain: global STA numbering, mobility over
+        // the testbed pathloss map.
+        cfg.num_stas = s.num_stas;
+        cfg.seed = derive_seed(s.seed, repeat, ei);
+
+        // Time-varying SNR: mobility via the testbed pathloss map, plus
+        // the penalty of every interference episode in force at the
+        // absolute time of the judgement.
+        const sim::TestbedLayout layout;
+        std::vector<sim::MobilityPath> paths(s.num_stas + 1);
+        std::vector<bool> has_path(s.num_stas + 1, false);
+        for (const MobilityTrack& t : s.mobility) {
+          if (t.sta < paths.size()) {
+            paths[t.sta] = sim::MobilityPath(t.waypoints);
+            has_path[t.sta] = true;
+          }
+        }
+        cfg.sta_snr_fn = [&s, layout, paths = std::move(paths),
+                          has_path = std::move(has_path), ep_start,
+                          shadow](mac::NodeId sta, double now) {
+          const double t = ep_start + now;
+          double snr = s.default_snr_db;
+          if (sta < has_path.size() && has_path[sta]) {
+            snr = layout.snr_db_along(paths[sta], t, s.power_magnitude);
+          }
+          // Recorded channel: where the capture has samples for this STA
+          // the measured SNR replaces the synthetic base (step-hold
+          // between samples); interference penalties and shadowing still
+          // layer on.
+          if (!s.snr_trace.empty()) {
+            snr = s.snr_trace.snr_at(static_cast<std::uint32_t>(sta), t,
+                                     snr);
+          }
+          for (const InterferenceEpisode& e : s.interference) {
+            if (t < e.start || t >= e.stop) continue;
+            if (!e.stas.empty() &&
+                std::find(e.stas.begin(), e.stas.end(),
+                          static_cast<std::uint32_t>(sta)) ==
+                    e.stas.end()) {
+              continue;
+            }
+            snr -= e.snr_penalty_db;
+          }
+          if (shadow != nullptr && sta >= 1) {
+            snr += shadow->offset_db(static_cast<std::size_t>(sta) - 1, t);
+          }
+          return snr;
+        };
+      } else {
+        // Multi-BSS domain: local STA numbering (local l = members[l-1]),
+        // SNR base from the topology SINR of this AP at the STA's
+        // position; recorded traces, interference penalties, and
+        // shadowing layer on top exactly as in the single-domain path.
+        cfg.num_stas = members.size();
+        cfg.seed = sim::MultiBssSim::domain_seed(
+            derive_seed(s.seed, repeat, ei), d, ei);
+        cfg.sta_snr_fn = [&s, topo, d, members, ep_start,
+                          shadow](mac::NodeId local, double now) {
+          const double t = ep_start + now;
+          const mac::NodeId sta = members[local - 1];
+          const sim::MobilityPath& path = topo->paths[sta];
+          double snr =
+              topo->topo.sinr_db(d, topo->topo.position(sta, path, t));
+          if (!s.snr_trace.empty()) {
+            snr = s.snr_trace.snr_at(static_cast<std::uint32_t>(sta), t,
+                                     snr);
+          }
+          for (const InterferenceEpisode& e : s.interference) {
+            if (t < e.start || t >= e.stop) continue;
+            if (!e.stas.empty() &&
+                std::find(e.stas.begin(), e.stas.end(),
+                          static_cast<std::uint32_t>(sta)) ==
+                    e.stas.end()) {
+              continue;
+            }
+            snr -= e.snr_penalty_db;
+          }
+          if (shadow != nullptr && sta >= 1) {
+            snr += shadow->offset_db(static_cast<std::size_t>(sta) - 1, t);
+          }
+          return snr;
+        };
+      }
+
+      StepInvariants checker(frame_base, ep.start, ei, repeat,
+                             &out.margins);
+      std::uint64_t episode_judged = 0;
+      std::uint64_t episode_steps = 0;
+      ProbeHarness& domain_probes = probes[d];
+      std::size_t& probe_cursor = next_probe[d];
+      cfg.observer = [&](const mac::SimStepView& view) {
+        ++out.steps;
+        ++episode_steps;
+        episode_judged = view.frames_judged;
+
+        if (auto v = checker.check(view)) {
+          out.violations.push_back(std::move(*v));
+          stop_campaign = stop_episode = true;
+          return false;
+        }
+
+        // Deliberately seeded fault: trips the moment the campaign-wide
+        // judgement count crosses the scripted frame. Recorded with
+        // exactly that frame so replay and shrinking compare bit for bit.
+        if (live && s.inject && !injected_done &&
+            frame_base + view.frames_judged >= s.inject->frame) {
+          injected_done = true;
+          Violation v;
+          v.invariant = "injected";
+          v.detail = "deliberately seeded fault (scenario "
+                     "inject_violation)";
+          v.frame = s.inject->frame;
+          v.time = ep.start + view.now;
+          v.episode = ei;
+          v.repeat = repeat;
+          out.violations.push_back(std::move(v));
+          stop_campaign = stop_episode = true;
+          return false;
+        }
+
+        // PHY decode probes due by now on this domain's link.
+        while (probe_cursor < domain_probes.probes().size() &&
+               domain_probes.probes()[probe_cursor].time <=
+                   ep.start + view.now) {
+          ++probe_cursor;
+          ++out.probes;
+          const CarpoolRxResult rx = domain_probes.fire();
+          if (auto v = check_decode(rx, frame_base + view.frames_judged,
+                                    ep.start + view.now, ei, repeat,
+                                    opts.rte_norm_bound, &out.margins)) {
+            out.violations.push_back(std::move(*v));
+            stop_campaign = stop_episode = true;
+            return false;
+          }
+        }
+
+        if (live && opts.max_frames > 0 &&
+            frame_base + view.frames_judged >= opts.max_frames) {
+          stop_campaign = stop_episode = true;  // budget, not a violation
+          return false;
+        }
+        return true;
+      };
+
+      mac::DomainSim sim(cfg, static_cast<std::uint32_t>(d));
+      if (topo == nullptr) {
+        for (mac::FlowSpec& f : build_flows(ep, s)) {
+          sim.add_flow(std::move(f));
+        }
+      } else if (ep.phase != nullptr) {
+        std::vector<mac::FlowSpec> flows;
+        for (std::size_t local = 1; local <= members.size(); ++local) {
+          append_flows(flows, *ep.phase,
+                       static_cast<mac::NodeId>(local));
+        }
+        for (mac::FlowSpec& f : flows) sim.add_flow(std::move(f));
+      }
+      const mac::SimResult res = sim.run();
+
+      // Episode-end invariants run only on domains that completed without
+      // a stop event: a stopping repeat is re-run live anyway, so
+      // skipping its partial slice keeps detached and live passes
+      // bit-identical.
+      if (!stop_episode) {
+        if (opts.check_fairness) {
+          if (auto v = check_fairness(res, opts.fairness,
+                                      frame_base + episode_judged, ep.stop,
+                                      ei, repeat, &out.margins)) {
+            out.violations.push_back(std::move(*v));
+            stop_campaign = stop_episode = true;
+          }
+        }
+        if (!stop_episode && opts.check_energy) {
+          if (auto v = check_energy(res, frame_base + episode_judged,
+                                    ep.stop, ei, repeat, &out.margins)) {
+            out.violations.push_back(std::move(*v));
+            stop_campaign = stop_episode = true;
+          }
+        }
+      }
+
+      episode_judged_total += episode_judged;
+      episode_steps_total += episode_steps;
+      out.sim_seconds += res.duration;
+      summary.goodput_bps +=
+          res.downlink_goodput_bps + res.uplink_goodput_bps;
+      if (topo != nullptr) {
+        obs::Registry::current().counter("sim.bss_domain_runs").add();
+      }
+    }
+
+    out.judged += episode_judged_total;
+    ++out.episodes_run;
+    summary.frames_judged = episode_judged_total;
     out.summaries.push_back(summary);
-    out.episode_steps.push_back(episode_steps);
+    out.episode_steps.push_back(episode_steps_total);
     if (stop_episode) break;
   }
 
@@ -515,7 +700,32 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
     s.traffic.push_back({0.0, TrafficKind::kCbr, 1200, 4e-3});
   }
 
-  const std::vector<Episode> episodes = segment_timeline(s);
+  // Multi-BSS topology: build the campus once per campaign and cut the
+  // timeline at handover instants so every episode slice has constant
+  // associations (docs/MULTI_AP.md).
+  const std::optional<TopoCtx> topo_ctx = make_topo_ctx(s);
+  const TopoCtx* topo = topo_ctx.has_value() ? &*topo_ctx : nullptr;
+  if (topo != nullptr) {
+    obs::Registry& reg = obs::Registry::current();
+    reg.counter("mac.roam_handover")
+        .add(topo->timeline.handovers().size());
+    reg.set_gauge("sim.bss_ap_count",
+                  static_cast<double>(topo->topo.ap_count()));
+    std::size_t cochannel_pairs = 0;
+    for (std::size_t a = 0; a < topo->topo.ap_count(); ++a) {
+      for (std::size_t b = a + 1; b < topo->topo.ap_count(); ++b) {
+        if (topo->topo.channel_of(a) == topo->topo.channel_of(b)) {
+          ++cochannel_pairs;
+        }
+      }
+    }
+    reg.set_gauge("sim.bss_cochannel_pairs",
+                  static_cast<double>(cochannel_pairs));
+  }
+
+  const std::vector<Episode> episodes = segment_timeline(
+      s, topo != nullptr ? topo->timeline.handover_times()
+                         : std::vector<double>{});
   const std::size_t max_repeats =
       std::max<std::size_t>(1, opts_.max_repeats);
   const std::size_t threads =
@@ -528,7 +738,7 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
     // parallelise regardless of the thread knob.
     for (std::size_t repeat = 0; repeat < max_repeats; ++repeat) {
       report.repeats = repeat + 1;
-      RepeatOutcome o = run_one_repeat(s, episodes, repeat,
+      RepeatOutcome o = run_one_repeat(s, episodes, topo, repeat,
                                        report.frames_judged, opts_,
                                        /*live=*/true);
       const bool stopped = o.stopped;
@@ -557,7 +767,8 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
           std::min(threads, max_repeats - next_repeat);
       auto shards = par::run_sharded_keep(
           wave, threads, [&](const par::ShardInfo& info) {
-            return run_one_repeat(s, episodes, next_repeat + info.index,
+            return run_one_repeat(s, episodes, topo,
+                                  next_repeat + info.index,
                                   /*campaign_base=*/0, opts_,
                                   /*live=*/false);
           });
@@ -567,8 +778,8 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
         if (repeat_is_stopping(shards.results[i], s, opts_,
                                report.frames_judged)) {
           RepeatOutcome real =
-              run_one_repeat(s, episodes, repeat, report.frames_judged,
-                             opts_, /*live=*/true);
+              run_one_repeat(s, episodes, topo, repeat,
+                             report.frames_judged, opts_, /*live=*/true);
           const bool stopped = real.stopped;
           consume_repeat(report, std::move(real));
           if (stopped || report.frames_judged >= opts_.max_frames) {

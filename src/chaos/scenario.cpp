@@ -299,6 +299,67 @@ bool parse_link_policy(Ctx& ctx, const JsonValue& v, Scenario& s) {
   return true;
 }
 
+bool parse_topology(Ctx& ctx, const JsonValue& v, Scenario& s) {
+  const JsonValue* topo = v.find("topology");
+  if (topo == nullptr) return true;
+  if (!topo->is_object()) {
+    return ctx.fail("topology", "expected an object");
+  }
+  const std::string path = "topology.";
+  sim::TopologySpec spec;
+  std::uint64_t ap_count = spec.ap_count;
+  if (!read_uint(ctx, *topo, path, "ap_count", ap_count, false)) {
+    return false;
+  }
+  if (ap_count == 0 || ap_count > 1024) {
+    return ctx.fail(path + "ap_count", "must be in [1, 1024]");
+  }
+  spec.ap_count = static_cast<std::size_t>(ap_count);
+  if (!read_number(ctx, *topo, path, "ap_spacing", spec.ap_spacing, false)) {
+    return false;
+  }
+  if (spec.ap_spacing <= 0.0) {
+    return ctx.fail(path + "ap_spacing", "must be positive");
+  }
+  std::uint64_t channels = spec.channel_count;
+  if (!read_uint(ctx, *topo, path, "channel_count", channels, false)) {
+    return false;
+  }
+  if (channels == 0) {
+    return ctx.fail(path + "channel_count", "must be >= 1");
+  }
+  spec.channel_count = static_cast<std::size_t>(channels);
+  if (!read_number(ctx, *topo, path, "roam_hysteresis_db",
+                   spec.roam_hysteresis_db, false)) {
+    return false;
+  }
+  if (spec.roam_hysteresis_db < 0.0) {
+    return ctx.fail(path + "roam_hysteresis_db", "must be non-negative");
+  }
+  if (!read_number(ctx, *topo, path, "roam_interval", spec.roam_interval,
+                   false)) {
+    return false;
+  }
+  if (spec.roam_interval <= 0.0) {
+    return ctx.fail(path + "roam_interval", "must be positive");
+  }
+  if (!read_number(ctx, *topo, path, "activity_factor",
+                   spec.activity_factor, false)) {
+    return false;
+  }
+  if (spec.activity_factor < 0.0 || spec.activity_factor > 1.0) {
+    return ctx.fail(path + "activity_factor", "must be in [0, 1]");
+  }
+  if (!read_number(ctx, *topo, path, "cell_size", spec.cell_size, false)) {
+    return false;
+  }
+  if (spec.cell_size <= 0.0) {
+    return ctx.fail(path + "cell_size", "must be positive");
+  }
+  s.topology = spec;
+  return true;
+}
+
 bool parse_snr_trace(Ctx& ctx, const JsonValue& v, Scenario& s) {
   const JsonValue* arr = v.find("snr_trace");
   if (arr == nullptr) return true;
@@ -433,6 +494,7 @@ ScenarioParseResult scenario_from_value(const JsonValue& v) {
     parse_interference(ctx, v, s);
     parse_churn(ctx, v, s);
     parse_traffic(ctx, v, s);
+    parse_topology(ctx, v, s);
     parse_snr_trace(ctx, v, s);
     parse_shadowing(ctx, v, s);
   }
@@ -551,6 +613,20 @@ JsonValue scenario_to_value(const Scenario& s) {
       traffic.push_back(JsonValue(std::move(o)));
     }
     json_set(root, "traffic", JsonValue(std::move(traffic)));
+  }
+  if (s.topology) {
+    JsonObject o;
+    json_set(o, "ap_count",
+             JsonValue(static_cast<double>(s.topology->ap_count)));
+    json_set(o, "ap_spacing", JsonValue(s.topology->ap_spacing));
+    json_set(o, "channel_count",
+             JsonValue(static_cast<double>(s.topology->channel_count)));
+    json_set(o, "roam_hysteresis_db",
+             JsonValue(s.topology->roam_hysteresis_db));
+    json_set(o, "roam_interval", JsonValue(s.topology->roam_interval));
+    json_set(o, "activity_factor", JsonValue(s.topology->activity_factor));
+    json_set(o, "cell_size", JsonValue(s.topology->cell_size));
+    json_set(root, "topology", JsonValue(std::move(o)));
   }
   if (!s.snr_trace.empty()) {
     JsonArray samples;

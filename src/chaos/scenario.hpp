@@ -21,6 +21,7 @@
 #include "mac/link_state.hpp"
 #include "mac/scheme.hpp"
 #include "sim/testbed.hpp"
+#include "sim/topology.hpp"
 
 namespace carpool::chaos {
 
@@ -103,6 +104,14 @@ struct Scenario {
   std::vector<ChurnEvent> churn;
   std::vector<TrafficPhase> traffic;
   std::optional<InjectedViolation> inject;
+
+  /// Multi-BSS topology (sim/topology.hpp): AP grid + channel reuse plan
+  /// + roaming parameters. When set, the runner segments episodes at
+  /// handover instants, runs one collision domain per AP, derives each
+  /// STA's SNR base from the topology SINR of its *associated* AP, and
+  /// decode probes target that AP too. Disengaged = the classic single
+  /// implicit collision domain.
+  std::optional<sim::TopologySpec> topology;
 
   /// Recorded per-STA SNR timeline (chaos/snr_trace.hpp); where samples
   /// exist they replace the synthetic mobility/testbed SNR base. Empty =

@@ -73,6 +73,29 @@ constexpr std::array kCatalog{
                  {"count", "carpool",
                   "Side-channel groups that failed verification"}},
 
+    // --- mac/sim: multi-BSS topology engine (src/sim) ---
+    CatalogEntry{"mac.roam_handover",
+                 {"count", "mac",
+                  "STA handovers between APs on the association timeline"}},
+    CatalogEntry{"sim.bss_epochs",
+                 {"count", "sim",
+                  "Epoch slices a multi-BSS campaign was cut into"}},
+    CatalogEntry{"sim.bss_domains",
+                 {"count", "sim",
+                  "Per-(epoch, AP) collision domains simulated"}},
+    CatalogEntry{"sim.bss_domains_idle",
+                 {"count", "sim",
+                  "Per-(epoch, AP) domains skipped with no associated "
+                  "STA"}},
+    CatalogEntry{"sim.bss_domain_runs",
+                 {"count", "sim",
+                  "Per-domain simulator runs inside soak episodes"}},
+    CatalogEntry{"sim.bss_ap_count",
+                 {"count", "sim", "Access points in the active topology"}},
+    CatalogEntry{"sim.bss_cochannel_pairs",
+                 {"count", "sim",
+                  "AP pairs sharing a channel in the reuse plan"}},
+
     // --- chaos: soak engine (src/chaos) ---
     CatalogEntry{"chaos.campaigns",
                  {"count", "chaos", "Soak campaigns started"}},
@@ -150,6 +173,22 @@ constexpr std::array kCatalog{
     CatalogEntry{"fig13.*",
                  {"ratio", "bench",
                   "Bit error rate, RTE vs standard estimation (Fig. 13)"}},
+    CatalogEntry{"multi_bss.goodput_bps.*",
+                 {"bit/s", "bench",
+                  "Aggregate downlink goodput of the campus, per AP-count "
+                  "sweep point"}},
+    CatalogEntry{"multi_bss.per_ap_goodput_bps.*",
+                 {"bit/s", "bench",
+                  "Mean per-AP downlink goodput, per AP-count sweep "
+                  "point"}},
+    CatalogEntry{"multi_bss.handovers.*",
+                 {"count", "bench",
+                  "Handovers over the campaign, per AP-count sweep "
+                  "point"}},
+    CatalogEntry{"multi_bss.scaling_monotone",
+                 {"bool", "bench",
+                  "1 when aggregate goodput is non-decreasing in AP count "
+                  "(MPR-style scaling, arXiv:1006.4408)"}},
 };
 
 }  // namespace

@@ -17,6 +17,8 @@
 #include "carpool/transceiver.hpp"
 #include "mac/params.hpp"
 #include "mac/simulator.hpp"
+#include "obs/registry.hpp"
+#include "sim/topology.hpp"
 #include "traffic/generators.hpp"
 
 namespace carpool::chaos {
@@ -735,6 +737,137 @@ TEST(EnergyInvariant, SoakedScenariosCarryEnergyMargins) {
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report.margins.minima().count("energy_consistency"), 1u);
   EXPECT_GT(report.margins.minima().at("energy_consistency"), 0.0);
+}
+
+// ------------------------------------------------------ multi-BSS soak
+
+Scenario multi_bss_scenario() {
+  Scenario s;
+  s.name = "multi_bss_soak";
+  s.seed = 61;
+  s.duration = 1.0;
+  s.num_stas = 4;
+  s.probe_interval = 0.2;
+  sim::TopologySpec topo;
+  topo.ap_count = 2;
+  topo.roam_interval = 0.1;
+  s.topology = topo;
+  // STA 1 walks from AP 0's cell into AP 1's, forcing handover episode
+  // cuts; the rest of the chaos schedule exercises churn + interference
+  // across the two collision domains.
+  s.mobility.push_back(
+      {1, {{0.0, {1.0, 1.0}}, {1.0, {21.0, 1.0}}}});
+  s.traffic.push_back({0.0, TrafficKind::kCbr, 1000, 4e-3});
+  s.interference.push_back({0.4, 0.7, 6.0, 0.8, {}});
+  s.churn.push_back({0.5, 3, false});
+  return s;
+}
+
+/// Run a campaign under a private metric scope; returns the report and
+/// fills `fingerprint` with the scope's digest.
+SoakReport run_soak_scoped(const Scenario& s, const SoakOptions& opts,
+                           std::uint64_t& fingerprint) {
+  obs::Registry scope;
+  const obs::Registry::ScopedCurrent current(scope);
+  const SoakReport report = SoakRunner(opts).run(s);
+  fingerprint = scope.fingerprint();
+  return report;
+}
+
+TEST(MultiBssSoak, TopologyScenarioRunsViolationFree) {
+  SoakOptions opts;
+  std::uint64_t fp = 0;
+  const SoakReport report =
+      run_soak_scoped(multi_bss_scenario(), opts, fp);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front().detail);
+  EXPECT_GT(report.frames_judged, 0u);
+  EXPECT_GT(report.probes, 0u);
+  // Handover instants add episode cuts beyond the 4 churn/traffic/
+  // interference boundaries of the schedule.
+  EXPECT_GT(report.episodes_run, 4u);
+}
+
+TEST(MultiBssSoak, CampaignIsDeterministic) {
+  SoakOptions opts;
+  std::uint64_t fp_a = 0;
+  std::uint64_t fp_b = 0;
+  const SoakReport a = run_soak_scoped(multi_bss_scenario(), opts, fp_a);
+  const SoakReport b = run_soak_scoped(multi_bss_scenario(), opts, fp_b);
+  EXPECT_EQ(fp_a, fp_b);
+  EXPECT_EQ(a.frames_judged, b.frames_judged);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_DOUBLE_EQ(a.mean_goodput_bps, b.mean_goodput_bps);
+}
+
+TEST(MultiBssSoak, BitIdenticalAcrossThreadCounts) {
+  // Budget campaign spanning several timeline repeats: the parallel wave
+  // scheduler must reproduce the serial multi-domain campaign bit for
+  // bit — report and metric fingerprint — at 1/2/4/8 threads.
+  SoakOptions serial_opts;
+  serial_opts.threads = 1;
+  std::uint64_t probe_fp = 0;
+  const SoakReport once =
+      run_soak_scoped(multi_bss_scenario(), serial_opts, probe_fp);
+  ASSERT_TRUE(once.ok());
+  serial_opts.max_frames = once.frames_judged * 4;
+
+  std::uint64_t serial_fp = 0;
+  const SoakReport serial =
+      run_soak_scoped(multi_bss_scenario(), serial_opts, serial_fp);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_GE(serial.repeats, 3u);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    SoakOptions opts = serial_opts;
+    opts.threads = threads;
+    std::uint64_t fp = 0;
+    const SoakReport parallel =
+        run_soak_scoped(multi_bss_scenario(), opts, fp);
+    const std::string label = "threads=" + std::to_string(threads);
+    EXPECT_EQ(fp, serial_fp) << label;
+    EXPECT_EQ(parallel.frames_judged, serial.frames_judged) << label;
+    EXPECT_EQ(parallel.steps, serial.steps) << label;
+    EXPECT_EQ(parallel.probes, serial.probes) << label;
+    EXPECT_EQ(parallel.episodes_run, serial.episodes_run) << label;
+    EXPECT_EQ(parallel.repeats, serial.repeats) << label;
+    EXPECT_DOUBLE_EQ(parallel.mean_goodput_bps, serial.mean_goodput_bps)
+        << label;
+    ASSERT_EQ(parallel.episode_summaries.size(),
+              serial.episode_summaries.size())
+        << label;
+    for (std::size_t i = 0; i < serial.episode_summaries.size(); ++i) {
+      EXPECT_DOUBLE_EQ(parallel.episode_summaries[i].goodput_bps,
+                       serial.episode_summaries[i].goodput_bps)
+          << label << " episode=" << i;
+      EXPECT_EQ(parallel.episode_summaries[i].frames_judged,
+                serial.episode_summaries[i].frames_judged)
+          << label << " episode=" << i;
+    }
+  }
+}
+
+TEST(MultiBssSoak, NonTopologyScenarioUnchangedByTopologyField) {
+  // The refactor's no-regression guard: a scenario without a topology
+  // section must run exactly as before (single collision domain, legacy
+  // probe schedule). Same scenario with a 1-AP topology is *also* a
+  // single domain, but a different RNG derivation — both must complete
+  // clean.
+  Scenario classic = multi_bss_scenario();
+  classic.topology.reset();
+  SoakOptions opts;
+  std::uint64_t fp = 0;
+  const SoakReport report = run_soak_scoped(classic, opts, fp);
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.frames_judged, 0u);
+
+  Scenario one_ap = multi_bss_scenario();
+  one_ap.topology->ap_count = 1;
+  const SoakReport single = run_soak_scoped(one_ap, opts, fp);
+  EXPECT_TRUE(single.ok());
+  EXPECT_GT(single.frames_judged, 0u);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "chaos/json.hpp"
+#include "chaos/scenario.hpp"
 
 namespace carpool::chaos {
 namespace {
@@ -143,6 +144,103 @@ TEST(ChaosJsonGarbage, NeverThrowsOnAssortedInvalidInputs) {
   };
   for (const char* text : inputs) {
     EXPECT_FALSE(parse_nothrow(text).ok()) << "input: " << text;
+  }
+}
+
+// ------------------------------------------------- topology schema
+
+TEST(TopologySchema, RoundTripsEveryField) {
+  Scenario s;
+  s.name = "campus";
+  s.duration = 2.0;
+  s.num_stas = 8;
+  sim::TopologySpec topo;
+  topo.ap_count = 16;
+  topo.ap_spacing = 25.0;
+  topo.channel_count = 4;
+  topo.roam_hysteresis_db = 2.5;
+  topo.roam_interval = 0.125;
+  topo.activity_factor = 0.75;
+  topo.cell_size = 12.0;
+  s.topology = topo;
+
+  const ScenarioParseResult r = scenario_from_json(scenario_to_json(s));
+  ASSERT_TRUE(r.ok()) << r.error.to_string();
+  ASSERT_TRUE(r.scenario->topology.has_value());
+  const sim::TopologySpec& p = *r.scenario->topology;
+  EXPECT_EQ(p.ap_count, 16u);
+  EXPECT_DOUBLE_EQ(p.ap_spacing, 25.0);
+  EXPECT_EQ(p.channel_count, 4u);
+  EXPECT_DOUBLE_EQ(p.roam_hysteresis_db, 2.5);
+  EXPECT_DOUBLE_EQ(p.roam_interval, 0.125);
+  EXPECT_DOUBLE_EQ(p.activity_factor, 0.75);
+  EXPECT_DOUBLE_EQ(p.cell_size, 12.0);
+  EXPECT_EQ(scenario_to_json(*r.scenario), scenario_to_json(s));
+}
+
+TEST(TopologySchema, AbsentSectionStaysDisengaged) {
+  const ScenarioParseResult r =
+      scenario_from_json(R"({"name": "x", "duration": 1})");
+  ASSERT_TRUE(r.ok()) << r.error.to_string();
+  EXPECT_FALSE(r.scenario->topology.has_value());
+  // And the emitter must not invent one.
+  EXPECT_EQ(scenario_to_json(*r.scenario).find("topology"),
+            std::string::npos);
+}
+
+TEST(TopologySchema, OmittedKeysKeepSpecDefaults) {
+  const ScenarioParseResult r = scenario_from_json(
+      R"({"name": "x", "duration": 1, "topology": {"ap_count": 4}})");
+  ASSERT_TRUE(r.ok()) << r.error.to_string();
+  ASSERT_TRUE(r.scenario->topology.has_value());
+  const sim::TopologySpec defaults;
+  EXPECT_EQ(r.scenario->topology->ap_count, 4u);
+  EXPECT_DOUBLE_EQ(r.scenario->topology->ap_spacing, defaults.ap_spacing);
+  EXPECT_EQ(r.scenario->topology->channel_count, defaults.channel_count);
+  EXPECT_DOUBLE_EQ(r.scenario->topology->roam_interval,
+                   defaults.roam_interval);
+}
+
+TEST(TopologySchema, ViolationsReportDottedPaths) {
+  struct Case {
+    const char* json;
+    const char* path_fragment;
+  };
+  const Case cases[] = {
+      {R"({"name": "x", "duration": 1, "topology": 3})", "topology"},
+      {R"({"name": "x", "duration": 1, "topology": {"ap_count": 0}})",
+       "topology.ap_count"},
+      {R"({"name": "x", "duration": 1, "topology": {"ap_count": 2000}})",
+       "topology.ap_count"},
+      {R"({"name": "x", "duration": 1,
+           "topology": {"ap_count": 1.5}})",
+       "topology.ap_count"},
+      {R"({"name": "x", "duration": 1,
+           "topology": {"ap_spacing": -2.0}})",
+       "topology.ap_spacing"},
+      {R"({"name": "x", "duration": 1,
+           "topology": {"channel_count": 0}})",
+       "topology.channel_count"},
+      {R"({"name": "x", "duration": 1,
+           "topology": {"roam_hysteresis_db": -1}})",
+       "topology.roam_hysteresis_db"},
+      {R"({"name": "x", "duration": 1,
+           "topology": {"roam_interval": 0}})",
+       "topology.roam_interval"},
+      {R"({"name": "x", "duration": 1,
+           "topology": {"activity_factor": 1.25}})",
+       "topology.activity_factor"},
+      {R"({"name": "x", "duration": 1,
+           "topology": {"cell_size": 0}})",
+       "topology.cell_size"},
+  };
+  for (const Case& c : cases) {
+    ScenarioParseResult r;
+    EXPECT_NO_THROW(r = scenario_from_json(c.json)) << c.json;
+    ASSERT_FALSE(r.ok()) << c.json;
+    EXPECT_NE(r.error.path.find(c.path_fragment), std::string::npos)
+        << "error path '" << r.error.path << "' for " << c.json;
+    EXPECT_FALSE(r.error.message.empty());
   }
 }
 
