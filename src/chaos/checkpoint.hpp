@@ -1,0 +1,110 @@
+#pragma once
+
+// carpool::chaos — campaign checkpoint/resume (docs/FAULT_TOLERANCE.md).
+//
+// A CampaignCheckpoint is everything a frame-budget soak campaign has
+// accumulated after N completed timeline repeats: the report counters,
+// every episode summary, the invariant-margin minima, a full snapshot of
+// the ambient obs::Registry, and the span-id watermark. The runner
+// flushes one atomically (write-to-temp + rename) every
+// `checkpoint_every` repeats; `soak --resume` reloads it, restores the
+// registry/margins/report state, and continues from repeat N — and
+// because repeats derive their seeds purely from (scenario seed,
+// repeat), the resumed campaign's final metrics fingerprint is
+// bit-identical to an uninterrupted run's, at any thread count.
+//
+// The file is versioned (`schema_version`) and self-validating: it
+// records digests of the scenario and of the semantic soak options, so a
+// checkpoint can never silently resume a *different* campaign. Parsing
+// never throws; a bad or mismatched file yields a structured error the
+// caller surfaces (and then starts fresh or aborts, its choice).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "chaos/runner.hpp"
+#include "chaos/scenario.hpp"
+#include "obs/registry.hpp"
+
+namespace carpool::chaos {
+
+/// Bump when the checkpoint JSON layout changes; a resume against a
+/// different version is rejected (restart fresh rather than misread).
+inline constexpr std::int64_t kCheckpointSchemaVersion = 1;
+
+/// Resumable campaign state after `repeats_done` completed repeats.
+struct CampaignCheckpoint {
+  std::int64_t schema_version = kCheckpointSchemaVersion;
+  std::string scenario_name;
+  std::uint64_t scenario_digest = 0;  ///< FNV-1a over scenario_to_json
+  std::uint64_t options_digest = 0;   ///< semantic SoakOptions knobs only
+
+  std::size_t repeats_done = 0;  ///< completed, cleanly-consumed repeats
+  std::uint64_t frames_judged = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t probes = 0;
+  std::size_t episodes_run = 0;
+  double sim_seconds = 0.0;
+
+  std::vector<EpisodeSummary> episodes;
+  /// MarginTracker minima, (invariant, min margin) in map order.
+  std::vector<std::pair<std::string, double>> margins;
+  /// Full ambient-registry snapshot (counters/gauges/histograms with raw
+  /// buckets). Counter values above 2^53 would lose precision in JSON;
+  /// campaign counters sit many orders of magnitude below that.
+  obs::MetricsSnapshot registry;
+  /// SpanCollector::allocated() at checkpoint time, so resumed runs
+  /// allocate span ids past the interrupted run's.
+  std::uint64_t span_watermark = 0;
+};
+
+/// FNV-1a over the scenario's canonical JSON serialization.
+[[nodiscard]] std::uint64_t scenario_digest(const Scenario& s);
+
+/// Digest of the *semantic* campaign knobs: max_frames, invariant
+/// toggles, fairness floors, rte_norm_bound. Deliberately excludes
+/// threads, max_repeats, bundle_dir, and every checkpoint/retry knob —
+/// those change scheduling or bookkeeping, never results, and an
+/// interrupted campaign is routinely resumed at a different thread
+/// count.
+[[nodiscard]] std::uint64_t soak_options_digest(const SoakOptions& opts);
+
+[[nodiscard]] std::string checkpoint_to_json(const CampaignCheckpoint& ck);
+
+struct CheckpointParseResult {
+  std::optional<CampaignCheckpoint> checkpoint;
+  ScenarioError error;  ///< meaningful iff !checkpoint
+
+  [[nodiscard]] bool ok() const noexcept { return checkpoint.has_value(); }
+};
+
+/// Parse a checkpoint document. Never throws; structural problems yield
+/// a dotted-path error. (Digest *matching* is the caller's job — the
+/// parser only decodes.)
+[[nodiscard]] CheckpointParseResult checkpoint_from_json(
+    std::string_view text);
+
+/// `<dir>/checkpoint_<scenario>.json`, scenario name sanitized to
+/// [A-Za-z0-9._-].
+[[nodiscard]] std::string checkpoint_path(const std::string& dir,
+                                          const std::string& scenario_name);
+
+/// Serialize + write atomically (temp file in the same directory, then
+/// rename), creating `dir` pieces as needed. Returns false on any I/O
+/// failure — a failed flush must never corrupt the previous checkpoint.
+[[nodiscard]] bool write_checkpoint_file(const std::string& path,
+                                         const CampaignCheckpoint& ck);
+
+/// Assemble a checkpoint from live campaign state: `report` as
+/// accumulated so far, the ambient Registry::current() snapshot, and the
+/// ambient span collector's watermark (0 when tracing is off).
+[[nodiscard]] CampaignCheckpoint make_checkpoint(const Scenario& scenario,
+                                                 const SoakOptions& opts,
+                                                 const SoakReport& report,
+                                                 std::size_t repeats_done);
+
+}  // namespace carpool::chaos

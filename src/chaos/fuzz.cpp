@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <bit>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <utility>
 
+#include "chaos/json.hpp"
 #include "chaos/shrink.hpp"
 #include "par/par.hpp"
 #include "sim/testbed.hpp"
@@ -201,8 +206,13 @@ bool op_scale_duration(Scenario& s, Rng& rng) {
   return true;
 }
 
+// Scenario JSON stores seeds as numbers, exact only up to 2^53 — a
+// wider seed would not survive the bundle/fuzz-state round-trip, so the
+// mutator never produces one.
+constexpr std::uint64_t kSeedMask = (1ULL << 53) - 1;
+
 bool op_reseed(Scenario& s, Rng& rng) {
-  s.seed = rng();
+  s.seed = rng() & kSeedMask;
   return true;
 }
 
@@ -286,7 +296,7 @@ Mutation ScenarioMutator::mutate(const Scenario& base, Rng& rng) const {
     }
   }
   Scenario cand = base;  // reseed always applies — guaranteed progress
-  cand.seed = rng();
+  cand.seed = rng() & kSeedMask;
   return {std::move(cand), "reseed"};
 }
 
@@ -335,6 +345,148 @@ const CorpusEntry& tournament_select(
   return corpus[corpus[b].min_margin < corpus[a].min_margin ? b : a];
 }
 
+// ------------------------------------- fuzz state persistence (resume)
+// docs/FAULT_TOLERANCE.md. Doubles round-trip bit-exactly through the
+// chaos JSON writer (%.17g) and scenarios round-trip field-for-field, so
+// a restored corpus evolves bit-identically to the uninterrupted run.
+
+constexpr std::int64_t kFuzzStateSchemaVersion = 1;
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+  return buf;
+}
+
+bool parse_hex_u64(const JsonValue* v, std::uint64_t& out) {
+  if (v == nullptr || !v->is_string()) return false;
+  const std::string& s = v->as_string();
+  if (s.size() < 3 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X')) {
+    return false;
+  }
+  char* end = nullptr;
+  out = std::strtoull(s.c_str() + 2, &end, 16);
+  return end != nullptr && *end == '\0';
+}
+
+std::string fuzz_state_to_json(const FuzzReport& report,
+                               std::uint64_t fuzz_seed) {
+  JsonObject root;
+  json_set(root, "schema_version",
+           JsonValue(static_cast<double>(kFuzzStateSchemaVersion)));
+  json_set(root, "fuzz_seed", JsonValue(hex_u64(fuzz_seed)));
+  json_set(root, "rounds_run",
+           JsonValue(static_cast<double>(report.rounds_run)));
+  json_set(root, "evals", JsonValue(static_cast<double>(report.evals)));
+  json_set(root, "corpus_adds",
+           JsonValue(static_cast<double>(report.corpus_adds)));
+  JsonArray corpus;
+  corpus.reserve(report.corpus.size());
+  for (const CorpusEntry& e : report.corpus) {
+    JsonObject entry;
+    json_set(entry, "signature", JsonValue(hex_u64(e.signature)));
+    json_set(entry, "min_margin", JsonValue(e.min_margin));
+    json_set(entry, "round", JsonValue(static_cast<double>(e.round)));
+    json_set(entry, "op", JsonValue(e.op));
+    json_set(entry, "scenario", scenario_to_value(e.scenario));
+    corpus.push_back(JsonValue(std::move(entry)));
+  }
+  json_set(root, "corpus", JsonValue(std::move(corpus)));
+  return json_dump(JsonValue(std::move(root)));
+}
+
+/// Parse + validate a fuzz state file into `report`. Returns false with
+/// `error` set when the document is unusable (the caller surfaces it).
+bool fuzz_state_from_json(std::string_view text, std::uint64_t fuzz_seed,
+                          FuzzReport& report, std::string& error) {
+  const JsonParseResult parsed = json_parse(text);
+  if (!parsed.ok()) {
+    error = "fuzz state JSON: " + parsed.error.to_string();
+    return false;
+  }
+  const JsonValue& root = *parsed.value;
+  const JsonValue* version = root.find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      static_cast<std::int64_t>(version->as_number()) !=
+          kFuzzStateSchemaVersion) {
+    error = "fuzz state: unsupported schema_version";
+    return false;
+  }
+  std::uint64_t seed = 0;
+  if (!parse_hex_u64(root.find("fuzz_seed"), seed)) {
+    error = "fuzz state: bad fuzz_seed";
+    return false;
+  }
+  if (seed != fuzz_seed) {
+    error = "fuzz state: seed mismatch (state is for --fuzz-seed " +
+            std::to_string(seed) + ")";
+    return false;
+  }
+  const JsonValue* rounds = root.find("rounds_run");
+  const JsonValue* evals = root.find("evals");
+  const JsonValue* adds = root.find("corpus_adds");
+  const JsonValue* corpus = root.find("corpus");
+  if (rounds == nullptr || !rounds->is_number() || evals == nullptr ||
+      !evals->is_number() || adds == nullptr || !adds->is_number() ||
+      corpus == nullptr || !corpus->is_array()) {
+    error = "fuzz state: missing campaign fields";
+    return false;
+  }
+  report.rounds_run = static_cast<std::size_t>(rounds->as_number());
+  report.evals = static_cast<std::uint64_t>(evals->as_number());
+  report.corpus_adds = static_cast<std::uint64_t>(adds->as_number());
+  for (const JsonValue& ev : corpus->as_array()) {
+    CorpusEntry entry;
+    if (!parse_hex_u64(ev.find("signature"), entry.signature)) {
+      error = "fuzz state: corpus entry with bad signature";
+      return false;
+    }
+    const JsonValue* margin = ev.find("min_margin");
+    const JsonValue* round = ev.find("round");
+    const JsonValue* op = ev.find("op");
+    const JsonValue* scenario = ev.find("scenario");
+    if (margin == nullptr || !margin->is_number() || round == nullptr ||
+        !round->is_number() || op == nullptr || !op->is_string() ||
+        scenario == nullptr) {
+      error = "fuzz state: malformed corpus entry";
+      return false;
+    }
+    entry.min_margin = margin->as_number();
+    entry.round = static_cast<std::size_t>(round->as_number());
+    entry.op = op->as_string();
+    const ScenarioParseResult sp = scenario_from_value(*scenario);
+    if (!sp.ok()) {
+      error = "fuzz state: corpus scenario: " + sp.error.to_string();
+      return false;
+    }
+    entry.scenario = *sp.scenario;
+    report.corpus.push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool write_fuzz_state(const std::string& path, const FuzzReport& report,
+                      std::uint64_t fuzz_seed) {
+  const std::filesystem::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  const std::filesystem::path tmp(path + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << fuzz_state_to_json(report, fuzz_seed);
+    if (!out) return false;
+  }
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 FuzzReport FuzzEngine::run(const std::vector<Scenario>& seeds) const {
@@ -350,6 +502,40 @@ FuzzReport FuzzEngine::run(const std::vector<Scenario>& seeds) const {
 
   std::map<std::uint64_t, std::size_t> by_signature;
   bool stop = false;
+
+  // ----- fuzz state resume (docs/FAULT_TOLERANCE.md) -----
+  const bool checkpointing = !opts_.checkpoint_dir.empty();
+  const std::string state_path =
+      checkpointing ? opts_.checkpoint_dir + "/fuzz_state.json"
+                    : std::string();
+  std::size_t start_round = 1;
+  if (checkpointing && opts_.resume) {
+    std::ifstream in(state_path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string error;
+      if (!fuzz_state_from_json(buf.str(), opts_.seed, report, error)) {
+        report.resume_error = state_path + ": " + error;
+        return report;
+      }
+      for (std::size_t i = 0; i < report.corpus.size(); ++i) {
+        by_signature[report.corpus[i].signature] = i;
+      }
+      report.resumed = true;
+      start_round = report.rounds_run + 1;
+      ambient.counter("chaos.checkpoint_resume").add();
+    }
+    // No state file yet: fall through to a fresh campaign.
+  }
+
+  const auto flush_state = [&]() {
+    if (!checkpointing) return;
+    if (!report.hits.empty()) return;  // hits are not a resumable prefix
+    if (write_fuzz_state(state_path, report, opts_.seed)) {
+      ambient.counter("chaos.checkpoint_write").add();
+    }
+  };
 
   const auto handle_hit = [&](Scenario&& sc, const SoakReport& rep,
                               std::size_t round, std::size_t bi,
@@ -457,8 +643,10 @@ FuzzReport FuzzEngine::run(const std::vector<Scenario>& seeds) const {
     admit(std::move(sc), o, round, std::move(op));
   };
 
-  // Round 0: evaluate the seed corpus with the same machinery.
-  {
+  // Round 0: evaluate the seed corpus with the same machinery. A
+  // resumed campaign's corpus already contains the admitted seeds (and
+  // their evolution) — re-seeding would double-count evals.
+  if (!report.resumed) {
     auto shards = par::run_sharded_keep(
         seeds.size(), threads, [&](const par::ShardInfo& info) {
           return evaluate(seeds[info.index], opts_);
@@ -467,9 +655,11 @@ FuzzReport FuzzEngine::run(const std::vector<Scenario>& seeds) const {
       consume(std::move(shards.results[i]), Scenario(seeds[i]), 0, i,
               "seed");
     }
+    if (!stop) flush_state();
   }
 
-  for (std::size_t round = 1; round <= opts_.rounds && !stop; ++round) {
+  for (std::size_t round = start_round; round <= opts_.rounds && !stop;
+       ++round) {
     if (report.corpus.empty()) break;
     Rng round_rng(derive_seed(opts_.seed, round, 0x66757a7aULL));
     // Mutants are generated serially against the round-start corpus, so
@@ -493,6 +683,7 @@ FuzzReport FuzzEngine::run(const std::vector<Scenario>& seeds) const {
     }
     ++report.rounds_run;
     ambient.counter("chaos.fuzz.rounds").add();
+    if (!stop) flush_state();
   }
 
   return report;

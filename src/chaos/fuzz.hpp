@@ -123,6 +123,17 @@ struct FuzzOptions {
   bool allow_inject = false;     ///< arm the inject_fault operator
   std::string bundle_dir;        ///< write hit (and shrunk) bundles here
   double rte_norm_bound = 1e3;   ///< forwarded to the per-eval SoakOptions
+
+  /// When non-empty, flush the corpus + campaign counters to
+  /// `<dir>/fuzz_state.json` after every clean round
+  /// (docs/FAULT_TOLERANCE.md). With `resume`, reload that state and
+  /// continue from the next round: because each round's RNG derives
+  /// purely from (seed, round) and the corpus round-trips bit-exactly
+  /// through JSON, resumed corpus evolution is bit-identical to an
+  /// uninterrupted campaign (corpus_digest is the canary; the ambient
+  /// metric surface restarts from zero on resume).
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 struct FuzzReport {
@@ -131,6 +142,13 @@ struct FuzzReport {
   std::uint64_t corpus_adds = 0;    ///< admissions (novel or tightened)
   std::vector<CorpusEntry> corpus;  ///< final corpus, admission order
   std::vector<FuzzHit> hits;
+
+  /// True when this campaign restored a corpus from fuzz_state.json.
+  bool resumed = false;
+  /// Non-empty when --resume found a state file it could not use
+  /// (version or seed mismatch, parse failure); the campaign did not
+  /// run.
+  std::string resume_error;
 
   [[nodiscard]] bool found() const noexcept { return !hits.empty(); }
 

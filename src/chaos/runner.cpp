@@ -6,8 +6,10 @@
 #include <fstream>
 #include <iterator>
 #include <memory>
+#include <sstream>
 
 #include "carpool/transceiver.hpp"
+#include "chaos/checkpoint.hpp"
 #include "channel/shadowing.hpp"
 #include "impair/impair.hpp"
 #include "mac/domain_sim.hpp"
@@ -691,8 +693,6 @@ std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t repeat,
 }
 
 SoakReport SoakRunner::run(const Scenario& scenario) const {
-  obs::Registry::current().counter("chaos.campaigns").add();
-
   Scenario s = scenario;
   if (s.traffic.empty()) {
     // An empty mix would soak an idle channel; default to the steady CBR
@@ -700,12 +700,82 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
     s.traffic.push_back({0.0, TrafficKind::kCbr, 1200, 4e-3});
   }
 
+  SoakReport report;
+
+  // ----- checkpoint resume (docs/FAULT_TOLERANCE.md) -----
+  // Digests are computed over the *effective* scenario (after the
+  // traffic default above), matching what make_checkpoint records.
+  std::size_t start_repeat = 0;
+  const bool checkpointing = !opts_.checkpoint_dir.empty();
+  const std::string ck_path =
+      checkpointing ? checkpoint_path(opts_.checkpoint_dir, s.name)
+                    : std::string();
+  if (checkpointing && opts_.resume) {
+    std::ifstream in(ck_path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const CheckpointParseResult parsed = checkpoint_from_json(buf.str());
+      if (!parsed.ok()) {
+        report.resume_error =
+            ck_path + ": " + parsed.error.to_string();
+        return report;
+      }
+      const CampaignCheckpoint& ck = *parsed.checkpoint;
+      if (ck.schema_version != kCheckpointSchemaVersion) {
+        report.resume_error =
+            ck_path + ": schema_version " +
+            std::to_string(ck.schema_version) + " (want " +
+            std::to_string(kCheckpointSchemaVersion) + ")";
+        return report;
+      }
+      if (ck.scenario_digest != scenario_digest(s)) {
+        report.resume_error =
+            ck_path + ": scenario digest mismatch (checkpoint is for a "
+                      "different scenario)";
+        return report;
+      }
+      if (ck.options_digest != soak_options_digest(opts_)) {
+        report.resume_error =
+            ck_path + ": options digest mismatch (campaign knobs "
+                      "changed since the checkpoint)";
+        return report;
+      }
+      report.resumed = true;
+      report.resumed_repeats = ck.repeats_done;
+      report.frames_judged = ck.frames_judged;
+      report.steps = ck.steps;
+      report.probes = ck.probes;
+      report.episodes_run = ck.episodes_run;
+      report.sim_seconds = ck.sim_seconds;
+      report.episode_summaries = ck.episodes;
+      report.repeats = ck.repeats_done;
+      for (const auto& [name, margin] : ck.margins) {
+        report.margins.observe(name, margin);
+      }
+      obs::Registry::current().restore(ck.registry);
+      if (obs::SpanCollector* sc = obs::SpanCollector::current();
+          sc != nullptr) {
+        sc->restore_allocated(ck.span_watermark);
+      }
+      start_repeat = ck.repeats_done;
+      obs::Registry::current().counter("chaos.checkpoint_resume").add();
+    }
+    // No checkpoint file yet: fall through to a fresh campaign.
+  }
+
+  // Campaign-start instrumentation is part of the restored snapshot on a
+  // resume — adding it again would double-count.
+  if (!report.resumed) {
+    obs::Registry::current().counter("chaos.campaigns").add();
+  }
+
   // Multi-BSS topology: build the campus once per campaign and cut the
   // timeline at handover instants so every episode slice has constant
   // associations (docs/MULTI_AP.md).
   const std::optional<TopoCtx> topo_ctx = make_topo_ctx(s);
   const TopoCtx* topo = topo_ctx.has_value() ? &*topo_ctx : nullptr;
-  if (topo != nullptr) {
+  if (topo != nullptr && !report.resumed) {
     obs::Registry& reg = obs::Registry::current();
     reg.counter("mac.roam_handover")
         .add(topo->timeline.handovers().size());
@@ -731,12 +801,49 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
   const std::size_t threads =
       opts_.threads == 0 ? par::hardware_threads() : opts_.threads;
 
-  SoakReport report;
-  if (threads <= 1 || opts_.max_frames == 0) {
+  // Flush a resumable checkpoint covering exactly `repeats_done` cleanly
+  // consumed repeats. Only clean, non-degraded prefixes are recorded: a
+  // checkpoint written past a quarantined repeat or a violation would
+  // resume into a hole. Flushes happen strictly *before* the
+  // end-of-campaign finalization below, so a resumed run replays the
+  // finalization (goodput mean, cliff check, end counters) itself and
+  // lands on the uninterrupted run's exact registry state.
+  const std::size_t checkpoint_every =
+      std::max<std::size_t>(1, opts_.checkpoint_every);
+  const auto flush_checkpoint = [&](std::size_t repeats_done) {
+    if (!checkpointing) return;
+    if (!report.violations.empty()) return;
+    if (report.degraded.degraded()) return;
+    const CampaignCheckpoint ck =
+        make_checkpoint(s, opts_, report, repeats_done);
+    if (write_checkpoint_file(ck_path, ck)) {
+      report.checkpoint_path = ck_path;
+      obs::Registry::current().counter("chaos.checkpoint_write").add();
+    }
+  };
+
+  // A resumed campaign that already met its budget (or was single-pass)
+  // has no repeats left — skip straight to finalization.
+  const bool already_complete =
+      report.resumed && (opts_.max_frames == 0 ||
+                         report.frames_judged >= opts_.max_frames);
+
+  // Retry/fault-injection campaigns route through the wave scheduler
+  // even at threads<=1, so injected faults and retries behave
+  // identically at any thread count. Single-pass runs (max_frames == 0)
+  // have exactly one repeat and keep the classic serial path —
+  // re-running the whole campaign is the retry story there.
+  const bool resilient =
+      opts_.retry.enabled() || opts_.fault_plan.has_value();
+
+  if (already_complete) {
+    // Nothing to run.
+  } else if ((threads <= 1 && !resilient) || opts_.max_frames == 0) {
     // Serial campaign: every repeat live, in order. A single-pass run
     // (max_frames == 0) has exactly one repeat, so there is nothing to
     // parallelise regardless of the thread knob.
-    for (std::size_t repeat = 0; repeat < max_repeats; ++repeat) {
+    for (std::size_t repeat = start_repeat; repeat < max_repeats;
+         ++repeat) {
       report.repeats = repeat + 1;
       RepeatOutcome o = run_one_repeat(s, episodes, topo, repeat,
                                        report.frames_judged, opts_,
@@ -746,6 +853,9 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
       if (stopped) break;
       if (opts_.max_frames == 0) break;
       if (report.frames_judged >= opts_.max_frames) break;
+      if ((repeat + 1) % checkpoint_every == 0) {
+        flush_checkpoint(repeat + 1);
+      }
     }
   } else {
     // Parallel campaign: waves of detached repeats fan across the pool,
@@ -759,22 +869,51 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
     // coordinates, and metrics; the shard and everything after it in
     // the wave are discarded. Net: the SoakReport and the ambient
     // registry are bit-for-bit what the serial loop produces.
-    std::size_t next_repeat = 0;
+    std::size_t next_repeat = start_repeat;
+    std::size_t last_flush = start_repeat;
     bool stop = false;
     while (!stop && next_repeat < max_repeats &&
            report.frames_judged < opts_.max_frames) {
       const std::size_t wave =
-          std::min(threads, max_repeats - next_repeat);
-      auto shards = par::run_sharded_keep(
-          wave, threads, [&](const par::ShardInfo& info) {
-            return run_one_repeat(s, episodes, topo,
-                                  next_repeat + info.index,
-                                  /*campaign_base=*/0, opts_,
-                                  /*live=*/false);
-          });
+          std::min(std::max<std::size_t>(1, threads),
+                   max_repeats - next_repeat);
+      const auto repeat_job = [&](const par::ShardInfo& info) {
+        return run_one_repeat(s, episodes, topo, next_repeat + info.index,
+                              /*campaign_base=*/0, opts_,
+                              /*live=*/false);
+      };
+      par::Sharded<RepeatOutcome> shards;
+      par::DegradedReport wave_degraded;
+      if (resilient) {
+        // Fault-plan entries address campaign repeat numbers; re-base
+        // them onto this wave's shard indices.
+        par::FaultPlan windowed;
+        const par::FaultPlan* plan = nullptr;
+        if (opts_.fault_plan.has_value()) {
+          windowed = opts_.fault_plan->window(next_repeat, wave);
+          plan = &windowed;
+        }
+        shards = par::run_sharded_resilient(wave, threads, opts_.retry,
+                                            plan, repeat_job,
+                                            &wave_degraded);
+      } else {
+        shards = par::run_sharded_keep(wave, threads, repeat_job);
+      }
+      // Quarantined repeats: remap wave-local indices back to campaign
+      // repeat numbers and keep going — the campaign degrades, it does
+      // not abort. Their default-constructed outcomes are skipped below.
+      std::vector<char> lost(wave, 0);
+      for (const par::QuarantinedShard& q : wave_degraded.quarantined) {
+        lost[q.index] = 1;
+        report.degraded.quarantined.push_back(
+            {next_repeat + q.index, q.attempts, q.error});
+      }
+      report.degraded.retries += wave_degraded.retries;
+      report.degraded.stalls += wave_degraded.stalls;
       for (std::size_t i = 0; i < wave; ++i) {
         const std::size_t repeat = next_repeat + i;
         report.repeats = repeat + 1;
+        if (lost[i] != 0) continue;
         if (repeat_is_stopping(shards.results[i], s, opts_,
                                report.frames_judged)) {
           RepeatOutcome real =
@@ -805,8 +944,17 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
         consume_repeat(report, std::move(shards.results[i]));
       }
       next_repeat += wave;
+      if (!stop && next_repeat - last_flush >= checkpoint_every) {
+        flush_checkpoint(next_repeat);
+        last_flush = next_repeat;
+      }
     }
   }
+
+  // Final checkpoint: a clean, non-degraded campaign leaves a resume
+  // point covering everything it consumed, so `--resume` after the fact
+  // is a no-op that reproduces the same report and fingerprint.
+  flush_checkpoint(report.repeats);
 
   // Judged-episode goodput mean, reduced in episode order (KahanSum for
   // stability; the fixed order is what makes it thread-count invariant).

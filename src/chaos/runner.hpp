@@ -25,6 +25,7 @@
 
 #include "chaos/invariants.hpp"
 #include "chaos/scenario.hpp"
+#include "par/par.hpp"
 
 namespace carpool::chaos {
 
@@ -67,6 +68,33 @@ struct SoakOptions {
   /// single-pass runs ignore this knob. Repro bundles and the shrinker
   /// stay strictly serial-replayable either way.
   std::size_t threads = 1;
+
+  // ----- fault tolerance (docs/FAULT_TOLERANCE.md) -----
+
+  /// Retry/watchdog policy for repeat shards. Default-disabled
+  /// (max_attempts 1, no watchdog): a throwing repeat kills the
+  /// campaign exactly as before. With retries enabled, repeats that
+  /// throw or stall are retried with attempt-local state (a successful
+  /// retry is bit-identical to a first-try success) and exhausted
+  /// repeats land in SoakReport::degraded instead of aborting.
+  par::RetryPolicy retry{};
+
+  /// Deterministic fault injection for the retry machinery (tests and
+  /// drills). Faults address *campaign repeat numbers*; the runner
+  /// windows the plan per wave. Disengaged = no injection.
+  std::optional<par::FaultPlan> fault_plan;
+
+  /// When non-empty, flush a resumable campaign checkpoint
+  /// (chaos/checkpoint.hpp) into this directory every
+  /// `checkpoint_every` completed repeats and once at the clean end.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 8;
+
+  /// Resume from `checkpoint_dir`'s checkpoint for this scenario if one
+  /// exists and matches (schema, scenario digest, options digest). A
+  /// missing checkpoint file starts fresh; a mismatched one aborts the
+  /// campaign with SoakReport::resume_error set.
+  bool resume = false;
 };
 
 struct SoakReport {
@@ -86,6 +114,24 @@ struct SoakReport {
   /// (invariants.hpp): the proximity-to-violation signal the fuzzer
   /// hill-climbs. Thread-count independent (minima merge commutatively).
   MarginTracker margins;
+
+  // ----- fault tolerance (docs/FAULT_TOLERANCE.md) -----
+
+  /// Quarantined repeats + retry/stall totals. degraded.degraded() means
+  /// some repeats were lost after exhausting retries — the campaign
+  /// completed on the surviving repeats and this report says which died.
+  par::DegradedReport degraded;
+  /// True when this campaign restored state from a checkpoint.
+  bool resumed = false;
+  /// Completed repeats restored from the checkpoint (0 unless resumed).
+  std::size_t resumed_repeats = 0;
+  /// Last checkpoint file written (empty when checkpointing is off or
+  /// nothing flushed).
+  std::string checkpoint_path;
+  /// Non-empty when --resume found a checkpoint it could not use
+  /// (version/digest mismatch or parse failure); the campaign did not
+  /// run.
+  std::string resume_error;
 
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
 

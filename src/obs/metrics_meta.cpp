@@ -123,12 +123,43 @@ constexpr std::array kCatalog{
                  {"count", "chaos", "Invariant violations found by the "
                                     "fuzzer"}},
 
+    // --- ops: fault-tolerance bookkeeping (docs/FAULT_TOLERANCE.md).
+    // The whole "ops" layer is excluded from Registry::fingerprint():
+    // these count wall-clock accidents (retries, stalls, resumes) that
+    // must not perturb determinism comparisons. ---
+    CatalogEntry{"par.shard_retry",
+                 {"count", "ops",
+                  "Shard attempts beyond the first (retries after a "
+                  "throw, stall, or torn result)"}},
+    CatalogEntry{"par.shard_stall",
+                 {"count", "ops",
+                  "Shard attempts abandoned by the per-attempt "
+                  "watchdog"}},
+    CatalogEntry{"par.shard_quarantine",
+                 {"count", "ops",
+                  "Shards quarantined after exhausting the retry "
+                  "budget"}},
+    CatalogEntry{"par.threads_env_invalid",
+                 {"count", "ops",
+                  "Unparseable CARPOOL_THREADS values ignored (fell "
+                  "back to serial)"}},
+    CatalogEntry{"chaos.checkpoint_write",
+                 {"count", "ops",
+                  "Campaign checkpoints flushed to disk"}},
+    CatalogEntry{"chaos.checkpoint_resume",
+                 {"count", "ops",
+                  "Campaigns resumed from a checkpoint"}},
+
     // --- obs: the observability layer itself ---
+    // Cap overflows are collection bookkeeping, not simulation events: a
+    // resumed campaign re-collects spans only for its remaining repeats,
+    // so drop counts legitimately differ from an uninterrupted run's.
+    // The "ops" layer keeps them out of Registry::fingerprint().
     CatalogEntry{"obs.trace_dropped",
-                 {"count", "obs",
+                 {"count", "ops",
                   "Trace events dropped at the TraceSink max-event cap"}},
     CatalogEntry{"obs.spans_dropped",
-                 {"count", "obs",
+                 {"count", "ops",
                   "Spans dropped at the SpanCollector record cap"}},
 
     // --- wall-clock stage timers (OBS_SCOPED_TIMER / OBS_TIMED_SPAN) ---

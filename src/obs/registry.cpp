@@ -124,6 +124,26 @@ void Histogram::merge_from(const Histogram& other) {
   }
 }
 
+void Histogram::restore_add(const std::vector<std::uint64_t>& buckets,
+                            std::uint64_t count, double sum, double min,
+                            double max) {
+  if (buckets.size() != buckets_.size()) {
+    throw std::invalid_argument(
+        "Histogram::restore_add: bucket count mismatch");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets[i] != 0) {
+      buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+    }
+  }
+  if (count != 0) {
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+    atomic_fetch_min(min_, min);
+    atomic_fetch_max(max_, max);
+  }
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -274,12 +294,41 @@ MetricsSnapshot Registry::snapshot() const {
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
     const std::uint64_t n = h->count();
-    snap.histograms.push_back({name, h->unit(), n, h->sum(), h->mean(),
-                               n == 0 ? 0.0 : h->min(),
-                               n == 0 ? 0.0 : h->max(), h->percentile(0.5),
-                               h->percentile(0.99), meta_for(name)});
+    MetricsSnapshot::HistogramRow& row = snap.histograms.emplace_back();
+    row.name = name;
+    row.unit = h->unit();
+    row.count = n;
+    row.sum = h->sum();
+    row.mean = h->mean();
+    row.min = n == 0 ? 0.0 : h->min();
+    row.max = n == 0 ? 0.0 : h->max();
+    row.p50 = h->percentile(0.5);
+    row.p99 = h->percentile(0.99);
+    row.meta = meta_for(name);
+    row.bounds = h->bounds();
+    row.buckets.reserve(row.bounds.size() + 1);
+    for (std::size_t i = 0; i <= row.bounds.size(); ++i) {
+      row.buckets.push_back(h->bucket_count(i));
+    }
   }
   return snap;
+}
+
+void Registry::restore(const MetricsSnapshot& snap) {
+  for (const auto& row : snap.counters) {
+    // Register even zero-valued counters: key-set parity with the
+    // snapshotted run keeps the fingerprint input and export schema
+    // identical after a resume.
+    Counter& c = counter(row.name);
+    if (row.value != 0) c.add(row.value);
+  }
+  for (const auto& row : snap.gauges) {
+    gauge(row.name).set(row.value);
+  }
+  for (const auto& row : snap.histograms) {
+    histogram(row.name, row.bounds, row.unit)
+        .restore_add(row.buckets, row.count, row.sum, row.min, row.max);
+  }
 }
 
 std::uint64_t Registry::fingerprint() const {
@@ -295,11 +344,20 @@ std::uint64_t Registry::fingerprint() const {
   const auto mix_u64 = [&](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
   };
+  // "ops" metrics (retry/quarantine/checkpoint bookkeeping) count
+  // wall-clock accidents, not simulation events: a retried shard or a
+  // resumed campaign must fingerprint identically to a clean run.
+  const auto is_ops = [this](const std::string& name) {
+    const auto it = meta_.find(name);
+    return it != meta_.end() && it->second->layer == std::string_view("ops");
+  };
   for (const auto& [name, c] : counters_) {
+    if (is_ops(name)) continue;
     mix_str(name);
     mix_u64(c->value());
   }
   for (const auto& [name, g] : gauges_) {
+    if (is_ops(name)) continue;
     mix_str(name);
     double v = g->value();
     std::uint64_t bits;

@@ -113,6 +113,14 @@ class Histogram {
   /// bucket bounds differ — merging only makes sense shape-to-shape.
   void merge_from(const Histogram& other);
 
+  /// Fold previously snapshotted raw contents back in (checkpoint
+  /// resume): bucket counts and count/sum add, min/max combine exactly
+  /// like merge_from. `buckets` must have bounds().size()+1 entries or
+  /// std::invalid_argument is thrown. A count of zero is a no-op for
+  /// min/max, so restoring an empty histogram keeps the +-inf sentinels.
+  void restore_add(const std::vector<std::uint64_t>& buckets,
+                   std::uint64_t count, double sum, double min, double max);
+
   void reset() noexcept;
 
  private:
@@ -150,6 +158,12 @@ struct MetricsSnapshot {
     double p50 = 0.0;
     double p99 = 0.0;
     const MetricMeta* meta = nullptr;
+    /// Raw bucket shape + contents, enough to reconstruct the histogram
+    /// exactly (campaign checkpoints round-trip registries through this
+    /// snapshot — docs/FAULT_TOLERANCE.md). buckets has bounds.size()+1
+    /// entries; the last is the overflow bucket.
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
   };
   std::vector<CounterRow> counters;    ///< sorted by name
   std::vector<GaugeRow> gauges;        ///< sorted by name
@@ -211,6 +225,15 @@ class Registry {
   /// schema is identical to a serial run's. Self-merge is a no-op.
   void merge_from(const Registry& other);
 
+  /// Rebuild this registry's contents from a snapshot (checkpoint
+  /// resume, docs/FAULT_TOLERANCE.md): counters add their snapshotted
+  /// values (registering zero-valued ones too, so the restored key set —
+  /// and therefore the export schema and fingerprint input — matches the
+  /// snapshotted run exactly), gauges set, histograms reconstruct from
+  /// the raw bounds/buckets via restore_add. Call on a registry that
+  /// does not already hold campaign state, or counts double.
+  void restore(const MetricsSnapshot& snap);
+
   /// Catalog metadata resolved for `name` at find-or-create time; null
   /// when the metric does not exist yet or has no catalog entry.
   [[nodiscard]] const MetricMeta* metric_meta(std::string_view name) const;
@@ -221,9 +244,14 @@ class Registry {
   /// Order-stable 64-bit FNV-1a digest of the deterministic metric
   /// surface: every counter (name, value) and gauge (name, IEEE bit
   /// pattern), iterated in sorted name order. Histograms are excluded —
-  /// their contents are wall-clock timings that vary run to run. Two runs
-  /// of a deterministic workload must produce equal fingerprints at any
-  /// thread count; CI prints and compares them as the parallelism canary.
+  /// their contents are wall-clock timings that vary run to run. Metrics
+  /// whose catalog layer is "ops" (retry/quarantine/checkpoint
+  /// bookkeeping, docs/FAULT_TOLERANCE.md) are excluded too: they count
+  /// wall-clock accidents like retries and resumes, which must not
+  /// perturb the faulted-vs-clean and resumed-vs-uninterrupted
+  /// fingerprint comparisons. Two runs of a deterministic workload must
+  /// produce equal fingerprints at any thread count; CI prints and
+  /// compares them as the parallelism canary.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
   /// Unified JSON export (schema_version 2: values plus a `meta` section

@@ -33,6 +33,7 @@
 // (chrome_trace.hpp) converts records into a Chrome trace-event file
 // that opens directly in Perfetto / chrome://tracing.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -127,6 +128,19 @@ class SpanCollector {
     return records_;
   }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Ids handed out so far (the merge/remap watermark). Campaign
+  /// checkpoints persist this so a resumed run allocates ids past the
+  /// interrupted run's — keeping merged id sequences identical to an
+  /// uninterrupted campaign (docs/FAULT_TOLERANCE.md).
+  [[nodiscard]] std::uint64_t allocated() const noexcept {
+    return allocated_;
+  }
+  /// Fast-forward the id watermark to at least `watermark` (checkpoint
+  /// resume). Never rewinds — ids stay unique within the collector.
+  void restore_allocated(std::uint64_t watermark) noexcept {
+    allocated_ = std::max(allocated_, watermark);
+  }
 
   /// Append another collector's records, remapping its ids past this
   /// collector's allocation watermark so parent/child links stay intact

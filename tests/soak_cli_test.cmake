@@ -1,0 +1,31 @@
+# Runs the soak binary with a "|"-separated argument list and asserts the
+# exit code. Driven by the SoakCli.* ctest cases in CMakeLists.txt:
+#   cmake -DSOAK=<path> "-DARGS=--frames|12x" -DEXPECT=2 -P soak_cli_test.cmake
+# "|" keeps empty arguments intact ("--fuzz-rounds" followed by "") where
+# a ;-list would drop them.
+
+if(NOT DEFINED SOAK OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "soak_cli_test.cmake needs -DSOAK=... and -DEXPECT=...")
+endif()
+
+set(args "")
+if(DEFINED ARGS AND NOT ARGS STREQUAL "")
+  string(REPLACE "|" ";" args "${ARGS}")
+endif()
+
+execute_process(
+  COMMAND "${SOAK}" ${args}
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT code EQUAL ${EXPECT})
+  message(FATAL_ERROR
+    "soak ${ARGS}: exit ${code}, want ${EXPECT}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+# Every usage error must actually print the usage block.
+if(EXPECT EQUAL 2 AND NOT err MATCHES "usage: soak")
+  message(FATAL_ERROR
+    "soak ${ARGS}: exit 2 without a usage message\nstderr:\n${err}")
+endif()

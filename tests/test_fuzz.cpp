@@ -5,6 +5,7 @@
 // steady seed within a bounded budget.
 
 #include <cstdint>
+#include <filesystem>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -171,6 +172,76 @@ TEST(FuzzDeterminism, CorpusEvolutionBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.hits.size(), parallel.hits.size());
   // The whole deterministic metric surface, not just the corpus.
   EXPECT_EQ(reg_serial.fingerprint(), reg_parallel.fingerprint());
+}
+
+TEST(FuzzResume, InterruptedCampaignEvolvesBitIdenticalCorpus) {
+  // Acceptance (docs/FAULT_TOLERANCE.md): stop a fuzz campaign after K
+  // rounds, resume from fuzz_state.json, and the evolved corpus is
+  // bit-identical to an uninterrupted campaign's.
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "fuzz_resume_state";
+  std::filesystem::remove_all(dir);
+
+  FuzzReport uninterrupted;
+  {
+    FuzzOptions o = quick_opts();
+    o.rounds = 6;
+    obs::Registry reg;
+    const obs::Registry::ScopedCurrent scope(reg);
+    uninterrupted = FuzzEngine(o).run({small_steady()});
+  }
+  {
+    FuzzOptions o = quick_opts();
+    o.rounds = 3;
+    o.checkpoint_dir = dir.string();
+    obs::Registry reg;
+    const obs::Registry::ScopedCurrent scope(reg);
+    const FuzzReport partial = FuzzEngine(o).run({small_steady()});
+    ASSERT_EQ(partial.rounds_run, 3u);
+    ASSERT_TRUE(std::filesystem::exists(dir / "fuzz_state.json"));
+  }
+  FuzzReport resumed;
+  {
+    FuzzOptions o = quick_opts();
+    o.rounds = 6;
+    o.checkpoint_dir = dir.string();
+    o.resume = true;
+    obs::Registry reg;
+    const obs::Registry::ScopedCurrent scope(reg);
+    resumed = FuzzEngine(o).run({small_steady()});
+  }
+  ASSERT_TRUE(resumed.resume_error.empty()) << resumed.resume_error;
+  EXPECT_TRUE(resumed.resumed);
+  // Everything the uninterrupted campaign produced — rounds (a hit can
+  // stop both early, identically), corpus evolution, hit count.
+  EXPECT_EQ(resumed.rounds_run, uninterrupted.rounds_run);
+  EXPECT_EQ(resumed.hits.size(), uninterrupted.hits.size());
+  EXPECT_EQ(resumed.corpus_digest(), uninterrupted.corpus_digest());
+  EXPECT_EQ(resumed.corpus.size(), uninterrupted.corpus.size());
+  EXPECT_EQ(resumed.corpus_adds, uninterrupted.corpus_adds);
+}
+
+TEST(FuzzResume, SeedMismatchIsRejected) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "fuzz_resume_seed";
+  std::filesystem::remove_all(dir);
+  {
+    FuzzOptions o = quick_opts();
+    o.checkpoint_dir = dir.string();
+    obs::Registry reg;
+    const obs::Registry::ScopedCurrent scope(reg);
+    (void)FuzzEngine(o).run({small_steady()});
+  }
+  FuzzOptions o = quick_opts();
+  o.seed = 8;  // a different campaign
+  o.checkpoint_dir = dir.string();
+  o.resume = true;
+  obs::Registry reg;
+  const obs::Registry::ScopedCurrent scope(reg);
+  const FuzzReport rejected = FuzzEngine(o).run({small_steady()});
+  EXPECT_FALSE(rejected.resume_error.empty());
+  EXPECT_EQ(rejected.rounds_run, 0u);
+  EXPECT_TRUE(rejected.corpus.empty());
 }
 
 // -------------------------------------------- injected-fault rediscovery

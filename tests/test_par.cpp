@@ -4,9 +4,11 @@
 // thread count, including the real consumer (chaos::SoakRunner).
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -78,6 +80,35 @@ TEST(ThreadPool, DestructorDrainsWithoutWait) {
   EXPECT_EQ(ran.load(), 50);
 }
 
+TEST(ThreadPool, DestructorJoinsWithQueueStillPending) {
+  // Slow jobs so destruction races a mostly-full queue: the destructor
+  // must drain every queued job and join, never deadlock or drop work.
+  std::atomic<int> ran{0};
+  {
+    par::ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, SecondWaitDoesNotReplayConsumedError) {
+  par::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("once"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The rethrow consumed the captured error: a fresh wait() is clean and
+  // the pool accepts new work as if nothing happened.
+  EXPECT_NO_THROW(pool.wait());
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(ran.load(), 1);
+}
+
 TEST(ThreadPool, OversubscriptionCompletes) {
   // Far more workers than cores and far more jobs than workers.
   par::ThreadPool pool(32);
@@ -106,6 +137,24 @@ TEST(ResolveThreads, EnvFallback) {
   EXPECT_EQ(par::resolve_threads(), 1u);
   ::unsetenv("CARPOOL_THREADS");
   EXPECT_EQ(par::resolve_threads(), 1u);
+}
+
+TEST(ResolveThreads, RejectsTrailingGarbageAndCountsIt) {
+  // "4x" used to strtoll-parse as 4 with the garbage ignored; now any
+  // partially-numeric value falls back to serial and is recorded.
+  obs::Registry scope;
+  {
+    const obs::Registry::ScopedCurrent current(scope);
+    ::setenv("CARPOOL_THREADS", "4x", 1);
+    EXPECT_EQ(par::resolve_threads(), 1u);
+    ::setenv("CARPOOL_THREADS", "-2", 1);
+    EXPECT_EQ(par::resolve_threads(), 1u);
+    // Empty behaves like unset: serial, but not an error worth counting.
+    ::setenv("CARPOOL_THREADS", "", 1);
+    EXPECT_EQ(par::resolve_threads(), 1u);
+    ::unsetenv("CARPOOL_THREADS");
+  }
+  EXPECT_EQ(scope.counter_value("par.threads_env_invalid"), 2u);
 }
 
 // --------------------------------------------------------------- Kahan
@@ -283,6 +332,193 @@ TEST(RunSharded, ZeroJobsIsANoop) {
   EXPECT_TRUE(results.empty());
 }
 
+// --------------------------------------------- retry + fault injection
+
+/// The resilient workload twin of sharded_workload: pure per-index work
+/// plus metrics through the shard-local registry, merged in index order
+/// so the ambient fingerprint is comparable with a fault-free run.
+std::vector<std::uint64_t> resilient_workload(std::size_t jobs,
+                                              std::size_t threads,
+                                              const par::RetryPolicy& policy,
+                                              const par::FaultPlan* faults,
+                                              obs::Registry& scope,
+                                              par::DegradedReport* degraded) {
+  const obs::Registry::ScopedCurrent current(scope);
+  auto out = par::run_sharded_resilient(
+      jobs, threads, policy, faults,
+      [](const par::ShardInfo& info) {
+        obs::Registry& reg = obs::Registry::current();
+        reg.counter("work.jobs").add();
+        reg.counter("work.units").add(info.index * 3 + 1);
+        reg.set_gauge("work.last_index", static_cast<double>(info.index));
+        return static_cast<std::uint64_t>(info.index * info.index);
+      },
+      degraded);
+  for (auto& m : out.metrics) {
+    if (m) scope.merge_from(*m);
+  }
+  return std::move(out.results);
+}
+
+TEST(Retry, FaultPlanAddressesShardAttemptPairs) {
+  par::FaultPlan plan;
+  plan.entries.push_back({3, 0, par::FaultKind::kThrow});
+  plan.entries.push_back({3, 1, par::FaultKind::kTorn});
+  EXPECT_EQ(plan.at(3, 0), par::FaultKind::kThrow);
+  EXPECT_EQ(plan.at(3, 1), par::FaultKind::kTorn);
+  EXPECT_EQ(plan.at(3, 2), par::FaultKind::kNone);
+  EXPECT_EQ(plan.at(0, 0), par::FaultKind::kNone);
+
+  // window() re-bases campaign-repeat addresses onto wave-local shards.
+  const par::FaultPlan w = plan.window(2, 4);  // repeats [2, 6)
+  EXPECT_EQ(w.at(1, 0), par::FaultKind::kThrow);  // repeat 3 -> shard 1
+  EXPECT_EQ(w.at(3, 0), par::FaultKind::kNone);
+  const par::FaultPlan outside = plan.window(4, 4);  // repeats [4, 8)
+  EXPECT_TRUE(outside.entries.empty());
+}
+
+TEST(Retry, SeededFaultPlanIsDeterministic) {
+  const par::FaultPlan a = par::FaultPlan::seeded(9, 100, 0.3);
+  const par::FaultPlan b = par::FaultPlan::seeded(9, 100, 0.3);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  EXPECT_FALSE(a.entries.empty());
+  EXPECT_LT(a.entries.size(), 100u);  // rate, not all-shards
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].shard, b.entries[i].shard);
+  }
+  EXPECT_TRUE(par::FaultPlan::seeded(9, 100, 0.0).entries.empty());
+  EXPECT_EQ(par::FaultPlan::seeded(9, 50, 1.1).entries.size(), 50u);
+}
+
+TEST(Retry, BackoffIsDeterministicJitteredAndCapped) {
+  par::RetryPolicy p;
+  p.backoff_base_ms = 2.0;
+  p.backoff_max_ms = 20.0;
+  EXPECT_DOUBLE_EQ(p.backoff_ms(4, 0), 0.0);  // first attempt: no delay
+  const double once = p.backoff_ms(4, 1);
+  EXPECT_GT(once, 0.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(4, 1), once);  // same (shard, attempt)
+  EXPECT_NE(p.backoff_ms(5, 1), once);         // jitter decorrelates shards
+  for (std::size_t attempt = 1; attempt < 40; ++attempt) {
+    EXPECT_LE(p.backoff_ms(4, attempt), p.backoff_max_ms);
+  }
+  EXPECT_FALSE(p.enabled());
+  p.max_attempts = 2;
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(Retry, TransientThrowRetriesBitIdentical) {
+  obs::Registry baseline;
+  const auto want =
+      resilient_workload(9, 1, {}, nullptr, baseline, nullptr);
+  const std::uint64_t want_fp = baseline.fingerprint();
+
+  par::FaultPlan plan;
+  plan.entries.push_back({1, 0, par::FaultKind::kThrow});
+  plan.entries.push_back({4, 0, par::FaultKind::kThrow});
+  plan.entries.push_back({6, 0, par::FaultKind::kTorn});
+  par::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_base_ms = 0.1;  // keep the test fast
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    obs::Registry scope;
+    par::DegradedReport degraded;
+    const auto got =
+        resilient_workload(9, threads, policy, &plan, scope, &degraded);
+    EXPECT_EQ(got, want) << "threads=" << threads;
+    // A successful retry leaves no trace: the metric surface is
+    // bit-identical to the fault-free run (retry counters live in the
+    // fingerprint-exempt "ops" layer).
+    EXPECT_EQ(scope.fingerprint(), want_fp) << "threads=" << threads;
+    EXPECT_TRUE(degraded.quarantined.empty()) << "threads=" << threads;
+    EXPECT_EQ(degraded.retries, 3u) << "threads=" << threads;
+    EXPECT_FALSE(degraded.degraded());
+  }
+}
+
+TEST(Retry, StallWatchdogRecovers) {
+  par::FaultPlan plan;
+  plan.stall_seconds = 0.5;
+  plan.entries.push_back({0, 0, par::FaultKind::kStall});
+  par::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.watchdog_seconds = 0.05;
+  policy.backoff_base_ms = 0.1;
+
+  obs::Registry baseline;
+  const auto want = resilient_workload(4, 1, {}, nullptr, baseline, nullptr);
+
+  obs::Registry scope;
+  par::DegradedReport degraded;
+  const auto got =
+      resilient_workload(4, 2, policy, &plan, scope, &degraded);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(scope.fingerprint(), baseline.fingerprint());
+  EXPECT_TRUE(degraded.quarantined.empty());
+  EXPECT_GE(degraded.stalls, 1u);
+}
+
+TEST(Retry, ExhaustedShardQuarantinedOthersSurvive) {
+  par::FaultPlan plan;
+  for (std::size_t attempt = 0; attempt < 3; ++attempt) {
+    plan.entries.push_back({3, attempt, par::FaultKind::kThrow});
+  }
+  par::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_base_ms = 0.1;
+
+  for (const std::size_t threads : {1u, 4u}) {
+    obs::Registry scope;
+    par::DegradedReport degraded;
+    const auto got =
+        resilient_workload(8, threads, policy, &plan, scope, &degraded);
+    ASSERT_TRUE(degraded.degraded()) << "threads=" << threads;
+    ASSERT_EQ(degraded.quarantined.size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(degraded.quarantined[0].index, 3u);
+    EXPECT_EQ(degraded.quarantined[0].attempts, 3u);
+    EXPECT_NE(degraded.quarantined[0].error.find("injected"),
+              std::string::npos);
+    // Every other shard's result survived the quarantine.
+    ASSERT_EQ(got.size(), 8u);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (i == 3) continue;
+      EXPECT_EQ(got[i], i * i) << "threads=" << threads;
+    }
+    EXPECT_NE(degraded.to_string().find("shard 3"), std::string::npos);
+  }
+}
+
+TEST(Retry, ExhaustedShardThrowsWithoutDegradedSink) {
+  par::FaultPlan plan;
+  plan.entries.push_back({2, 0, par::FaultKind::kThrow});
+  plan.entries.push_back({2, 1, par::FaultKind::kThrow});
+  par::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.backoff_base_ms = 0.1;
+  obs::Registry scope;
+  const obs::Registry::ScopedCurrent current(scope);
+  EXPECT_THROW((void)par::run_sharded_resilient(
+                   4, 2, policy, &plan,
+                   [](const par::ShardInfo& info) { return info.index; }),
+               std::runtime_error);
+}
+
+TEST(Retry, OpsCountersRecordRetriesAndQuarantines) {
+  par::FaultPlan plan;
+  plan.entries.push_back({0, 0, par::FaultKind::kThrow});
+  plan.entries.push_back({1, 0, par::FaultKind::kThrow});
+  plan.entries.push_back({1, 1, par::FaultKind::kThrow});
+  par::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.backoff_base_ms = 0.1;
+  obs::Registry scope;
+  par::DegradedReport degraded;
+  (void)resilient_workload(3, 2, policy, &plan, scope, &degraded);
+  EXPECT_EQ(scope.counter_value("par.shard_retry"), 2u);
+  EXPECT_EQ(scope.counter_value("par.shard_quarantine"), 1u);
+}
+
 // ------------------------------------------------- SoakRunner parallel
 
 Scenario budget_scenario() {
@@ -398,6 +634,81 @@ TEST(SoakRunnerParallel, InjectedFaultIdenticalAcrossThreadCounts) {
     expect_reports_identical(serial, parallel,
                              "threads=" + std::to_string(threads));
     EXPECT_EQ(fp, serial_fp) << "threads=" << threads;
+  }
+}
+
+// --------------------------------------- SoakRunner fault tolerance
+
+TEST(SoakRunnerRetry, TransientFaultsFingerprintIdenticalAcrossThreads) {
+  // Acceptance: a campaign with injected transient faults + retries is
+  // bit-identical to the fault-free campaign at any thread count.
+  SoakOptions probe_opts;
+  probe_opts.threads = 1;
+  std::uint64_t fault_free_fp = 0;
+  const SoakReport once =
+      run_scoped(budget_scenario(), probe_opts, fault_free_fp);
+  ASSERT_TRUE(once.ok());
+
+  SoakOptions base_opts;
+  base_opts.threads = 1;
+  base_opts.max_frames = once.frames_judged * 5;
+  std::uint64_t want_fp = 0;
+  const SoakReport want = run_scoped(budget_scenario(), base_opts, want_fp);
+  ASSERT_TRUE(want.ok());
+  ASSERT_GE(want.repeats, 3u);
+
+  // Repeats 1 and 2 fail on their first attempt, then recover.
+  par::FaultPlan plan;
+  plan.entries.push_back({1, 0, par::FaultKind::kThrow});
+  plan.entries.push_back({2, 0, par::FaultKind::kTorn});
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SoakOptions opts = base_opts;
+    opts.threads = threads;
+    opts.retry.max_attempts = 3;
+    opts.retry.backoff_base_ms = 0.1;
+    opts.fault_plan = plan;
+    std::uint64_t fp = 0;
+    const SoakReport got = run_scoped(budget_scenario(), opts, fp);
+    expect_reports_identical(want, got,
+                             "faulty threads=" + std::to_string(threads));
+    EXPECT_EQ(fp, want_fp) << "threads=" << threads;
+    EXPECT_EQ(got.degraded.retries, 2u) << "threads=" << threads;
+    EXPECT_FALSE(got.degraded.degraded()) << "threads=" << threads;
+  }
+}
+
+TEST(SoakRunnerRetry, ExhaustedRepeatQuarantinedCampaignSurvives) {
+  // Acceptance: one repeat exhausting its retries lands in the degraded
+  // report with its campaign coordinates; every other repeat survives
+  // and the campaign completes instead of aborting.
+  SoakOptions probe_opts;
+  probe_opts.threads = 1;
+  std::uint64_t ignored = 0;
+  const SoakReport once =
+      run_scoped(budget_scenario(), probe_opts, ignored);
+
+  par::FaultPlan plan;
+  plan.entries.push_back({1, 0, par::FaultKind::kThrow});
+  plan.entries.push_back({1, 1, par::FaultKind::kThrow});
+
+  for (const std::size_t threads : {1u, 4u}) {
+    SoakOptions opts;
+    opts.threads = threads;
+    opts.max_frames = once.frames_judged * 4;
+    opts.retry.max_attempts = 2;
+    opts.retry.backoff_base_ms = 0.1;
+    opts.fault_plan = plan;
+    std::uint64_t fp = 0;
+    const SoakReport got = run_scoped(budget_scenario(), opts, fp);
+    EXPECT_TRUE(got.ok()) << "threads=" << threads;
+    ASSERT_TRUE(got.degraded.degraded()) << "threads=" << threads;
+    ASSERT_EQ(got.degraded.quarantined.size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(got.degraded.quarantined[0].index, 1u);  // campaign repeat
+    EXPECT_EQ(got.degraded.quarantined[0].attempts, 2u);
+    // The campaign still hit its frame budget on the surviving repeats.
+    EXPECT_GE(got.frames_judged, opts.max_frames) << "threads=" << threads;
+    EXPECT_GE(got.repeats, 4u) << "threads=" << threads;
   }
 }
 

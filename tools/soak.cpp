@@ -38,10 +38,23 @@
 // end digests every counter and gauge so CI can diff serial vs parallel
 // runs with a string compare.
 //
+// Fault tolerance (docs/FAULT_TOLERANCE.md): --retry-attempts N retries
+// a throwing repeat shard up to N times on a fresh worker (a successful
+// retry is bit-identical to a first-try success); --shard-watchdog S
+// arms a per-shard wall-clock watchdog. Repeats that exhaust their
+// retries are quarantined into a degraded report instead of killing the
+// campaign. --checkpoint-dir DIR flushes a resumable checkpoint every
+// --checkpoint-every repeats (campaign mode needs exactly one scenario;
+// fuzz mode persists its corpus as fuzz_state.json); --resume reloads it
+// and continues — the resumed run's metrics fingerprint (and the fuzz
+// corpus digest) are bit-identical to an uninterrupted campaign.
+//
 // Exit codes: 0 = campaign clean, 1 = invariant violation (bundle
-// written when --bundle-dir is set), 2 = usage or scenario-file error.
+// written when --bundle-dir is set), 2 = usage or scenario-file error,
+// 3 = clean but degraded (some repeats quarantined after retries).
 
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -80,7 +93,52 @@ void usage() {
                "            [--fuzz] [--fuzz-rounds N] [--fuzz-batch N] "
                "[--fuzz-frames N]\n"
                "            [--fuzz-seed N] [--fuzz-inject] "
-               "[--corpus-dir DIR]\n");
+               "[--corpus-dir DIR]\n"
+               "            [--retry-attempts N] [--shard-watchdog SECONDS]\n"
+               "            [--checkpoint-dir DIR] [--checkpoint-every N] "
+               "[--resume]\n");
+}
+
+/// Strict non-negative integer flag parser: the whole value must be a
+/// base-10 unsigned integer ("--frames 12x", "--threads -3", and
+/// "--fuzz-seed" followed by nothing are all usage errors, not silent
+/// garbage). Exits 2 on any malformed value.
+std::uint64_t parse_u64(const char* flag, const char* text) {
+  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
+    std::fprintf(stderr, "soak: %s wants a non-negative integer, got \"%s\"\n",
+                 flag, text == nullptr ? "" : text);
+    usage();
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "soak: %s wants a non-negative integer, got \"%s\"\n",
+                 flag, text);
+    usage();
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Strict non-negative seconds parser for --shard-watchdog.
+double parse_seconds(const char* flag, const char* text) {
+  if (text == nullptr || *text == '\0') {
+    std::fprintf(stderr, "soak: %s wants non-negative seconds\n", flag);
+    usage();
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v >= 0.0)) {
+    std::fprintf(stderr, "soak: %s wants non-negative seconds, got \"%s\"\n",
+                 flag, text);
+    usage();
+    std::exit(2);
+  }
+  return v;
 }
 
 /// Export collected frame-lifecycle spans to the requested files.
@@ -147,6 +205,17 @@ void print_report(const Scenario& s, const SoakReport& r) {
   }
   if (!r.bundle_path.empty()) {
     std::printf("  repro bundle: %s\n", r.bundle_path.c_str());
+  }
+  if (r.resumed) {
+    std::printf("  resumed from checkpoint (%zu repeats carried over)\n",
+                r.resumed_repeats);
+  }
+  if (!r.checkpoint_path.empty()) {
+    std::printf("  checkpoint: %s\n", r.checkpoint_path.c_str());
+  }
+  if (r.degraded.degraded() || r.degraded.retries > 0 ||
+      r.degraded.stalls > 0) {
+    std::printf("  %s\n", r.degraded.to_string().c_str());
   }
 }
 
@@ -228,6 +297,14 @@ int fuzz_mode(const std::vector<Scenario>& seeds, const FuzzOptions& fopts,
               const std::string& corpus_dir) {
   const FuzzEngine engine(fopts);
   const FuzzReport report = engine.run(seeds);
+  if (!report.resume_error.empty()) {
+    std::fprintf(stderr, "soak: cannot resume fuzz state: %s\n",
+                 report.resume_error.c_str());
+    return 2;
+  }
+  if (report.resumed) {
+    std::printf("fuzz: resumed from saved fuzz state\n");
+  }
 
   std::printf("fuzz: %zu seeds, %zu rounds, %llu evals, corpus %zu "
               "(%llu admissions)\n",
@@ -304,7 +381,7 @@ int main(int argc, char** argv) {
     if (arg == "--scenario") {
       scenario_files.push_back(next());
     } else if (arg == "--frames") {
-      opts.max_frames = std::strtoull(next(), nullptr, 10);
+      opts.max_frames = parse_u64("--frames", next());
     } else if (arg == "--bundle-dir") {
       opts.bundle_dir = next();
     } else if (arg == "--shrink") {
@@ -314,8 +391,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics") {
       metrics_path = next();
     } else if (arg == "--threads") {
-      opts.threads =
-          carpool::par::resolve_threads(std::strtoll(next(), nullptr, 10));
+      opts.threads = carpool::par::resolve_threads(
+          static_cast<long long>(parse_u64("--threads", next())));
     } else if (arg == "--chrome-trace") {
       chrome_trace_path = next();
     } else if (arg == "--span-jsonl") {
@@ -329,17 +406,39 @@ int main(int argc, char** argv) {
     } else if (arg == "--fuzz") {
       do_fuzz = true;
     } else if (arg == "--fuzz-rounds") {
-      fuzz_opts.rounds = std::strtoull(next(), nullptr, 10);
+      fuzz_opts.rounds = parse_u64("--fuzz-rounds", next());
     } else if (arg == "--fuzz-batch") {
-      fuzz_opts.batch = std::strtoull(next(), nullptr, 10);
+      fuzz_opts.batch = parse_u64("--fuzz-batch", next());
     } else if (arg == "--fuzz-frames") {
-      fuzz_opts.eval_frames = std::strtoull(next(), nullptr, 10);
+      fuzz_opts.eval_frames = parse_u64("--fuzz-frames", next());
     } else if (arg == "--fuzz-seed") {
-      fuzz_opts.seed = std::strtoull(next(), nullptr, 10);
+      fuzz_opts.seed = parse_u64("--fuzz-seed", next());
     } else if (arg == "--fuzz-inject") {
       fuzz_opts.allow_inject = true;
     } else if (arg == "--corpus-dir") {
       corpus_dir = next();
+    } else if (arg == "--retry-attempts") {
+      const std::uint64_t n = parse_u64("--retry-attempts", next());
+      if (n == 0) {
+        std::fprintf(stderr, "soak: --retry-attempts wants >= 1\n");
+        usage();
+        return 2;
+      }
+      opts.retry.max_attempts = static_cast<std::size_t>(n);
+    } else if (arg == "--shard-watchdog") {
+      opts.retry.watchdog_seconds = parse_seconds("--shard-watchdog", next());
+    } else if (arg == "--checkpoint-dir") {
+      opts.checkpoint_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      const std::uint64_t n = parse_u64("--checkpoint-every", next());
+      if (n == 0) {
+        std::fprintf(stderr, "soak: --checkpoint-every wants >= 1\n");
+        usage();
+        return 2;
+      }
+      opts.checkpoint_every = static_cast<std::size_t>(n);
+    } else if (arg == "--resume") {
+      opts.resume = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -348,6 +447,12 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+
+  if (opts.resume && opts.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "soak: --resume needs --checkpoint-dir\n");
+    usage();
+    return 2;
   }
 
   // Span collection covers replay and campaign alike; the collector is
@@ -417,6 +522,8 @@ int main(int argc, char** argv) {
     fuzz_opts.threads = opts.threads;
     fuzz_opts.bundle_dir = opts.bundle_dir;
     fuzz_opts.rte_norm_bound = opts.rte_norm_bound;
+    fuzz_opts.checkpoint_dir = opts.checkpoint_dir;
+    fuzz_opts.resume = opts.resume;
     return fuzz_mode(scenarios, fuzz_opts, corpus_dir);
   }
 
@@ -428,6 +535,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // A campaign checkpoint names one scenario; a multi-scenario sweep
+  // would overwrite per-scenario files mid-flight and make --resume
+  // ambiguous about which campaign to continue.
+  if (!opts.checkpoint_dir.empty() && scenarios.size() != 1) {
+    std::fprintf(stderr,
+                 "soak: --checkpoint-dir needs exactly one --scenario "
+                 "(got %zu)\n",
+                 scenarios.size());
+    usage();
+    return 2;
+  }
+
   // With a campaign budget, split it evenly across the scenario set so
   // `--frames 1000000` means one million judgements total.
   SoakOptions per = opts;
@@ -436,12 +555,19 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 0;
+  bool any_degraded = false;
   std::uint64_t total_frames = 0;
   for (const Scenario& s : scenarios) {
     const SoakRunner runner(per);
     const SoakReport report = runner.run(s);
+    if (!report.resume_error.empty()) {
+      std::fprintf(stderr, "soak: cannot resume: %s\n",
+                   report.resume_error.c_str());
+      return 2;
+    }
     total_frames += report.frames_judged;
     print_report(s, report);
+    if (report.degraded.degraded()) any_degraded = true;
     if (!report.ok()) {
       exit_code = 1;
       if (do_shrink) {
@@ -478,5 +604,9 @@ int main(int argc, char** argv) {
       !export_spans(span_collector, chrome_trace_path, span_jsonl_path)) {
     return exit_code == 0 ? 2 : exit_code;
   }
+  // Clean but degraded: some repeats were quarantined after exhausting
+  // their retries. Distinct from 1 (violation) so CI can tell "campaign
+  // found a bug" from "campaign lost shards".
+  if (exit_code == 0 && any_degraded) return 3;
   return exit_code;
 }
