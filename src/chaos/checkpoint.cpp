@@ -1,5 +1,6 @@
 #include "chaos/checkpoint.hpp"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +8,11 @@
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "chaos/json.hpp"
 #include "obs/span.hpp"
@@ -59,11 +65,10 @@ bool parse_hex_u64(const JsonValue* v, std::uint64_t& out) {
 
 bool want_u64(const JsonValue* v, const char* path, std::uint64_t& out,
               ScenarioError& err) {
-  if (v == nullptr || !v->is_number() || v->as_number() < 0) {
-    err = {path, "expected a non-negative number"};
+  if (!json_to_u64(v, out)) {
+    err = {path, "expected a non-negative integer (<= 2^53)"};
     return false;
   }
-  out = static_cast<std::uint64_t>(v->as_number());
   return true;
 }
 
@@ -306,14 +311,13 @@ CheckpointParseResult checkpoint_from_json(std::string_view text) {
     return result;
   }
   for (const auto& [name, cv] : counters->as_object()) {
-    if (!cv.is_number() || cv.as_number() < 0) {
-      result.error = {"registry.counters." + name,
-                      "expected a non-negative number"};
-      return result;
-    }
     obs::MetricsSnapshot::CounterRow row;
     row.name = name;
-    row.value = static_cast<std::uint64_t>(cv.as_number());
+    if (!json_to_u64(&cv, row.value)) {
+      result.error = {"registry.counters." + name,
+                      "expected a non-negative integer (<= 2^53)"};
+      return result;
+    }
     ck.registry.counters.push_back(std::move(row));
   }
   const JsonValue* gauges = registry->find("gauges");
@@ -373,12 +377,13 @@ CheckpointParseResult checkpoint_from_json(std::string_view text) {
       row.bounds.push_back(b.as_number());
     }
     for (const JsonValue& b : buckets->as_array()) {
-      if (!b.is_number() || b.as_number() < 0) {
+      std::uint64_t bucket = 0;
+      if (!json_to_u64(&b, bucket)) {
         result.error = {"registry.histograms." + name + ".buckets",
-                        "expected non-negative numbers"};
+                        "expected non-negative integers (<= 2^53)"};
         return result;
       }
-      row.buckets.push_back(static_cast<std::uint64_t>(b.as_number()));
+      row.buckets.push_back(bucket);
     }
     if (row.buckets.size() != row.bounds.size() + 1) {
       result.error = {"registry.histograms." + name,
@@ -409,27 +414,72 @@ std::string checkpoint_path(const std::string& dir,
   return dir + "/checkpoint_" + safe + ".json";
 }
 
-bool write_checkpoint_file(const std::string& path,
-                           const CampaignCheckpoint& ck) {
+bool write_state_file_atomic(const std::string& path,
+                             std::string_view contents) {
   const std::filesystem::path target(path);
   std::error_code ec;
   if (target.has_parent_path()) {
     std::filesystem::create_directories(target.parent_path(), ec);
     // "already exists" is fine; real failures surface at the write below.
   }
-  const std::filesystem::path tmp(path + ".tmp");
+  const std::string tmp = path + ".tmp";
+#if defined(_WIN32)
+  // No portable fsync: fall back to plain buffered write + rename.
   {
-    std::ofstream out(tmp, std::ios::trunc);
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
     if (!out) return false;
-    out << checkpoint_to_json(ck);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
     if (!out) return false;
   }
-  std::filesystem::rename(tmp, target, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
+#else
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: otherwise a power loss after the rename can
+  // leave a zero-length or torn file under the *final* name, which a
+  // later --resume parses and aborts on.
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) {
+    std::filesystem::remove(std::filesystem::path(tmp), ec);
     return false;
   }
+#endif
+  std::filesystem::rename(std::filesystem::path(tmp), target, ec);
+  if (ec) {
+    std::filesystem::remove(std::filesystem::path(tmp), ec);
+    return false;
+  }
+#if !defined(_WIN32)
+  // Make the rename durable too. Best effort: the file data is already
+  // safe, and some filesystems reject opening directories.
+  const std::string dir = target.has_parent_path()
+                              ? target.parent_path().string()
+                              : std::string(".");
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
   return true;
+}
+
+bool write_checkpoint_file(const std::string& path,
+                           const CampaignCheckpoint& ck) {
+  return write_state_file_atomic(path, checkpoint_to_json(ck));
 }
 
 CampaignCheckpoint make_checkpoint(const Scenario& scenario,

@@ -93,9 +93,20 @@ struct CheckpointParseResult {
 [[nodiscard]] std::string checkpoint_path(const std::string& dir,
                                           const std::string& scenario_name);
 
-/// Serialize + write atomically (temp file in the same directory, then
-/// rename), creating `dir` pieces as needed. Returns false on any I/O
-/// failure — a failed flush must never corrupt the previous checkpoint.
+/// Write `contents` to `path` atomically and durably: temp file in the
+/// same directory, flushed and fsync'd, then renamed over `path`, with
+/// the directory fsync'd afterwards so the rename itself survives a
+/// power loss (without the syncs, a crash can leave the renamed file
+/// empty or torn — and a torn state file turns `--resume` into an
+/// abort). Creates parent directories as needed. Returns false on any
+/// I/O failure and never corrupts an existing file at `path`. Shared by
+/// the campaign checkpoint and fuzz-state writers.
+[[nodiscard]] bool write_state_file_atomic(const std::string& path,
+                                           std::string_view contents);
+
+/// Serialize + write via write_state_file_atomic. Returns false on any
+/// I/O failure — a failed flush must never corrupt the previous
+/// checkpoint.
 [[nodiscard]] bool write_checkpoint_file(const std::string& path,
                                          const CampaignCheckpoint& ck);
 

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <utility>
 
+#include "chaos/checkpoint.hpp"
 #include "chaos/json.hpp"
 #include "chaos/shrink.hpp"
 #include "par/par.hpp"
@@ -405,10 +406,9 @@ bool fuzz_state_from_json(std::string_view text, std::uint64_t fuzz_seed,
     return false;
   }
   const JsonValue& root = *parsed.value;
-  const JsonValue* version = root.find("schema_version");
-  if (version == nullptr || !version->is_number() ||
-      static_cast<std::int64_t>(version->as_number()) !=
-          kFuzzStateSchemaVersion) {
+  std::uint64_t version = 0;
+  if (!json_to_u64(root.find("schema_version"), version) ||
+      version != static_cast<std::uint64_t>(kFuzzStateSchemaVersion)) {
     error = "fuzz state: unsupported schema_version";
     return false;
   }
@@ -422,19 +422,20 @@ bool fuzz_state_from_json(std::string_view text, std::uint64_t fuzz_seed,
             std::to_string(seed) + ")";
     return false;
   }
-  const JsonValue* rounds = root.find("rounds_run");
-  const JsonValue* evals = root.find("evals");
-  const JsonValue* adds = root.find("corpus_adds");
+  std::uint64_t rounds = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t adds = 0;
   const JsonValue* corpus = root.find("corpus");
-  if (rounds == nullptr || !rounds->is_number() || evals == nullptr ||
-      !evals->is_number() || adds == nullptr || !adds->is_number() ||
-      corpus == nullptr || !corpus->is_array()) {
+  if (!json_to_u64(root.find("rounds_run"), rounds) ||
+      !json_to_u64(root.find("evals"), evals) ||
+      !json_to_u64(root.find("corpus_adds"), adds) || corpus == nullptr ||
+      !corpus->is_array()) {
     error = "fuzz state: missing campaign fields";
     return false;
   }
-  report.rounds_run = static_cast<std::size_t>(rounds->as_number());
-  report.evals = static_cast<std::uint64_t>(evals->as_number());
-  report.corpus_adds = static_cast<std::uint64_t>(adds->as_number());
+  report.rounds_run = static_cast<std::size_t>(rounds);
+  report.evals = evals;
+  report.corpus_adds = adds;
   for (const JsonValue& ev : corpus->as_array()) {
     CorpusEntry entry;
     if (!parse_hex_u64(ev.find("signature"), entry.signature)) {
@@ -442,17 +443,17 @@ bool fuzz_state_from_json(std::string_view text, std::uint64_t fuzz_seed,
       return false;
     }
     const JsonValue* margin = ev.find("min_margin");
-    const JsonValue* round = ev.find("round");
     const JsonValue* op = ev.find("op");
     const JsonValue* scenario = ev.find("scenario");
-    if (margin == nullptr || !margin->is_number() || round == nullptr ||
-        !round->is_number() || op == nullptr || !op->is_string() ||
-        scenario == nullptr) {
+    std::uint64_t round = 0;
+    if (margin == nullptr || !margin->is_number() ||
+        !json_to_u64(ev.find("round"), round) || op == nullptr ||
+        !op->is_string() || scenario == nullptr) {
       error = "fuzz state: malformed corpus entry";
       return false;
     }
     entry.min_margin = margin->as_number();
-    entry.round = static_cast<std::size_t>(round->as_number());
+    entry.round = static_cast<std::size_t>(round);
     entry.op = op->as_string();
     const ScenarioParseResult sp = scenario_from_value(*scenario);
     if (!sp.ok()) {
@@ -467,24 +468,10 @@ bool fuzz_state_from_json(std::string_view text, std::uint64_t fuzz_seed,
 
 bool write_fuzz_state(const std::string& path, const FuzzReport& report,
                       std::uint64_t fuzz_seed) {
-  const std::filesystem::path target(path);
-  std::error_code ec;
-  if (target.has_parent_path()) {
-    std::filesystem::create_directories(target.parent_path(), ec);
-  }
-  const std::filesystem::path tmp(path + ".tmp");
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return false;
-    out << fuzz_state_to_json(report, fuzz_seed);
-    if (!out) return false;
-  }
-  std::filesystem::rename(tmp, target, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return false;
-  }
-  return true;
+  // Durable atomic write (fsync + rename) shared with the campaign
+  // checkpoint; see write_state_file_atomic.
+  return write_state_file_atomic(path,
+                                 fuzz_state_to_json(report, fuzz_seed));
 }
 
 }  // namespace

@@ -395,4 +395,16 @@ std::string json_dump(const JsonValue& value) {
   return out;
 }
 
+bool json_to_u64(const JsonValue* v, std::uint64_t& out) noexcept {
+  if (v == nullptr || !v->is_number()) return false;
+  const double d = v->as_number();
+  // 2^53: the largest range where every integer has an exact double
+  // representation. `!(d >= 0.0)` also rejects NaN.
+  constexpr double kMaxExact = 9007199254740992.0;
+  if (!(d >= 0.0) || d > kMaxExact) return false;
+  if (d != std::floor(d)) return false;
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
 }  // namespace carpool::chaos

@@ -108,6 +108,15 @@ struct JsonParseResult {
 /// and seeds round-trip textually.
 [[nodiscard]] std::string json_dump(const JsonValue& value);
 
+/// Validated number -> u64 for the double-backed state-file schemas:
+/// true iff `v` is a finite, integral JSON number within [0, 2^53] (the
+/// precision bound the format already assumes). Guards the static_cast
+/// in never-throwing parsers — converting NaN, an infinity, or an
+/// out-of-range double to an integer is undefined behaviour, and a
+/// corrupted or hand-edited file must become a diagnostic, not UB.
+[[nodiscard]] bool json_to_u64(const JsonValue* v,
+                               std::uint64_t& out) noexcept;
+
 // ------------------------------------------------- building convenience
 
 /// Append a member to an object under construction.

@@ -693,7 +693,24 @@ std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t repeat,
 }
 
 SoakReport SoakRunner::run(const Scenario& scenario) const {
-  Scenario s = scenario;
+  // Everything a detached repeat job reads lives in this jointly-owned
+  // block: parallel wave jobs capture the shared_ptr by value, so a
+  // watchdog-abandoned attempt thread (detached in
+  // par::detail::run_attempt_with_watchdog) that outlives this frame —
+  // or this SoakRunner — still runs against live scenario, episode,
+  // topology, and option state instead of dangling references. Episode
+  // phase pointers alias ctx->s.traffic, which is why the scenario and
+  // its episodes must share one lifetime.
+  struct CampaignCtx {
+    Scenario s;
+    SoakOptions opts;
+    std::optional<TopoCtx> topo;
+    std::vector<Episode> episodes;
+  };
+  auto ctx = std::make_shared<CampaignCtx>();
+  ctx->s = scenario;
+  ctx->opts = opts_;
+  Scenario& s = ctx->s;
   if (s.traffic.empty()) {
     // An empty mix would soak an idle channel; default to the steady CBR
     // load every built-in scenario uses.
@@ -773,8 +790,8 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
   // Multi-BSS topology: build the campus once per campaign and cut the
   // timeline at handover instants so every episode slice has constant
   // associations (docs/MULTI_AP.md).
-  const std::optional<TopoCtx> topo_ctx = make_topo_ctx(s);
-  const TopoCtx* topo = topo_ctx.has_value() ? &*topo_ctx : nullptr;
+  ctx->topo = make_topo_ctx(s);
+  const TopoCtx* topo = ctx->topo.has_value() ? &*ctx->topo : nullptr;
   if (topo != nullptr && !report.resumed) {
     obs::Registry& reg = obs::Registry::current();
     reg.counter("mac.roam_handover")
@@ -793,9 +810,10 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
                   static_cast<double>(cochannel_pairs));
   }
 
-  const std::vector<Episode> episodes = segment_timeline(
+  ctx->episodes = segment_timeline(
       s, topo != nullptr ? topo->timeline.handover_times()
                          : std::vector<double>{});
+  const std::vector<Episode>& episodes = ctx->episodes;
   const std::size_t max_repeats =
       std::max<std::size_t>(1, opts_.max_repeats);
   const std::size_t threads =
@@ -877,9 +895,18 @@ SoakReport SoakRunner::run(const Scenario& scenario) const {
       const std::size_t wave =
           std::min(std::max<std::size_t>(1, threads),
                    max_repeats - next_repeat);
-      const auto repeat_job = [&](const par::ShardInfo& info) {
-        return run_one_repeat(s, episodes, topo, next_repeat + info.index,
-                              /*campaign_base=*/0, opts_,
+      // Captures by value only: `base` because this thread mutates
+      // next_repeat while detached attempts may still be running, and
+      // `ctx` so an abandoned attempt keeps the campaign state alive
+      // (run_sharded_resilient copies the callable into shared state
+      // that outlives this frame).
+      const std::size_t base = next_repeat;
+      const auto repeat_job = [ctx, base](const par::ShardInfo& info) {
+        const TopoCtx* job_topo =
+            ctx->topo.has_value() ? &*ctx->topo : nullptr;
+        return run_one_repeat(ctx->s, ctx->episodes, job_topo,
+                              base + info.index,
+                              /*campaign_base=*/0, ctx->opts,
                               /*live=*/false);
       };
       par::Sharded<RepeatOutcome> shards;

@@ -371,9 +371,12 @@ template <class Fn>
 
   // The callable is shared so a watchdog-abandoned attempt thread can
   // keep running it safely after this frame returns control to the
-  // caller. (Anything the callable *captures by reference* must outlive
-  // abandoned attempts too; the soak runner satisfies this because its
-  // campaign state outlives every wave.)
+  // caller. Anything the callable needs must be captured *by value*
+  // (cheap handles or shared_ptr ownership) when a watchdog is armed:
+  // an abandoned attempt can outlive not just this frame but the
+  // caller's entire stack, so by-reference captures of locals are a
+  // use-after-scope waiting to happen. (The soak runner's wave jobs
+  // capture a shared_ptr campaign context for exactly this reason.)
   auto shared_fn = std::make_shared<std::decay_t<Fn>>(std::forward<Fn>(fn));
 
   struct ShardState {
@@ -387,93 +390,113 @@ template <class Fn>
   const std::size_t max_attempts = std::max<std::size_t>(1, policy.max_attempts);
   const double stall_seconds = faults != nullptr ? faults->stall_seconds : 0.0;
 
-  // Runs one shard's full attempt loop; never throws.
+  // Runs one shard's full attempt loop. Job exceptions are captured per
+  // attempt inside `body`; this outer try/catch additionally contains
+  // failures of the retry machinery itself (allocation of attempt
+  // state, error-string construction) by quarantining the shard — a
+  // bad_alloc here must not escape into ThreadPool::wait() and abort
+  // the very campaign this machinery exists to keep alive.
   auto run_shard = [&out, &states, &policy, faults, shared_fn, jobs,
                     max_attempts, stall_seconds,
-                    collect_spans](std::size_t i) noexcept {
+                    collect_spans](std::size_t i) {
     ShardState& st = states[i];
-    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
-      if (attempt > 0) detail::backoff_sleep(policy.backoff_ms(i, attempt));
-      st.attempts = attempt + 1;
-      const FaultKind fault =
-          faults != nullptr ? faults->at(i, attempt) : FaultKind::kNone;
+    try {
+      for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+          detail::backoff_sleep(policy.backoff_ms(i, attempt));
+        }
+        st.attempts = attempt + 1;
+        const FaultKind fault =
+            faults != nullptr ? faults->at(i, attempt) : FaultKind::kNone;
 
-      // Attempt-local state owned jointly with the attempt body, so an
-      // abandoned attempt finishes (or dies) against live memory.
-      struct Attempt {
-        std::unique_ptr<obs::Registry> metrics =
-            std::make_unique<obs::Registry>();
-        std::unique_ptr<obs::SpanCollector> spans;
-        R result{};
-        std::exception_ptr error;
-      };
-      auto att = std::make_shared<Attempt>();
-      if (collect_spans) att->spans = std::make_unique<obs::SpanCollector>();
+        // Attempt-local state owned jointly with the attempt body, so an
+        // abandoned attempt finishes (or dies) against live memory.
+        struct Attempt {
+          std::unique_ptr<obs::Registry> metrics =
+              std::make_unique<obs::Registry>();
+          std::unique_ptr<obs::SpanCollector> spans;
+          R result{};
+          std::exception_ptr error;
+        };
+        auto att = std::make_shared<Attempt>();
+        if (collect_spans) {
+          att->spans = std::make_unique<obs::SpanCollector>();
+        }
 
-      auto body = [att, shared_fn, i, jobs, fault, stall_seconds] {
-        const obs::Registry::ScopedCurrent scope(*att->metrics);
-        std::optional<obs::SpanCollector::ScopedCurrent> span_scope;
-        if (att->spans != nullptr) span_scope.emplace(*att->spans);
-        try {
-          const ShardInfo info{i, jobs, att->metrics.get(),
-                               att->spans.get()};
-          R r = (*shared_fn)(info);
-          switch (fault) {
-            case FaultKind::kThrow:
-              throw detail::InjectedFault("injected fault (shard " +
-                                          std::to_string(i) + ")");
-            case FaultKind::kStall:
-              std::this_thread::sleep_for(
-                  std::chrono::duration<double>(stall_seconds));
-              break;
-            case FaultKind::kTorn:
-              r = R{};
-              break;
-            case FaultKind::kNone:
-              break;
+        auto body = [att, shared_fn, i, jobs, fault, stall_seconds] {
+          const obs::Registry::ScopedCurrent scope(*att->metrics);
+          std::optional<obs::SpanCollector::ScopedCurrent> span_scope;
+          if (att->spans != nullptr) span_scope.emplace(*att->spans);
+          try {
+            const ShardInfo info{i, jobs, att->metrics.get(),
+                                 att->spans.get()};
+            R r = (*shared_fn)(info);
+            switch (fault) {
+              case FaultKind::kThrow:
+                throw detail::InjectedFault("injected fault (shard " +
+                                            std::to_string(i) + ")");
+              case FaultKind::kStall:
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(stall_seconds));
+                break;
+              case FaultKind::kTorn:
+                r = R{};
+                break;
+              case FaultKind::kNone:
+                break;
+            }
+            att->result = std::move(r);
+          } catch (...) {
+            att->error = std::current_exception();
           }
-          att->result = std::move(r);
-        } catch (...) {
-          att->error = std::current_exception();
+        };
+
+        bool finished = true;
+        if (policy.watchdog_seconds > 0.0) {
+          finished = detail::run_attempt_with_watchdog(
+              body, policy.watchdog_seconds);
+        } else {
+          body();
         }
-      };
 
-      bool finished = true;
-      if (policy.watchdog_seconds > 0.0) {
-        finished =
-            detail::run_attempt_with_watchdog(body, policy.watchdog_seconds);
-      } else {
-        body();
-      }
-
-      if (!finished) {
-        ++st.stalls;
-        st.error = "stall: watchdog expired after " +
-                   std::to_string(policy.watchdog_seconds) + "s";
-        continue;
-      }
-      if (att->error != nullptr) {
-        try {
-          std::rethrow_exception(att->error);
-        } catch (const std::exception& e) {
-          st.error = e.what();
-        } catch (...) {
-          st.error = "unknown exception";
+        if (!finished) {
+          ++st.stalls;
+          st.error = "stall: watchdog expired after " +
+                     std::to_string(policy.watchdog_seconds) + "s";
+          continue;
         }
-        continue;
-      }
-      if (fault == FaultKind::kTorn) {
-        st.error = "torn result (injected)";
-        continue;
-      }
+        if (att->error != nullptr) {
+          try {
+            std::rethrow_exception(att->error);
+          } catch (const std::exception& e) {
+            st.error = e.what();
+          } catch (...) {
+            st.error = "unknown exception";
+          }
+          continue;
+        }
+        if (fault == FaultKind::kTorn) {
+          st.error = "torn result (injected)";
+          continue;
+        }
 
-      // Success: commit this attempt's outputs. Failed attempts above
-      // never reach here, so their metric/span state is dropped whole.
-      out.results[i] = std::move(att->result);
-      out.metrics[i] = std::move(att->metrics);
-      if (collect_spans) out.spans[i] = std::move(att->spans);
-      st.ok = true;
-      return;
+        // Success: commit this attempt's outputs. Failed attempts above
+        // never reach here, so their metric/span state is dropped whole.
+        out.results[i] = std::move(att->result);
+        out.metrics[i] = std::move(att->metrics);
+        if (collect_spans) out.spans[i] = std::move(att->spans);
+        st.ok = true;
+        return;
+      }
+    } catch (const std::exception& e) {
+      st.ok = false;
+      try {
+        st.error = e.what();
+      } catch (...) {
+        st.error.clear();
+      }
+    } catch (...) {
+      st.ok = false;
     }
   };
 

@@ -5,6 +5,8 @@
 // parser: malformed numbers, truncated documents, duplicate keys, and
 // pathological nesting depth.
 
+#include <cstdint>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -242,6 +244,38 @@ TEST(TopologySchema, ViolationsReportDottedPaths) {
         << "error path '" << r.error.path << "' for " << c.json;
     EXPECT_FALSE(r.error.message.empty());
   }
+}
+
+// ---------------------------------------------------------- json_to_u64
+
+TEST(ChaosJsonToU64, AcceptsExactIntegersOnly) {
+  std::uint64_t out = 0;
+  const JsonValue zero(0.0);
+  EXPECT_TRUE(json_to_u64(&zero, out));
+  EXPECT_EQ(out, 0u);
+  const JsonValue big(9007199254740992.0);  // 2^53, the last exact one
+  EXPECT_TRUE(json_to_u64(&big, out));
+  EXPECT_EQ(out, 9007199254740992ull);
+}
+
+TEST(ChaosJsonToU64, RejectsEverythingTheCastCannotRepresent) {
+  // Each of these would be an undefined static_cast<uint64_t> if it
+  // reached the conversion: NaN passes a naive `< 0` check, 1e300 and
+  // infinity overflow, and fractions silently truncate.
+  std::uint64_t out = 0;
+  const JsonValue negative(-1.0);
+  const JsonValue fractional(1.5);
+  const JsonValue huge(1e300);
+  const JsonValue inf(std::numeric_limits<double>::infinity());
+  const JsonValue nan(std::numeric_limits<double>::quiet_NaN());
+  const JsonValue text(std::string("7"));
+  EXPECT_FALSE(json_to_u64(&negative, out));
+  EXPECT_FALSE(json_to_u64(&fractional, out));
+  EXPECT_FALSE(json_to_u64(&huge, out));
+  EXPECT_FALSE(json_to_u64(&inf, out));
+  EXPECT_FALSE(json_to_u64(&nan, out));
+  EXPECT_FALSE(json_to_u64(&text, out));
+  EXPECT_FALSE(json_to_u64(nullptr, out));
 }
 
 }  // namespace

@@ -142,6 +142,36 @@ TEST(Checkpoint, ParserRejectsMalformedDocuments) {
   EXPECT_FALSE(chaos::checkpoint_from_json(text).ok());
 }
 
+TEST(Checkpoint, ParserRejectsNonIntegralAndOutOfRangeNumbers) {
+  // A corrupted or hand-edited checkpoint must become a shape error,
+  // never an undefined double->uint64 cast (1e300 overflows, 1.5 is not
+  // a count, -1 is negative). Exercised on a count field and a counter.
+  const std::string text = chaos::checkpoint_to_json(sample_checkpoint());
+  const auto with = [&](const std::string& needle,
+                        const std::string& replacement) {
+    std::string t = text;
+    const std::size_t at = t.find(needle);
+    EXPECT_NE(at, std::string::npos) << needle;
+    if (at != std::string::npos) t.replace(at, needle.size(), replacement);
+    return t;
+  };
+  EXPECT_FALSE(chaos::checkpoint_from_json(
+                   with("\"frames_judged\": 123456",
+                        "\"frames_judged\": 1e300"))
+                   .ok());
+  EXPECT_FALSE(chaos::checkpoint_from_json(
+                   with("\"frames_judged\": 123456",
+                        "\"frames_judged\": 1.5"))
+                   .ok());
+  EXPECT_FALSE(chaos::checkpoint_from_json(
+                   with("\"frames_judged\": 123456",
+                        "\"frames_judged\": -1"))
+                   .ok());
+  EXPECT_FALSE(chaos::checkpoint_from_json(
+                   with("\"mac.frames\": 100", "\"mac.frames\": 1e300"))
+                   .ok());
+}
+
 TEST(Checkpoint, DigestsPinScenarioAndSemanticOptions) {
   const Scenario a = ckpt_scenario();
   Scenario b = a;

@@ -6,6 +6,9 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -234,6 +237,46 @@ TEST(FuzzResume, SeedMismatchIsRejected) {
   }
   FuzzOptions o = quick_opts();
   o.seed = 8;  // a different campaign
+  o.checkpoint_dir = dir.string();
+  o.resume = true;
+  obs::Registry reg;
+  const obs::Registry::ScopedCurrent scope(reg);
+  const FuzzReport rejected = FuzzEngine(o).run({small_steady()});
+  EXPECT_FALSE(rejected.resume_error.empty());
+  EXPECT_EQ(rejected.rounds_run, 0u);
+  EXPECT_TRUE(rejected.corpus.empty());
+}
+
+TEST(FuzzResume, OutOfRangeNumbersInStateFileAreRejected) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "fuzz_resume_range";
+  std::filesystem::remove_all(dir);
+  {
+    FuzzOptions o = quick_opts();
+    o.checkpoint_dir = dir.string();
+    obs::Registry reg;
+    const obs::Registry::ScopedCurrent scope(reg);
+    (void)FuzzEngine(o).run({small_steady()});
+  }
+  // Corrupt rounds_run into a value no uint64 can hold: the resume must
+  // surface a parse error, not hit an undefined cast.
+  const std::filesystem::path state = dir / "fuzz_state.json";
+  ASSERT_TRUE(std::filesystem::exists(state));
+  std::string text;
+  {
+    std::ifstream in(state);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::string needle = "\"rounds_run\": ";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t value_end = text.find_first_of(",\n", at + needle.size());
+  ASSERT_NE(value_end, std::string::npos);
+  text.replace(at + needle.size(), value_end - at - needle.size(), "1e300");
+  std::ofstream(state, std::ios::trunc) << text;
+
+  FuzzOptions o = quick_opts();
   o.checkpoint_dir = dir.string();
   o.resume = true;
   obs::Registry reg;
