@@ -364,6 +364,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_threads = par::resolve_threads(std::strtoll(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--kernel") == 0) {
+      carpool::bench::apply_kernel_flag(argv[0],
+                                        i + 1 < argc ? argv[++i] : nullptr);
     }
   }
   ablate_rte_alpha();

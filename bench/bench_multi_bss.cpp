@@ -49,6 +49,8 @@ int run(int argc, char** argv) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<int>(
           par::resolve_threads(std::strtoll(argv[++i], nullptr, 10)));
+    } else if (std::strcmp(argv[i], "--kernel") == 0) {
+      apply_kernel_flag(argv[0], i + 1 < argc ? argv[++i] : nullptr);
     }
   }
   banner("Multi-BSS", "aggregate goodput vs AP count",

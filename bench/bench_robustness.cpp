@@ -79,6 +79,8 @@ int run(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_threads = par::resolve_threads(std::strtoll(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--kernel") == 0) {
+      apply_kernel_flag(argv[0], i + 1 < argc ? argv[++i] : nullptr);
     }
   }
   banner("Robustness", "goodput vs impairment intensity",

@@ -17,6 +17,7 @@
 #include "channel/fading.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "dsp/kernels.hpp"
 #include "obs/registry.hpp"
 #include "obs/stats_writer.hpp"
 #include "phy/frame.hpp"
@@ -74,6 +75,28 @@ inline void write_metrics(const std::string& name) {
 /// global one via the deterministic merge.
 inline void gauge(const std::string& name, double value) {
   obs::Registry::current().set_gauge(name, value);
+}
+
+/// Strict --kernel flag handling shared by the bench CLIs (the
+/// resolve_threads flag-hardening rule): an unknown backend name or a
+/// tier this CPU cannot run is a usage error (exit 2), never a silent
+/// fallback. On success the selection applies process-wide.
+inline void apply_kernel_flag(const char* prog, const char* text) {
+  switch (dsp::select_kernel(text == nullptr ? "" : text)) {
+    case dsp::KernelSelect::kOk:
+      return;
+    case dsp::KernelSelect::kUnavailable:
+      std::fprintf(stderr, "%s: --kernel %s is not supported on this CPU (%s)\n",
+                   prog, text, dsp::kernel_info().c_str());
+      std::exit(2);
+    case dsp::KernelSelect::kUnknown:
+      break;
+  }
+  std::fprintf(stderr,
+               "%s: --kernel wants auto|scalar|simd|sse2|avx2|avx512, got "
+               "\"%s\"\n",
+               prog, text == nullptr ? "" : text);
+  std::exit(2);
 }
 
 inline void banner(const char* figure, const char* what,

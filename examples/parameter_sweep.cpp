@@ -5,6 +5,7 @@
 //   ./parameter_sweep [out.csv]                (default: stdout)
 //   ./parameter_sweep --link-policy [out.csv]
 //   ./parameter_sweep --threads 0 out.csv      (all cores, same CSV)
+//   ./parameter_sweep --kernel scalar out.csv  (pin the DSP backend)
 //
 // Grid points fan across carpool::par workers (--threads N /
 // CARPOOL_THREADS, docs/PARALLELISM.md); rows are emitted in grid order
@@ -24,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "dsp/kernels.hpp"
 #include "mac/simulator.hpp"
 #include "par/par.hpp"
 #include "traffic/generators.hpp"
@@ -205,6 +207,26 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_threads =
           carpool::par::resolve_threads(std::strtoll(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--kernel") == 0) {
+      // Strict like --threads env hardening: a bad name is a usage
+      // error, not a silent fallback (docs/KERNELS.md).
+      const char* val = i + 1 < argc ? argv[++i] : "";
+      switch (carpool::dsp::select_kernel(val)) {
+        case carpool::dsp::KernelSelect::kOk:
+          break;
+        case carpool::dsp::KernelSelect::kUnavailable:
+          std::fprintf(stderr,
+                       "parameter_sweep: --kernel %s is not supported on "
+                       "this CPU (%s)\n",
+                       val, carpool::dsp::kernel_info().c_str());
+          return 2;
+        case carpool::dsp::KernelSelect::kUnknown:
+          std::fprintf(stderr,
+                       "parameter_sweep: --kernel wants "
+                       "auto|scalar|simd|sse2|avx2|avx512, got \"%s\"\n",
+                       val);
+          return 2;
+      }
     } else {
       path = argv[i];
     }

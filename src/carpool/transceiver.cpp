@@ -314,9 +314,11 @@ CarpoolRxResult CarpoolReceiver::receive_impl(
       // reference chain alive and mirrors the paper's sampling-without-
       // decoding energy optimisation).
       double phase = sig_eq.phase_offset;
+      const CxVec track_bins =
+          extract_symbols(wave.subspan(pos + kSymbolLen), n_sym);
       for (std::size_t j = 0; j < n_sym; ++j) {
-        const std::size_t off = pos + (1 + j) * kSymbolLen;
-        const CxVec bins = extract_symbol(wave.subspan(off, kSymbolLen));
+        const std::span<const Cx> bins(track_bins.data() + j * kFftSize,
+                                       kFftSize);
         phase = equalize_symbol(bins, h, sym_idx + 1 + j).phase_offset;
       }
       prev_phase = phase;
@@ -430,9 +432,11 @@ CarpoolRxResult CarpoolReceiver::receive_impl(
 
     SoftBits soft;
     soft.reserve(n_avail * m.n_cbps);
+    const CxVec sub_bins =
+        extract_symbols(wave.subspan(pos + kSymbolLen), n_avail);
     for (std::size_t j = 0; j < n_avail; ++j) {
-      const std::size_t off = pos + (1 + j) * kSymbolLen;
-      const CxVec bins = extract_symbol(wave.subspan(off, kSymbolLen));
+      const std::span<const Cx> bins(sub_bins.data() + j * kFftSize,
+                                     kFftSize);
       const SymbolEqualization eq = equalize_symbol(bins, h, sym_idx + 1 + j);
       const Bits hard = demap_symbol_hard(eq.data, m);
       sub.raw_symbol_bits.push_back(hard);
@@ -443,9 +447,9 @@ CarpoolRxResult CarpoolReceiver::receive_impl(
         sub.side_bits.push_back(outcome.side_bits);
         CxVec ref = remap_symbol(hard, m);
         const double sym_evm = evm(eq.data, ref);
-        pending.push_back(PendingPilot{bins, std::move(ref),
-                                       eq.phase_offset, sym_idx + 1 + j,
-                                       sym_evm});
+        pending.push_back(PendingPilot{CxVec(bins.begin(), bins.end()),
+                                       std::move(ref), eq.phase_offset,
+                                       sym_idx + 1 + j, sym_evm});
         OBS_TRACE(config_.trace,
                   obs_ts.event("phy.symbol")
                       .f("sym", static_cast<std::uint64_t>(sym_idx + 1 + j))

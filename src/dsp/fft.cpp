@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.hpp"
+
 namespace carpool {
 namespace {
 
@@ -13,33 +15,11 @@ void check_size(std::size_t n) {
   }
 }
 
-/// Core iterative radix-2 transform; sign = -1 forward, +1 inverse.
+/// Radix-2 transform via the active kernel backend (docs/KERNELS.md);
+/// sign = -1 forward, +1 inverse.
 void transform(std::span<Cx> data, int sign) {
-  const std::size_t n = data.size();
-  check_size(n);
-
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = sign * kTwoPi / static_cast<double>(len);
-    const Cx wlen = cx_exp(angle);
-    for (std::size_t i = 0; i < n; i += len) {
-      Cx w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Cx u = data[i + k];
-        const Cx v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
+  check_size(data.size());
+  dsp::active_backend().fft(data.data(), data.size(), sign);
 }
 
 }  // namespace

@@ -1,0 +1,22 @@
+#pragma once
+
+// Internal: per-tier backend tables. Each SIMD translation unit is
+// compiled with its tier's -m flags (see src/dsp/CMakeLists.txt) and
+// returns null when the tier is not compiled for this architecture;
+// kernels.cpp pairs these with runtime CPU detection.
+
+#include "dsp/kernels.hpp"
+
+namespace carpool::dsp::detail {
+
+const KernelBackend* sse2_backend() noexcept;
+const KernelBackend* avx2_backend() noexcept;
+const KernelBackend* avx512_backend() noexcept;
+
+/// Env-string resolution behind active_backend()'s CARPOOL_KERNEL step,
+/// split out so tests can drive it without mutating the process
+/// environment: unset/"auto" -> best, garbage -> warn once + bump
+/// dsp.kernel_env_invalid + scalar, unsupported tier -> warn + best.
+const KernelBackend* resolve_env_value(const char* env);
+
+}  // namespace carpool::dsp::detail

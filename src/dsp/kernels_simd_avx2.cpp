@@ -1,0 +1,16 @@
+// AVX2-width tier: 4 doubles (2 complexes) per vector. This TU gets
+// -mavx2 on x86 (src/dsp/CMakeLists.txt); kernels.cpp only dispatches
+// here when __builtin_cpu_supports("avx2") says the host can run it.
+
+#define CARPOOL_KV_LANES 4
+#define CARPOOL_KV_NS simd_avx2
+#define CARPOOL_KV_NAME "avx2"
+#include "dsp/kernels_simd_impl.hpp"
+
+namespace carpool::dsp::detail {
+
+const KernelBackend* avx2_backend() noexcept {
+  return &simd_avx2::kBackend;
+}
+
+}  // namespace carpool::dsp::detail

@@ -1,0 +1,17 @@
+// AVX-512-width tier: 8 doubles (4 complexes) per vector. This TU gets
+// -mavx512f on x86 (src/dsp/CMakeLists.txt); kernels.cpp only
+// dispatches here when __builtin_cpu_supports("avx512f") passes, which
+// includes the XCR0 check for OS register-state support.
+
+#define CARPOOL_KV_LANES 8
+#define CARPOOL_KV_NS simd_avx512
+#define CARPOOL_KV_NAME "avx512"
+#include "dsp/kernels_simd_impl.hpp"
+
+namespace carpool::dsp::detail {
+
+const KernelBackend* avx512_backend() noexcept {
+  return &simd_avx512::kBackend;
+}
+
+}  // namespace carpool::dsp::detail

@@ -1,0 +1,16 @@
+// SSE2-width tier: 2 doubles (1 complex) per vector. Compiled with the
+// toolchain baseline only — on x86-64 SSE2 is guaranteed, so this tier
+// is the floor the "simd" selection can always fall back to.
+
+#define CARPOOL_KV_LANES 2
+#define CARPOOL_KV_NS simd_sse2
+#define CARPOOL_KV_NAME "sse2"
+#include "dsp/kernels_simd_impl.hpp"
+
+namespace carpool::dsp::detail {
+
+const KernelBackend* sse2_backend() noexcept {
+  return &simd_sse2::kBackend;
+}
+
+}  // namespace carpool::dsp::detail

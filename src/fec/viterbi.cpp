@@ -1,36 +1,18 @@
 #include "fec/viterbi.hpp"
 
 #include <algorithm>
-#include <bit>
-#include <limits>
+#include <array>
 #include <stdexcept>
 #include <vector>
 
+#include "dsp/kernels.hpp"
 #include "obs/timer.hpp"
 
 namespace carpool {
-namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-std::uint8_t parity(unsigned value) {
-  return static_cast<std::uint8_t>(std::popcount(value) & 1);
-}
-
-}  // namespace
-
-ViterbiDecoder::ViterbiDecoder() {
-  constexpr int kShift = ConvolutionalCode::kConstraintLength - 1;  // 6
-  for (unsigned state = 0; state < ConvolutionalCode::kNumStates; ++state) {
-    for (unsigned bit = 0; bit <= 1; ++bit) {
-      const unsigned window = (bit << kShift) | state;
-      Branch& br = branch_[state][bit];
-      br.next_state = window >> 1;
-      br.expected0 = parity(window & ConvolutionalCode::kG0) ? 1.0 : -1.0;
-      br.expected1 = parity(window & ConvolutionalCode::kG1) ? 1.0 : -1.0;
-    }
-  }
-}
+static_assert(ConvolutionalCode::kNumStates == dsp::kViterbiStates);
+static_assert(ConvolutionalCode::kG0 == dsp::kViterbiG0);
+static_assert(ConvolutionalCode::kG1 == dsp::kViterbiG1);
 
 Bits ViterbiDecoder::decode(std::span<const double> soft,
                             bool terminated) const {
@@ -39,37 +21,14 @@ Bits ViterbiDecoder::decode(std::span<const double> soft,
   }
   OBS_TIMED_SPAN("fec.viterbi_decode");
   const std::size_t steps = soft.size() / 2;
-  constexpr unsigned kStates = ConvolutionalCode::kNumStates;
 
-  std::vector<double> metric(kStates, kInf);
-  std::vector<double> next_metric(kStates, kInf);
-  metric[0] = 0.0;  // encoder starts in the all-zero state
-
-  // decisions[t][next_state] = (prev_state << 1) | input_bit
-  std::vector<std::vector<std::uint16_t>> decisions(
-      steps, std::vector<std::uint16_t>(kStates, 0));
-
-  for (std::size_t t = 0; t < steps; ++t) {
-    const double r0 = soft[2 * t];
-    const double r1 = soft[2 * t + 1];
-    std::fill(next_metric.begin(), next_metric.end(), kInf);
-    for (unsigned state = 0; state < kStates; ++state) {
-      const double pm = metric[state];
-      if (pm == kInf) continue;
-      for (unsigned bit = 0; bit <= 1; ++bit) {
-        const Branch& br = branch_[state][bit];
-        // Negative correlation metric: smaller is better; erasures (0.0)
-        // contribute nothing.
-        const double m = pm - (br.expected0 * r0 + br.expected1 * r1);
-        if (m < next_metric[br.next_state]) {
-          next_metric[br.next_state] = m;
-          decisions[t][br.next_state] =
-              static_cast<std::uint16_t>((state << 1) | bit);
-        }
-      }
-    }
-    metric.swap(next_metric);
-  }
+  // Forward pass (add-compare-select) on the active kernel backend. One
+  // select word per step: bit n set means the surviving edge into
+  // next-state n comes from the odd predecessor 2*(n & 31) + 1.
+  std::vector<std::uint64_t> sel(steps);
+  std::array<double, dsp::kViterbiStates> metric;
+  dsp::active_backend().viterbi_forward(soft.data(), steps, sel.data(),
+                                        metric.data());
 
   unsigned state = 0;
   if (!terminated) {
@@ -77,11 +36,14 @@ Bits ViterbiDecoder::decode(std::span<const double> soft,
         metric.begin(), std::min_element(metric.begin(), metric.end())));
   }
 
+  // Traceback: the encoder input bit on every edge into state n is
+  // n >> 5, and the chosen predecessor is 2*(n & 31) + select-bit.
   Bits out(steps, 0);
   for (std::size_t t = steps; t-- > 0;) {
-    const std::uint16_t decision = decisions[t][state];
-    out[t] = static_cast<std::uint8_t>(decision & 1u);
-    state = decision >> 1;
+    const unsigned pred_odd =
+        static_cast<unsigned>((sel[t] >> state) & 1u);
+    out[t] = static_cast<std::uint8_t>(state >> 5);
+    state = 2 * (state & 31u) + pred_odd;
   }
   return out;
 }

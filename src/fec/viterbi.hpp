@@ -2,6 +2,11 @@
 
 // Soft-decision Viterbi decoder for the 802.11 K=7 rate-1/2 convolutional
 // code, with erasure support for punctured positions (soft value 0.0).
+//
+// The add-compare-select forward pass runs on the active dsp kernel
+// backend (dsp/kernels.hpp) — scalar reference or a SIMD tier that
+// sweeps all 64 states in vector lanes — with bit-identical path metrics
+// either way; this class keeps the trellis traceback.
 
 #include <span>
 
@@ -11,7 +16,7 @@ namespace carpool {
 
 class ViterbiDecoder {
  public:
-  ViterbiDecoder();
+  ViterbiDecoder() = default;
 
   /// Decode a rate-1/2 soft stream (one pair of soft values per trellis
   /// step). `soft.size()` must be even. Returns one bit per step; if
@@ -26,15 +31,6 @@ class ViterbiDecoder {
   [[nodiscard]] Bits decode_punctured(std::span<const double> soft,
                                       CodeRate rate,
                                       std::size_t data_bits) const;
-
- private:
-  struct Branch {
-    unsigned next_state;
-    double expected0;  // +1/-1 expectation for first coded bit
-    double expected1;
-  };
-  // branch_[state][input_bit]
-  Branch branch_[ConvolutionalCode::kNumStates][2];
 };
 
 }  // namespace carpool

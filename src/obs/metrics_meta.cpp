@@ -143,6 +143,10 @@ constexpr std::array kCatalog{
                  {"count", "ops",
                   "Unparseable CARPOOL_THREADS values ignored (fell "
                   "back to serial)"}},
+    CatalogEntry{"dsp.kernel_env_invalid",
+                 {"count", "ops",
+                  "Unparseable CARPOOL_KERNEL values ignored (fell "
+                  "back to the scalar backend)"}},
     CatalogEntry{"chaos.checkpoint_write",
                  {"count", "ops",
                   "Campaign checkpoints flushed to disk"}},
@@ -220,6 +224,43 @@ constexpr std::array kCatalog{
                  {"bool", "bench",
                   "1 when aggregate goodput is non-decreasing in AP count "
                   "(MPR-style scaling, arXiv:1006.4408)"}},
+
+    // --- bench_micro kernel throughput (docs/KERNELS.md) ---
+    // Absolute rates are informational (host-dependent); the simd_speedup
+    // ratios gate in CI via bench_diff. Speedup names carry the best-tier
+    // suffix (e.g. .avx512) so the gate only fires against baselines
+    // recorded for the same tier.
+    CatalogEntry{"micro.fft64.symbols_per_sec.*",
+                 {"symbol/s", "bench",
+                  "64-point OFDM FFTs per second, per kernel backend"}},
+    CatalogEntry{"micro.viterbi.symbols_per_sec.*",
+                 {"symbol/s", "bench",
+                  "Viterbi ACS trellis steps per second, per kernel "
+                  "backend"}},
+    CatalogEntry{"micro.equalize.symbols_per_sec.*",
+                 {"symbol/s", "bench",
+                  "48-subcarrier OFDM symbol equalizations per second, "
+                  "per kernel backend"}},
+    CatalogEntry{"micro.ahdr.symbols_per_sec.*",
+                 {"symbol/s", "bench",
+                  "A-HDR keyed-hash finalizations per second, per kernel "
+                  "backend"}},
+    CatalogEntry{"micro.fft64.simd_speedup.*",
+                 {"ratio", "bench",
+                  "FFT symbols/sec speedup of the best SIMD tier over the "
+                  "scalar reference"}},
+    CatalogEntry{"micro.viterbi.simd_speedup.*",
+                 {"ratio", "bench",
+                  "Viterbi ACS speedup of the best SIMD tier over the "
+                  "scalar reference"}},
+    CatalogEntry{"micro.equalize.simd_speedup.*",
+                 {"ratio", "bench",
+                  "Equalizer speedup of the best SIMD tier over the "
+                  "scalar reference"}},
+    CatalogEntry{"micro.ahdr.simd_speedup.*",
+                 {"ratio", "bench",
+                  "A-HDR hash speedup of the best SIMD tier over the "
+                  "scalar reference"}},
 };
 
 }  // namespace

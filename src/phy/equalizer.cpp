@@ -1,8 +1,10 @@
 #include "phy/equalizer.hpp"
 
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.hpp"
 #include "obs/timer.hpp"
 
 namespace carpool {
@@ -15,39 +17,45 @@ SymbolEqualization equalize_symbol(std::span<const Cx> bins,
   }
   OBS_SCOPED_TIMER("phy.equalize");
   // Pilot phase estimate: correlate equalized pilots against expectation.
+  // This stays on the shared serial path (dsp::pilot_estimate) so the
+  // derotation below is identical no matter which backend equalizes.
   const double polarity = pilot_polarity(symbol_index);
   const auto pbins = pilot_bins();
   const auto pbase = pilot_base();
-  Cx corr{};
-  double magnitude_sum = 0.0;
+  std::array<Cx, kNumPilots> pilot_rx;
+  std::array<Cx, kNumPilots> pilot_h;
+  std::array<double, kNumPilots> expected;
   for (std::size_t i = 0; i < kNumPilots; ++i) {
-    const Cx hk = h[pbins[i]];
-    if (hk == Cx{}) continue;
-    const Cx eq = bins[pbins[i]] / hk;
-    const double expected = pbase[i] * polarity;
-    corr += eq * expected;  // expected is real +-1
-    magnitude_sum += std::abs(eq);
+    pilot_rx[i] = bins[pbins[i]];
+    pilot_h[i] = h[pbins[i]];
+    expected[i] = pbase[i] * polarity;
   }
+  const dsp::PilotEstimate pilots = dsp::pilot_estimate(
+      pilot_rx.data(), pilot_h.data(), expected.data(), kNumPilots);
   SymbolEqualization out;
-  out.phase_offset = std::arg(corr);
+  out.phase_offset = std::arg(pilots.corr);
   // |sum| / sum|.| is 1 when all pilots agree in phase, < 1 otherwise.
-  out.pilot_quality =
-      magnitude_sum > 0.0 ? std::abs(corr) / magnitude_sum : 0.0;
+  out.pilot_quality = pilots.magnitude_sum > 0.0
+                          ? std::abs(pilots.corr) / pilots.magnitude_sum
+                          : 0.0;
 
+  // Gather the 48 data subcarriers into contiguous arrays and hand the
+  // whole symbol to the active kernel backend (docs/KERNELS.md): one
+  // equalize-and-derotate sweep instead of 48 scalar divisions. h == 0
+  // marks an erased subcarrier (data 0, gain 0) on every backend.
   const Cx derotate = cx_exp(-out.phase_offset);
   const auto dbins = data_bins();
+  std::array<Cx, kNumDataSubcarriers> data_rx;
+  std::array<Cx, kNumDataSubcarriers> data_h;
+  for (std::size_t i = 0; i < kNumDataSubcarriers; ++i) {
+    data_rx[i] = bins[dbins[i]];
+    data_h[i] = h[dbins[i]];
+  }
   out.data.resize(kNumDataSubcarriers);
   out.gains.resize(kNumDataSubcarriers);
-  for (std::size_t i = 0; i < kNumDataSubcarriers; ++i) {
-    const Cx hk = h[dbins[i]];
-    if (hk == Cx{}) {
-      out.data[i] = Cx{};
-      out.gains[i] = 0.0;
-      continue;
-    }
-    out.data[i] = bins[dbins[i]] / hk * derotate;
-    out.gains[i] = std::norm(hk);
-  }
+  dsp::active_backend().equalize(data_rx.data(), data_h.data(),
+                                 kNumDataSubcarriers, derotate,
+                                 out.data.data(), out.gains.data());
   return out;
 }
 

@@ -265,9 +265,10 @@ LegacyRxResult LegacyReceiver::receive(std::span<const Cx> waveform) const {
 
   SoftBits soft;
   soft.reserve(n_sym * m.n_cbps);
+  const CxVec all_bins =
+      extract_symbols(wave.subspan(fe.data_start + kSymbolLen), n_sym);
   for (std::size_t i = 0; i < n_sym; ++i) {
-    const std::size_t off = fe.data_start + kSymbolLen + i * kSymbolLen;
-    const CxVec bins = extract_symbol(wave.subspan(off, kSymbolLen));
+    const std::span<const Cx> bins(all_bins.data() + i * kFftSize, kFftSize);
     const SymbolEqualization eq = equalize_symbol(bins, fe.h, i + 1);
     result.phase_offsets.push_back(eq.phase_offset);
     result.raw_symbol_bits.push_back(demap_symbol_hard(eq.data, m));

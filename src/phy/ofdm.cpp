@@ -1,9 +1,11 @@
 #include "phy/ofdm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "dsp/kernels.hpp"
 #include "fec/scrambler.hpp"
 #include "obs/timer.hpp"
 
@@ -89,6 +91,21 @@ CxVec extract_symbol(std::span<const Cx> samples) {
   fft_inplace(time);
   scale(time, 1.0 / kScale);
   return time;
+}
+
+CxVec extract_symbols(std::span<const Cx> samples, std::size_t count) {
+  if (samples.size() < count * kSymbolLen) {
+    throw std::invalid_argument("extract_symbols: not enough samples");
+  }
+  OBS_TIMED_SPAN("phy.ofdm_demodulate");
+  CxVec bins(count * kFftSize);
+  for (std::size_t s = 0; s < count; ++s) {
+    const Cx* src = samples.data() + s * kSymbolLen + kCpLen;
+    std::copy(src, src + kFftSize, bins.begin() + s * kFftSize);
+  }
+  dsp::active_backend().fft_batch(bins.data(), kFftSize, count, -1);
+  scale(bins, 1.0 / kScale);
+  return bins;
 }
 
 CxVec gather_data(std::span<const Cx> bins) {

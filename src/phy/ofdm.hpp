@@ -46,6 +46,13 @@ CxVec assemble_symbol(std::span<const Cx> data, std::size_t symbol_index,
 /// so an ideal channel returns the transmitted points).
 CxVec extract_symbol(std::span<const Cx> samples);
 
+/// Batched extract_symbol over `count` back-to-back 80-sample symbols
+/// (samples must hold at least count * kSymbolLen entries): returns
+/// count * kFftSize bins, symbol s at offset s * kFftSize. One
+/// dsp::fft_batch sweep — the SIMD tiers carry one symbol per vector
+/// lane — with bit-identical bins to per-symbol extraction.
+CxVec extract_symbols(std::span<const Cx> samples, std::size_t count);
+
 /// Gather the data subcarriers (48) out of 64 frequency bins.
 CxVec gather_data(std::span<const Cx> bins);
 

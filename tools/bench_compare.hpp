@@ -11,8 +11,9 @@
 //   - aggregate baseline runs (run*/ subdirectories or one flat dir)
 //     into per-metric mean + coefficient of variation,
 //   - tolerance_pct = max(threshold, sigma * cv_pct),
-//   - gates: goodput/throughput fail on decrease, latency/delay on
-//     increase; everything else is informational.
+//   - gates: goodput/throughput and kernel speedup ratios fail on
+//     decrease, latency/delay on increase; everything else is
+//     informational.
 
 #include <algorithm>
 #include <cctype>
@@ -164,6 +165,12 @@ enum class Gate { kNone, kHigherBetter, kLowerBetter };
 
 inline Gate gate_for(const std::string& metric) {
   if (contains(metric, "goodput") || contains(metric, "throughput")) {
+    return Gate::kHigherBetter;
+  }
+  // Kernel SIMD-vs-scalar speedup ratios (micro.*.simd_speedup) are
+  // host-portable: both backends run on the same machine, so the ratio
+  // gates even though the absolute symbols/sec rates stay informational.
+  if (contains(metric, "speedup")) {
     return Gate::kHigherBetter;
   }
   // Simulated-time latency metrics only: wall-clock profiling histograms

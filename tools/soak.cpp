@@ -71,6 +71,7 @@
 #include "chaos/scenario.hpp"
 #include "chaos/shrink.hpp"
 #include "chaos/snr_trace.hpp"
+#include "dsp/kernels.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -96,7 +97,33 @@ void usage() {
                "[--corpus-dir DIR]\n"
                "            [--retry-attempts N] [--shard-watchdog SECONDS]\n"
                "            [--checkpoint-dir DIR] [--checkpoint-every N] "
-               "[--resume]\n");
+               "[--resume]\n"
+               "            [--kernel auto|scalar|simd|sse2|avx2|avx512] "
+               "[--kernel-info]\n");
+}
+
+/// Strict --kernel parser (the resolve_threads flag-hardening rule for
+/// CLI input): an unknown name or a tier this CPU cannot run is a usage
+/// error, never a silent fallback.
+void apply_kernel_flag(const char* text) {
+  switch (carpool::dsp::select_kernel(text == nullptr ? "" : text)) {
+    case carpool::dsp::KernelSelect::kOk:
+      return;
+    case carpool::dsp::KernelSelect::kUnavailable:
+      std::fprintf(stderr,
+                   "soak: --kernel %s is not supported on this CPU (%s)\n",
+                   text, carpool::dsp::kernel_info().c_str());
+      usage();
+      std::exit(2);
+    case carpool::dsp::KernelSelect::kUnknown:
+      break;
+  }
+  std::fprintf(stderr,
+               "soak: --kernel wants auto|scalar|simd|sse2|avx2|avx512, "
+               "got \"%s\"\n",
+               text == nullptr ? "" : text);
+  usage();
+  std::exit(2);
 }
 
 /// Strict non-negative integer flag parser: the whole value must be a
@@ -439,6 +466,11 @@ int main(int argc, char** argv) {
       opts.checkpoint_every = static_cast<std::size_t>(n);
     } else if (arg == "--resume") {
       opts.resume = true;
+    } else if (arg == "--kernel") {
+      apply_kernel_flag(next());
+    } else if (arg == "--kernel-info") {
+      std::printf("%s\n", carpool::dsp::kernel_info().c_str());
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
